@@ -1,0 +1,99 @@
+// Ablation: the Eq. 3 impact factor sigma.
+//
+// Part 1 -- model fit: for each workload, sweep sigma and report the RMS
+// error between the model's predicted u_r and the measured u_r over the
+// utilization range the paper validates (u <= 0.85).  The paper picks
+// sigma = 0.28 empirically; this shows where our substrate's best fit sits.
+//
+// Part 2 -- planning impact: run EDM-HDF with different sigmas in its wear
+// model and report aggregate erases + erase RSD, showing how sensitive the
+// policy outcome is to the model constant.
+//
+//   ./build/bench/ablation_sigma [--scale=0.1] [--csv]
+#include <cmath>
+
+#include "bench/common.h"
+#include "core/wear_model.h"
+#include "sim/wear_probe.h"
+#include "util/thread_pool.h"
+
+int main(int argc, char** argv) {
+  auto args = edm::bench::parse_args(argc, argv);
+  using edm::util::Table;
+
+  const std::vector<double> sigmas = {0.0, 0.10, 0.20, 0.28, 0.40};
+
+  // --- Part 1: fit error ---
+  const std::vector<std::string> workloads = {"home02", "deasna", "lair62",
+                                              "random"};
+  const std::vector<double> utils = {0.40, 0.50, 0.60, 0.70, 0.80};
+  struct Sweep {
+    std::string workload;
+    std::vector<edm::sim::WearProbeResult> points;
+  };
+  std::vector<Sweep> sweeps(workloads.size());
+  edm::util::ThreadPool pool;
+  pool.parallel_for(workloads.size(), [&](std::size_t i) {
+    edm::sim::WearProbeConfig cfg;
+    cfg.flash.num_blocks = 2048;
+    sweeps[i] = {workloads[i],
+                 edm::sim::sweep_wear_probe(
+                     edm::trace::profile_by_name(workloads[i]), cfg, utils)};
+  });
+
+  Table fit({"workload", "sigma", "rms_ur_error", "best_for_workload"});
+  for (const auto& sweep : sweeps) {
+    double best_err = 1e9;
+    double best_sigma = 0;
+    std::vector<double> errs;
+    for (double sigma : sigmas) {
+      const edm::core::WearModel model(32, sigma);
+      double sq = 0;
+      for (const auto& p : sweep.points) {
+        const double predicted = model.ur_of_utilization(p.utilization);
+        sq += (predicted - p.measured_ur) * (predicted - p.measured_ur);
+      }
+      const double rms = std::sqrt(sq / static_cast<double>(sweep.points.size()));
+      errs.push_back(rms);
+      if (rms < best_err) {
+        best_err = rms;
+        best_sigma = sigma;
+      }
+    }
+    for (std::size_t s = 0; s < sigmas.size(); ++s) {
+      fit.add_row({sweep.workload, Table::num(sigmas[s], 2),
+                   Table::num(errs[s], 4),
+                   sigmas[s] == best_sigma ? "<== best" : ""});
+    }
+  }
+  edm::bench::emit(fit, args, "Ablation: sigma -- wear-model fit error",
+                   "Eq. 2 (sigma=0) over-predicts u_r for skewed workloads; "
+                   "a positive sigma fits them far better, and 'random' "
+                   "prefers sigma ~ 0, as in the paper's Fig. 3.");
+
+  // --- Part 2: planning impact ---
+  std::vector<edm::sim::ExperimentConfig> cells;
+  for (double sigma : sigmas) {
+    auto cfg = edm::bench::cell("lair62", edm::core::PolicyKind::kHdf, 16,
+                                args.scale);
+    cfg.policy_config.model = edm::core::WearModel(32, sigma);
+    cells.push_back(cfg);
+  }
+  const auto results = edm::sim::run_grid(cells);
+  Table plan({"sigma", "aggregate_erases", "erase_RSD", "moved_objects",
+              "throughput(ops/s)"});
+  for (std::size_t s = 0; s < sigmas.size(); ++s) {
+    plan.add_row({
+        Table::num(sigmas[s], 2),
+        Table::num(results[s].aggregate_erases()),
+        Table::num(results[s].erase_rsd(), 3),
+        Table::num(results[s].migration.moved_objects),
+        Table::num(results[s].throughput_ops_per_sec(), 0),
+    });
+  }
+  std::cout << '\n';
+  edm::bench::emit(plan, args,
+                   "Ablation: sigma -- effect on EDM-HDF planning (lair62)",
+                   "");
+  return 0;
+}

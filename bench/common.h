@@ -1,0 +1,79 @@
+// Shared plumbing for the figure-regeneration benches: flag parsing and
+// the standard experiment grid shapes used by the paper's evaluation.
+//
+// Every bench accepts:
+//   --scale=<f>   linear trace scale (default 0.1; 1.0 = paper-size counts)
+//   --csv         emit CSV instead of the aligned table
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "util/table.h"
+
+namespace edm::bench {
+
+struct BenchArgs {
+  double scale = 0.1;
+  bool csv = false;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      args.scale = std::atof(arg.c_str() + 8);
+    } else if (arg == "--csv") {
+      args.csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cerr << "usage: " << argv[0] << " [--scale=<f>] [--csv]\n";
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline void emit(const util::Table& table, const BenchArgs& args,
+                 const std::string& title, const std::string& shape_note) {
+  if (args.csv) {
+    table.write_csv(std::cout);
+    return;
+  }
+  std::cout << title << " (scale=" << args.scale << ")\n";
+  table.print(std::cout);
+  if (!shape_note.empty()) std::cout << "\n" << shape_note << "\n";
+}
+
+/// The four systems of the paper's evaluation, in presentation order.
+inline const std::vector<core::PolicyKind>& all_systems() {
+  static const std::vector<core::PolicyKind> kSystems = {
+      core::PolicyKind::kNone, core::PolicyKind::kCmt, core::PolicyKind::kHdf,
+      core::PolicyKind::kCdf};
+  return kSystems;
+}
+
+/// Table I workload names in paper order.
+inline const std::vector<std::string>& all_traces() {
+  static const std::vector<std::string> kTraces = {
+      "home02", "home03", "home04", "deasna",
+      "deasna2", "lair62", "lair62b"};
+  return kTraces;
+}
+
+inline sim::ExperimentConfig cell(const std::string& trace,
+                                  core::PolicyKind policy,
+                                  std::uint32_t osds, double scale) {
+  sim::ExperimentConfig cfg;
+  cfg.trace_name = trace;
+  cfg.policy = policy;
+  cfg.num_osds = osds;
+  cfg.scale = scale;
+  return cfg;
+}
+
+}  // namespace edm::bench

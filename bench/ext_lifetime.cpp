@@ -1,0 +1,61 @@
+// Extension experiment: cluster lifetime under each migration policy.
+//
+// The paper's motivation is *endurance*: SSDs die after a bounded number of
+// P/E cycles, and the cluster is only as durable as its most-worn device.
+// This bench extrapolates each policy's per-device erase rates (measured
+// during the replay) to time-to-wear-out under an MLC endurance budget and
+// reports the cluster lifetime (first device exhaustion), the balance
+// efficiency (first-failure / mean lifetime), and the repair window
+// between the first and second wear-outs (the SIII.D de-synchronisation
+// concern).
+//
+//   ./build/bench/ext_lifetime [--scale=0.1] [--csv]
+#include "bench/common.h"
+#include "core/lifetime.h"
+
+int main(int argc, char** argv) {
+  auto args = edm::bench::parse_args(argc, argv);
+  using edm::util::Table;
+
+  const std::vector<std::string> traces = {"home02", "lair62", "deasna"};
+  std::vector<edm::sim::ExperimentConfig> cells;
+  for (const auto& trace : traces) {
+    for (auto policy : edm::bench::all_systems()) {
+      cells.push_back(edm::bench::cell(trace, policy, 16, args.scale));
+    }
+  }
+  const auto results = edm::sim::run_grid(cells);
+
+  Table table({"trace", "system", "cluster_lifetime", "vs_baseline",
+               "balance_efficiency", "first_to_second_gap"});
+  for (std::size_t i = 0; i < results.size(); i += 4) {
+    double base_life = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const auto& r = results[i + j];
+      edm::core::EnduranceModel endurance;
+      endurance.num_blocks = 2048;  // normalised device size
+      std::vector<std::uint64_t> erases;
+      for (const auto& o : r.per_osd) erases.push_back(o.flash.erase_count);
+      const auto est = edm::core::estimate_lifetime(
+          erases, static_cast<double>(r.makespan_us) / 1e6, endurance);
+      if (j == 0) base_life = est.first_failure_seconds;
+      table.add_row({
+          r.trace_name,
+          r.policy_name,
+          Table::num(est.first_failure_seconds / 86400.0, 1) + " days",
+          Table::pct((est.first_failure_seconds - base_life) / base_life),
+          Table::num(est.balance_efficiency, 2),
+          Table::num(est.first_to_second_gap_seconds / 86400.0, 1) + " days",
+      });
+    }
+  }
+  edm::bench::emit(
+      table, args,
+      "Extension: cluster lifetime (first device wear-out, MLC 3000 P/E)",
+      "Shape check: wear balancing converts unused headroom on cold devices "
+      "into cluster lifetime -- HDF's balance efficiency approaches 1.0 and "
+      "its lifetime gain mirrors the erase-RSD reduction of Fig. 6.  The "
+      "days are an extrapolation artifact of the reduced replay intensity; "
+      "compare ratios, not absolutes.");
+  return 0;
+}

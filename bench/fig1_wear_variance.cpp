@@ -1,0 +1,64 @@
+// Fig. 1 regeneration: per-SSD block erase count (a) and write pages (b)
+// on the baseline system (hash placement, no migration) for home02, deasna
+// and lair62 -- the wear-variance motivation experiment (paper SII).
+//
+// Expected shape: erase counts vary widely across OSDs; devices with more
+// written pages tend to erase more "but not exclusively" (utilization also
+// matters -- look for OSD pairs with similar writes but different erases).
+//
+//   ./build/bench/fig1_wear_variance [--scale=0.1] [--csv]
+#include "bench/common.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  auto args = edm::bench::parse_args(argc, argv);
+  using edm::util::Table;
+
+  const std::vector<std::string> traces = {"home02", "deasna", "lair62"};
+  std::vector<edm::sim::ExperimentConfig> cells;
+  for (const auto& t : traces) {
+    cells.push_back(
+        edm::bench::cell(t, edm::core::PolicyKind::kNone, 16, args.scale));
+  }
+  const auto results = edm::sim::run_grid(cells);
+
+  Table table({"trace", "osd", "erase_count", "write_pages", "gc_moves",
+               "utilization", "measured_ur"});
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    for (std::uint32_t i = 0; i < results[t].per_osd.size(); ++i) {
+      const auto& o = results[t].per_osd[i];
+      table.add_row({
+          traces[t],
+          std::to_string(i),
+          Table::num(o.flash.erase_count),
+          Table::num(o.flash.host_page_writes),
+          Table::num(o.flash.gc_page_moves),
+          Table::num(o.utilization, 3),
+          Table::num(o.flash.measured_ur(32), 3),
+      });
+    }
+  }
+  edm::bench::emit(table, args,
+                   "Fig. 1 -- per-SSD erase count and write pages (baseline)",
+                   "");
+  if (!args.csv) {
+    std::cout << "\nWear-variance summary (relative standard deviation):\n";
+    Table summary({"trace", "erase_RSD", "write_page_RSD", "max/min erases"});
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      edm::util::StreamingStats erases;
+      edm::util::StreamingStats writes;
+      for (const auto& o : results[t].per_osd) {
+        erases.add(static_cast<double>(o.flash.erase_count));
+        writes.add(static_cast<double>(o.flash.host_page_writes));
+      }
+      summary.add_row({
+          traces[t],
+          Table::num(erases.rsd(), 3),
+          Table::num(writes.rsd(), 3),
+          Table::num(erases.min() > 0 ? erases.max() / erases.min() : 0.0, 1),
+      });
+    }
+    summary.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Hot-path microbenchmarks for the EDM core (google-benchmark): wear-model
+// inversion, temperature tracking, Zipf sampling and Algorithm 1 planning.
+#include <benchmark/benchmark.h>
+
+#include "core/balance.h"
+#include "core/temperature.h"
+#include "core/wear_model.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace {
+
+void BM_WearModelInversion(benchmark::State& state) {
+  const edm::core::WearModel model(32, 0.28);
+  double u = 0.30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ur_of_utilization(u));
+    u += 0.001;
+    if (u > 0.95) u = 0.30;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WearModelInversion);
+
+void BM_TemperatureRecord(benchmark::State& state) {
+  edm::core::AccessTracker tracker;
+  edm::util::Xoshiro256 rng(1);
+  const std::uint64_t objects = 100000;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    tracker.on_access(rng.next_below(objects), 2, (i++ & 3) == 0);
+    if ((i & 0xFFFF) == 0) tracker.advance_epoch();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TemperatureRecord);
+
+void BM_TemperatureLookup(benchmark::State& state) {
+  edm::core::AccessTracker tracker;
+  edm::util::Xoshiro256 rng(2);
+  const std::uint64_t objects = 100000;
+  for (std::uint64_t i = 0; i < objects; ++i) {
+    tracker.on_access(i, static_cast<std::uint32_t>(rng.next_in(1, 8)), true);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tracker.write_temperature(rng.next_below(objects)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TemperatureLookup);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const edm::util::ZipfSampler zipf(
+      static_cast<std::uint64_t>(state.range(0)), 1.1);
+  edm::util::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(1000000);
+
+void BM_Algorithm1(benchmark::State& state) {
+  // Full 500-iteration run over a group of `range` devices -- the planning
+  // cost the wear monitor pays per migration decision.
+  const edm::core::WearModel model(32, 0.28);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> wc(n);
+  std::vector<double> u(n);
+  edm::util::Xoshiro256 rng(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    wc[i] = 1000.0 + static_cast<double>(rng.next_below(100000));
+    u[i] = 0.45 + rng.next_double() * 0.40;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edm::core::calculate_data_movement(
+        model, wc, u, edm::core::BalanceMode::kWritePages));
+  }
+}
+BENCHMARK(BM_Algorithm1)->Arg(4)->Arg(5)->Arg(16);
+
+void BM_Algorithm1Utilization(benchmark::State& state) {
+  const edm::core::WearModel model(32, 0.28);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> wc(n);
+  std::vector<double> u(n);
+  edm::util::Xoshiro256 rng(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    wc[i] = 1000.0 + static_cast<double>(rng.next_below(100000));
+    u[i] = 0.45 + rng.next_double() * 0.40;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edm::core::calculate_data_movement(
+        model, wc, u, edm::core::BalanceMode::kUtilization));
+  }
+}
+BENCHMARK(BM_Algorithm1Utilization)->Arg(4)->Arg(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

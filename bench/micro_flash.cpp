@@ -1,0 +1,100 @@
+// Hot-path microbenchmarks for the flash substrate (google-benchmark):
+// FTL write path with and without GC pressure, reads, trims, and greedy
+// victim selection.  These guard the simulator's own performance -- a full
+// Fig. 5 grid issues hundreds of millions of page operations.
+#include <benchmark/benchmark.h>
+
+#include "flash/ssd.h"
+#include "flash/victim_queue.h"
+#include "util/rng.h"
+
+namespace {
+
+edm::flash::FlashConfig bench_config(std::uint32_t blocks) {
+  edm::flash::FlashConfig cfg;
+  cfg.num_blocks = blocks;
+  cfg.pages_per_block = 32;
+  cfg.op_ratio = 0.07;
+  return cfg;
+}
+
+void BM_SsdWriteNoGc(benchmark::State& state) {
+  // Fresh device with a huge free pool: pure mapping-update cost.
+  edm::flash::Ssd ssd(bench_config(16384));
+  edm::util::Xoshiro256 rng(1);
+  const auto logical = static_cast<edm::Lpn>(ssd.config().logical_pages());
+  edm::Lpn lpn = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssd.write(lpn));
+    lpn = (lpn + 1) % logical;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SsdWriteNoGc);
+
+void BM_SsdWriteSteadyState(benchmark::State& state) {
+  // Device churned to steady state at the given utilization (arg / 100):
+  // the realistic write cost including amortised GC.
+  edm::flash::Ssd ssd(bench_config(2048));
+  edm::util::Xoshiro256 rng(2);
+  const auto valid = static_cast<edm::Lpn>(
+      static_cast<double>(state.range(0)) / 100.0 *
+      static_cast<double>(ssd.config().physical_pages()));
+  for (edm::Lpn p = 0; p < valid; ++p) ssd.write(p);
+  for (std::uint64_t i = 0; i < 2ull * ssd.config().physical_pages(); ++i) {
+    ssd.write(static_cast<edm::Lpn>(rng.next_below(valid)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ssd.write(static_cast<edm::Lpn>(rng.next_below(valid))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SsdWriteSteadyState)->Arg(50)->Arg(70)->Arg(85);
+
+void BM_SsdRead(benchmark::State& state) {
+  edm::flash::Ssd ssd(bench_config(2048));
+  edm::util::Xoshiro256 rng(3);
+  const auto logical = static_cast<edm::Lpn>(ssd.config().logical_pages());
+  for (edm::Lpn p = 0; p < logical / 2; ++p) ssd.write(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ssd.read(static_cast<edm::Lpn>(rng.next_below(logical / 2))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SsdRead);
+
+void BM_SsdTrimRewrite(benchmark::State& state) {
+  edm::flash::Ssd ssd(bench_config(2048));
+  const auto logical = static_cast<edm::Lpn>(ssd.config().logical_pages());
+  for (edm::Lpn p = 0; p < logical; ++p) ssd.write(p);
+  edm::Lpn lpn = 0;
+  for (auto _ : state) {
+    ssd.trim(lpn);
+    benchmark::DoNotOptimize(ssd.write(lpn));
+    lpn = (lpn + 1) % logical;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SsdTrimRewrite);
+
+void BM_VictimQueueUpdate(benchmark::State& state) {
+  const std::uint32_t blocks = static_cast<std::uint32_t>(state.range(0));
+  edm::flash::VictimQueue q(blocks, 32);
+  edm::util::Xoshiro256 rng(4);
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    q.insert(b, static_cast<std::uint32_t>(rng.next_below(33)));
+  }
+  for (auto _ : state) {
+    const auto block = static_cast<std::uint32_t>(rng.next_below(blocks));
+    q.update(block, static_cast<std::uint32_t>(rng.next_below(33)));
+    benchmark::DoNotOptimize(q.min_valid_block());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VictimQueueUpdate)->Arg(1024)->Arg(16384)->Arg(131072);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,270 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace edm::cluster {
+
+void ClusterConfig::validate() const {
+  if (target_max_utilization <= 0.0 || target_max_utilization > 0.95) {
+    throw std::invalid_argument(
+        "ClusterConfig: target_max_utilization must be in (0, 0.95]");
+  }
+  if (destination_utilization_cap <= 0.0 ||
+      destination_utilization_cap > 1.0) {
+    throw std::invalid_argument(
+        "ClusterConfig: destination_utilization_cap must be in (0, 1]");
+  }
+  if (stripe_unit == 0 || stripe_unit % flash.page_size != 0) {
+    throw std::invalid_argument(
+        "ClusterConfig: stripe_unit must be a positive multiple of the "
+        "flash page size");
+  }
+  // Placement construction validates n/m/k; FlashConfig validates geometry.
+}
+
+namespace {
+Placement make_placement(const ClusterConfig& config) {
+  if (!config.group_sizes.empty()) {
+    return Placement(config.group_sizes, config.objects_per_file);
+  }
+  return Placement(config.num_osds, config.num_groups,
+                   config.objects_per_file);
+}
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config, std::span<const trace::FileSpec> files)
+    : config_(config),
+      placement_(make_placement(config)),
+      layout_(config.objects_per_file, config.stripe_unit) {
+  // Weighted grouping derives the topology from the size list.
+  config_.num_osds = placement_.num_osds();
+  config_.num_groups = placement_.num_groups();
+  config_.validate();
+
+  // Record file sizes (FileSpec ids are expected dense 0..N-1; enforce).
+  file_bytes_.resize(files.size(), 0);
+  for (const auto& f : files) {
+    if (f.id >= files.size()) {
+      throw std::invalid_argument("Cluster: file ids must be dense 0..N-1");
+    }
+    file_bytes_[f.id] = f.size_bytes;
+  }
+
+  // Dynamic capacity rule: find the most loaded OSD under default placement
+  // and size every SSD so that OSD lands at target_max_utilization.
+  const std::uint32_t page_size = config_.flash.page_size;
+  std::vector<std::uint64_t> pages_per_osd(config_.num_osds, 0);
+  for (FileId f = 0; f < file_bytes_.size(); ++f) {
+    const std::uint64_t obj_bytes = layout_.object_bytes(file_bytes_[f]);
+    const std::uint64_t obj_pages = (obj_bytes + page_size - 1) / page_size;
+    for (std::uint32_t j = 0; j < placement_.objects_per_file(); ++j) {
+      pages_per_osd[placement_.default_osd(f, j)] += obj_pages;
+    }
+  }
+  const std::uint64_t max_pages =
+      *std::max_element(pages_per_osd.begin(), pages_per_osd.end());
+  const auto capacity_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(max_pages * page_size) /
+      config_.target_max_utilization);
+  const flash::FlashConfig sized =
+      config_.flash.with_logical_capacity(std::max<std::uint64_t>(
+          capacity_bytes, 8ull * config_.flash.block_bytes()));
+  config_.flash = sized;
+
+  osds_.reserve(config_.num_osds);
+  for (OsdId id = 0; id < config_.num_osds; ++id) {
+    osds_.emplace_back(id, sized);
+  }
+
+  // Create every object at its hash home.
+  for (FileId f = 0; f < file_bytes_.size(); ++f) {
+    const std::uint64_t obj_bytes = layout_.object_bytes(file_bytes_[f]);
+    const auto obj_pages =
+        static_cast<std::uint32_t>((obj_bytes + page_size - 1) / page_size);
+    for (std::uint32_t j = 0; j < placement_.objects_per_file(); ++j) {
+      const ObjectId oid = placement_.object_id(f, j);
+      const OsdId home = placement_.default_osd(f, j);
+      if (!osds_[home].add_object(oid, obj_pages)) {
+        throw std::runtime_error(
+            "Cluster: OSD out of space during creation (capacity sizing bug)");
+      }
+    }
+  }
+}
+
+OsdId Cluster::locate(ObjectId oid) const {
+  if (auto it = in_flight_.find(oid); it != in_flight_.end()) {
+    return it->second.src;
+  }
+  if (auto remapped = remap_.lookup(oid)) return *remapped;
+  return placement_.default_osd(placement_.file_of(oid),
+                                placement_.index_of(oid));
+}
+
+std::uint32_t Cluster::object_pages(ObjectId oid) const {
+  return osds_[locate(oid)].object_pages(oid);
+}
+
+void Cluster::map_request(const trace::Record& record,
+                          std::vector<OsdIo>& out) const {
+  using trace::OpType;
+  if (record.op == OpType::kOpen || record.op == OpType::kClose) {
+    return;  // metadata-only in this model
+  }
+  const std::uint64_t fsize = file_bytes_[record.file];
+  if (fsize == 0 || record.size == 0) return;
+  std::uint64_t offset = std::min<std::uint64_t>(record.offset, fsize - 1);
+  const auto length = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(record.size, fsize - offset));
+
+  static thread_local std::vector<ObjectIo> scratch;
+  scratch.clear();
+  if (record.op == OpType::kWrite) {
+    layout_.map_write(offset, length, scratch);
+  } else {
+    layout_.map_read(offset, length, scratch);
+  }
+
+  const std::uint32_t page_size = config_.flash.page_size;
+  for (const ObjectIo& io : scratch) {
+    const ObjectId oid = placement_.object_id(record.file, io.object_index);
+    OsdIo out_io;
+    out_io.osd = locate(oid);
+    out_io.oid = oid;
+    out_io.first_page = static_cast<std::uint32_t>(io.offset / page_size);
+    const std::uint64_t last_byte = io.offset + io.length - 1;
+    out_io.pages =
+        static_cast<std::uint32_t>(last_byte / page_size) - out_io.first_page + 1;
+    out_io.is_write = io.is_write;
+    out_io.is_parity = io.is_parity;
+
+    if (!osds_[out_io.osd].failed()) {
+      out.push_back(out_io);
+      continue;
+    }
+    // Degraded mode: the target OSD is down.
+    if (io.is_write) {
+      // The write (or its RMW pre-read) cannot land; it is lost until the
+      // device is rebuilt.
+      ++lost_writes_;
+      continue;
+    }
+    // RAID-5 reconstruction: read the same stripe range from the file's
+    // k-1 other objects (every object stores one unit per stripe at the
+    // same object offset, so the page range is identical).
+    bool reconstructable = true;
+    const std::size_t expansion_start = out.size();
+    for (std::uint32_t j = 0; j < placement_.objects_per_file(); ++j) {
+      if (j == io.object_index) continue;
+      const ObjectId peer = placement_.object_id(record.file, j);
+      const OsdId peer_osd = locate(peer);
+      if (osds_[peer_osd].failed()) {
+        reconstructable = false;
+        break;
+      }
+      OsdIo peer_io = out_io;
+      peer_io.oid = peer;
+      peer_io.osd = peer_osd;
+      peer_io.is_write = false;
+      out.push_back(peer_io);
+    }
+    if (reconstructable) {
+      ++degraded_reads_;
+    } else {
+      // Two members of the stripe are gone: RAID-5 cannot serve this.
+      out.resize(expansion_start);
+      ++unavailable_requests_;
+    }
+  }
+}
+
+SimDuration Cluster::populate() {
+  SimDuration total = 0;
+  for (auto& osd : osds_) total += osd.populate_all();
+  return total;
+}
+
+SimDuration Cluster::steady_state_warmup() {
+  SimDuration total = 0;
+  for (auto& osd : osds_) {
+    const std::uint64_t budget = osd.ssd().config().physical_pages();
+    std::uint64_t written = 0;
+    while (written < budget) {
+      const std::uint64_t before = written;
+      osd.store().for_each_object([&](ObjectId oid) {
+        if (written >= budget) return;
+        for (const Extent& e : *osd.store().extents(oid)) {
+          if (written >= budget) break;
+          const auto pages = static_cast<std::uint32_t>(
+              std::min<std::uint64_t>(e.pages, budget - written));
+          total += osd.ssd().write_range(e.first, pages);
+          written += pages;
+        }
+      });
+      if (written == before) break;  // empty OSD: nothing to cycle
+    }
+  }
+  return total;
+}
+
+void Cluster::reset_flash_stats() {
+  for (auto& osd : osds_) osd.ssd().reset_stats();
+}
+
+bool Cluster::begin_migration(ObjectId oid, OsdId dst) {
+  const OsdId src = locate(oid);
+  if (src == dst) return false;
+  if (in_flight_.count(oid)) return false;
+  if (osds_[src].failed() || osds_[dst].failed()) return false;
+  if (!placement_.same_group(src, dst)) {
+    throw std::logic_error(
+        "Cluster: cross-group migration violates the RAID-5 reliability "
+        "invariant (paper SIII.D)");
+  }
+  const std::uint32_t pages = osds_[src].object_pages(oid);
+  if (pages == 0) return false;
+  Osd& target = osds_[dst];
+  const double post_util =
+      static_cast<double>(target.store().allocated_pages() + pages) /
+      static_cast<double>(target.capacity_pages());
+  if (post_util > config_.destination_utilization_cap) return false;
+  if (!target.add_object(oid, pages)) return false;
+  in_flight_[oid] = Move{src, dst};
+  return true;
+}
+
+void Cluster::complete_migration(ObjectId oid) {
+  auto it = in_flight_.find(oid);
+  assert(it != in_flight_.end());
+  const Move move = it->second;
+  in_flight_.erase(it);
+  osds_[move.src].remove_object(oid);
+  const OsdId default_home = placement_.default_osd(
+      placement_.file_of(oid), placement_.index_of(oid));
+  remap_.set(oid, move.dst, default_home);
+  remap_.count_update();
+  ++migrations_completed_;
+}
+
+void Cluster::abort_migration(ObjectId oid) {
+  auto it = in_flight_.find(oid);
+  assert(it != in_flight_.end());
+  const Move move = it->second;
+  in_flight_.erase(it);
+  osds_[move.dst].remove_object(oid);
+}
+
+std::uint64_t Cluster::total_erase_count() const {
+  std::uint64_t total = 0;
+  for (const auto& osd : osds_) total += osd.flash_stats().erase_count;
+  return total;
+}
+
+std::uint64_t Cluster::total_host_page_writes() const {
+  std::uint64_t total = 0;
+  for (const auto& osd : osds_) total += osd.flash_stats().host_page_writes;
+  return total;
+}
+
+}  // namespace edm::cluster

@@ -1,0 +1,46 @@
+#include "cluster/osd.h"
+
+namespace edm::cluster {
+
+Osd::Osd(OsdId id, const flash::FlashConfig& config)
+    : id_(id), ssd_(config), store_(config.logical_pages()) {}
+
+bool Osd::add_object(ObjectId oid, std::uint32_t pages) {
+  return store_.create(oid, pages);
+}
+
+void Osd::remove_object(ObjectId oid) {
+  for (const Extent& e : store_.remove(oid)) {
+    ssd_.trim_range(e.first, e.pages);
+  }
+}
+
+SimDuration Osd::read(ObjectId oid, std::uint32_t first_page,
+                      std::uint32_t pages) {
+  SimDuration total = 0;
+  for (const Extent& e : store_.map_range(oid, first_page, pages)) {
+    total += ssd_.read_range(e.first, e.pages);
+  }
+  return total;
+}
+
+SimDuration Osd::write(ObjectId oid, std::uint32_t first_page,
+                       std::uint32_t pages) {
+  SimDuration total = 0;
+  for (const Extent& e : store_.map_range(oid, first_page, pages)) {
+    total += ssd_.write_range(e.first, e.pages);
+  }
+  return total;
+}
+
+SimDuration Osd::populate_all() {
+  SimDuration total = 0;
+  store_.for_each_object([&](ObjectId oid) {
+    for (const Extent& e : *store_.extents(oid)) {
+      total += ssd_.write_range(e.first, e.pages);
+    }
+  });
+  return total;
+}
+
+}  // namespace edm::cluster

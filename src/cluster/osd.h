@@ -1,0 +1,71 @@
+// One object-based storage device: an object extent store layered on a
+// simulated flash SSD.  Object reads/writes translate to page I/O on the
+// device; removing an object trims its pages (the FTL-level invalidation
+// that makes migration actually cheapen GC on the source device).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/object_store.h"
+#include "flash/config.h"
+#include "flash/ssd.h"
+#include "util/types.h"
+
+namespace edm::cluster {
+
+class Osd {
+ public:
+  Osd(OsdId id, const flash::FlashConfig& config);
+
+  OsdId id() const { return id_; }
+
+  /// Failure state: a failed OSD serves no I/O (reads are reconstructed
+  /// from RAID-5 peers by the cluster layer; writes to it are lost until
+  /// rebuild).  Metadata (object extents) survives -- it lives on the MDS.
+  bool failed() const { return failed_; }
+  void set_failed(bool failed) { failed_ = failed; }
+
+  /// Allocates space for an object.  False when the device is full.
+  bool add_object(ObjectId oid, std::uint32_t pages);
+
+  /// Frees and trims an object's pages.
+  void remove_object(ObjectId oid);
+
+  bool has_object(ObjectId oid) const { return store_.contains(oid); }
+  std::uint32_t object_pages(ObjectId oid) const {
+    return store_.object_pages(oid);
+  }
+
+  /// Page-granular object I/O; returns device service time.  Ranges beyond
+  /// the object's end are clamped (sparse tail reads cost nothing).
+  SimDuration read(ObjectId oid, std::uint32_t first_page,
+                   std::uint32_t pages);
+  SimDuration write(ObjectId oid, std::uint32_t first_page,
+                    std::uint32_t pages);
+
+  /// Writes every allocated page once: the pre-create-and-populate step of
+  /// the paper's replay setup.  Returns device time consumed.
+  SimDuration populate_all();
+
+  /// Disk utilization as seen by the store (allocated / logical capacity):
+  /// the `u` input of EDM's wear model.
+  double utilization() const { return store_.utilization(); }
+
+  std::uint64_t free_pages() const { return store_.free_pages(); }
+  std::uint64_t capacity_pages() const { return store_.capacity_pages(); }
+
+  flash::Ssd& ssd() { return ssd_; }
+  const flash::Ssd& ssd() const { return ssd_; }
+  const flash::FlashStats& flash_stats() const { return ssd_.stats(); }
+
+  ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
+
+ private:
+  OsdId id_;
+  flash::Ssd ssd_;
+  ObjectStore store_;
+  bool failed_ = false;
+};
+
+}  // namespace edm::cluster

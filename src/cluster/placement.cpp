@@ -1,0 +1,100 @@
+#include "cluster/placement.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace edm::cluster {
+
+Placement::Placement(std::uint32_t num_osds, std::uint32_t num_groups,
+                     std::uint32_t objects_per_file)
+    : n_(num_osds), m_(num_groups), k_(objects_per_file) {
+  if (n_ == 0 || m_ == 0 || k_ == 0) {
+    throw std::invalid_argument("Placement: n, m, k must all be > 0");
+  }
+  if (k_ > m_) {
+    throw std::invalid_argument(
+        "Placement: objects_per_file (k) must not exceed num_groups (m), "
+        "or two objects of one file would share a group");
+  }
+  if (n_ % m_ != 0) {
+    throw std::invalid_argument(
+        "Placement: num_groups must divide num_osds to preserve the "
+        "distinct-group invariant across the osd wrap-around");
+  }
+  if (m_ > n_) {
+    throw std::invalid_argument("Placement: more groups than OSDs");
+  }
+}
+
+Placement::Placement(const std::vector<std::uint32_t>& group_sizes,
+                     std::uint32_t objects_per_file)
+    : n_(0),
+      m_(static_cast<std::uint32_t>(group_sizes.size())),
+      k_(objects_per_file) {
+  if (m_ == 0 || k_ == 0) {
+    throw std::invalid_argument("Placement: need >= 1 group and k > 0");
+  }
+  if (k_ > m_) {
+    throw std::invalid_argument(
+        "Placement: objects_per_file (k) must not exceed the group count");
+  }
+  group_start_.reserve(m_);
+  group_size_ = group_sizes;
+  for (std::uint32_t size : group_sizes) {
+    if (size == 0) {
+      throw std::invalid_argument("Placement: empty group");
+    }
+    group_start_.push_back(n_);
+    n_ += size;
+  }
+  osd_group_.resize(n_);
+  for (std::uint32_t g = 0; g < m_; ++g) {
+    for (std::uint32_t i = 0; i < group_size_[g]; ++i) {
+      osd_group_[group_start_[g] + i] = g;
+    }
+  }
+}
+
+OsdId Placement::default_osd(FileId file, std::uint32_t index) const {
+  if (!weighted()) {
+    return static_cast<OsdId>((file + index) % n_);
+  }
+  // Group by the same (file + index) rotation as the contiguous scheme
+  // (distinct groups for k <= m); spread within the group with a mixed
+  // hash so files land uniformly regardless of group size.
+  const auto g = static_cast<std::uint32_t>((file + index) % m_);
+  const std::uint64_t mixed = (file * 0x9E3779B97F4A7C15ULL) >> 17;
+  const auto member = static_cast<std::uint32_t>(mixed % group_size_[g]);
+  return group_start_[g] + member;
+}
+
+std::uint32_t Placement::group_of(OsdId osd) const {
+  return weighted() ? osd_group_[osd] : osd % m_;
+}
+
+std::uint32_t Placement::group_size(std::uint32_t g) const {
+  return weighted() ? group_size_[g] : n_ / m_;
+}
+
+std::vector<OsdId> Placement::group_peers(OsdId osd) const {
+  std::vector<OsdId> peers;
+  for (OsdId member : group_members(group_of(osd))) {
+    if (member != osd) peers.push_back(member);
+  }
+  return peers;
+}
+
+std::vector<OsdId> Placement::group_members(std::uint32_t g) const {
+  std::vector<OsdId> members;
+  members.reserve(group_size(g));
+  if (weighted()) {
+    for (std::uint32_t i = 0; i < group_size_[g]; ++i) {
+      members.push_back(group_start_[g] + i);
+    }
+  } else {
+    for (OsdId o = g; o < n_; o += m_) members.push_back(o);
+  }
+  return members;
+}
+
+}  // namespace edm::cluster

@@ -1,0 +1,82 @@
+// Hash-based object placement and SSD grouping (paper SIII.A, SIII.D).
+//
+// Two modes:
+//
+//  * Contiguous (the paper's base scheme): a file's k objects go to k
+//    *contiguous* SSDs starting at `inode mod n`, with Group_i =
+//    {i, m+i, 2m+i, ...}.  Because the k objects land on contiguous SSD
+//    numbers and k <= m with m dividing n, any two objects of one file are
+//    guaranteed to be in *different* groups -- the invariant that makes
+//    intra-group migration safe for the object-level RAID-5 redundancy.
+//
+//  * Weighted (the paper's SIII.D wear de-synchronisation): groups get
+//    *different* SSD counts, so devices in smaller groups carry more load
+//    and wear out sooner -- staggering wear-out times across groups so
+//    simultaneous failures never span a stripe.  Object j of file f maps to
+//    group (f + j) mod m (distinct groups by construction) and to a
+//    hash-spread member within it.  SSD ids are contiguous ranges per
+//    group.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace edm::cluster {
+
+class Placement {
+ public:
+  /// Contiguous mode.  Throws std::invalid_argument unless 1 <= k <= m and
+  /// m divides n (the divisibility preserves the distinct-group invariant
+  /// for files whose object range wraps around osd n-1).
+  Placement(std::uint32_t num_osds, std::uint32_t num_groups,
+            std::uint32_t objects_per_file);
+
+  /// Weighted mode: one entry per group giving its SSD count (>= 1 each,
+  /// k <= number of groups).  n = sum of sizes.
+  Placement(const std::vector<std::uint32_t>& group_sizes,
+            std::uint32_t objects_per_file);
+
+  std::uint32_t num_osds() const { return n_; }
+  std::uint32_t num_groups() const { return m_; }
+  std::uint32_t objects_per_file() const { return k_; }
+  bool weighted() const { return !group_start_.empty(); }
+
+  /// Default (pre-migration) home of object `index` of file `file`.
+  OsdId default_osd(FileId file, std::uint32_t index) const;
+
+  std::uint32_t group_of(OsdId osd) const;
+  std::uint32_t group_size(std::uint32_t g) const;
+
+  /// All OSDs in the same group as `osd`, excluding `osd` itself.
+  std::vector<OsdId> group_peers(OsdId osd) const;
+
+  /// All OSDs in group `g`.
+  std::vector<OsdId> group_members(std::uint32_t g) const;
+
+  bool same_group(OsdId a, OsdId b) const {
+    return group_of(a) == group_of(b);
+  }
+
+  /// Object-id encoding: object `index` of `file`.
+  ObjectId object_id(FileId file, std::uint32_t index) const {
+    return file * k_ + index;
+  }
+  FileId file_of(ObjectId oid) const { return oid / k_; }
+  std::uint32_t index_of(ObjectId oid) const {
+    return static_cast<std::uint32_t>(oid % k_);
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t m_;
+  std::uint32_t k_;
+  // Weighted mode only: per-group [start, start+size) OSD-id ranges and the
+  // reverse osd -> group map.
+  std::vector<std::uint32_t> group_start_;
+  std::vector<std::uint32_t> group_size_;
+  std::vector<std::uint32_t> osd_group_;
+};
+
+}  // namespace edm::cluster

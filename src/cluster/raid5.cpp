@@ -1,0 +1,88 @@
+#include "cluster/raid5.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edm::cluster {
+
+Raid5Layout::Raid5Layout(std::uint32_t k, std::uint32_t stripe_unit)
+    : k_(k), unit_(stripe_unit) {
+  if (k < 2) {
+    throw std::invalid_argument("Raid5Layout: k must be >= 2 (data + parity)");
+  }
+  if (stripe_unit == 0) {
+    throw std::invalid_argument("Raid5Layout: stripe_unit must be > 0");
+  }
+}
+
+std::uint64_t Raid5Layout::stripe_count(std::uint64_t file_size) const {
+  if (file_size == 0) return 0;
+  const std::uint64_t data_units = (file_size + unit_ - 1) / unit_;
+  const std::uint64_t data_per_stripe = k_ - 1;
+  return (data_units + data_per_stripe - 1) / data_per_stripe;
+}
+
+std::uint64_t Raid5Layout::object_bytes(std::uint64_t file_size) const {
+  return stripe_count(file_size) * unit_;
+}
+
+std::uint32_t Raid5Layout::data_object(std::uint64_t data_unit) const {
+  const std::uint64_t stripe = data_unit / (k_ - 1);
+  const auto slot = static_cast<std::uint32_t>(data_unit % (k_ - 1));
+  const std::uint32_t parity = parity_object(stripe);
+  // Data slots fill the non-parity objects in ascending object order.
+  return slot < parity ? slot : slot + 1;
+}
+
+void Raid5Layout::map_read(std::uint64_t offset, std::uint32_t length,
+                           std::vector<ObjectIo>& out) const {
+  std::uint64_t pos = offset;
+  const std::uint64_t end = offset + length;
+  while (pos < end) {
+    const std::uint64_t data_unit = pos / unit_;
+    const std::uint64_t unit_off = pos % unit_;
+    const std::uint64_t chunk = std::min<std::uint64_t>(unit_ - unit_off, end - pos);
+    const std::uint64_t stripe = data_unit / (k_ - 1);
+    ObjectIo io;
+    io.object_index = data_object(data_unit);
+    io.offset = stripe * unit_ + unit_off;
+    io.length = static_cast<std::uint32_t>(chunk);
+    io.is_write = false;
+    io.is_parity = false;
+    out.push_back(io);
+    pos += chunk;
+  }
+}
+
+void Raid5Layout::map_write(std::uint64_t offset, std::uint32_t length,
+                            std::vector<ObjectIo>& out) const {
+  std::uint64_t pos = offset;
+  const std::uint64_t end = offset + length;
+  std::uint64_t last_stripe_with_parity = UINT64_MAX;
+  while (pos < end) {
+    const std::uint64_t data_unit = pos / unit_;
+    const std::uint64_t unit_off = pos % unit_;
+    const std::uint64_t chunk = std::min<std::uint64_t>(unit_ - unit_off, end - pos);
+    const std::uint64_t stripe = data_unit / (k_ - 1);
+    const std::uint32_t data_obj = data_object(data_unit);
+    const std::uint64_t obj_off = stripe * unit_ + unit_off;
+    const auto len = static_cast<std::uint32_t>(chunk);
+
+    // Read-modify-write: old data in, new data out.
+    out.push_back({data_obj, obj_off, len, /*is_write=*/false, false});
+    out.push_back({data_obj, obj_off, len, /*is_write=*/true, false});
+
+    // Parity read-modify-write, once per touched stripe for the touched
+    // byte range (coalesced when several data units of one stripe are hit,
+    // the common sequential-write case).
+    if (stripe != last_stripe_with_parity) {
+      const std::uint32_t parity_obj = parity_object(stripe);
+      out.push_back({parity_obj, obj_off, len, false, true});
+      out.push_back({parity_obj, obj_off, len, true, true});
+      last_stripe_with_parity = stripe;
+    }
+    pos += chunk;
+  }
+}
+
+}  // namespace edm::cluster

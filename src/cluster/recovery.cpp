@@ -1,0 +1,112 @@
+// Failure accounting and RAID-5 rebuild (paper SIII.D).
+//
+// The paper's reliability argument: objects of one file always sit in
+// distinct SSD groups, and migration never crosses groups, so correlated
+// wear-out *within* a group can never take two members of a stripe at
+// once.  These routines let tests and benches exercise exactly that
+// property, and quantify the cost of reconstructing a device.
+#include <algorithm>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace edm::cluster {
+
+std::uint32_t Cluster::failed_count() const {
+  std::uint32_t count = 0;
+  for (const auto& osd : osds_) count += osd.failed() ? 1 : 0;
+  return count;
+}
+
+std::uint64_t Cluster::count_unavailable_files() const {
+  std::uint64_t unavailable = 0;
+  for (FileId f = 0; f < file_bytes_.size(); ++f) {
+    std::uint32_t lost = 0;
+    for (std::uint32_t j = 0; j < placement_.objects_per_file(); ++j) {
+      if (osds_[locate(placement_.object_id(f, j))].failed()) ++lost;
+    }
+    if (lost >= 2) ++unavailable;
+  }
+  return unavailable;
+}
+
+Cluster::RebuildStats Cluster::rebuild_osd(OsdId dead) {
+  RebuildStats stats;
+  Osd& device = osds_[dead];
+
+  // Snapshot the victim's object list before mutating its store.
+  std::vector<ObjectId> victims;
+  victims.reserve(device.store().object_count());
+  device.store().for_each_object(
+      [&](ObjectId oid) { victims.push_back(oid); });
+  std::sort(victims.begin(), victims.end());  // deterministic order
+
+  const auto peers = placement_.group_peers(dead);
+  for (const ObjectId oid : victims) {
+    const FileId file = placement_.file_of(oid);
+    const std::uint32_t index = placement_.index_of(oid);
+    const std::uint32_t pages = device.object_pages(oid);
+
+    // Reconstruction needs every other member of the stripe set alive.
+    bool recoverable = true;
+    for (std::uint32_t j = 0; j < placement_.objects_per_file(); ++j) {
+      if (j == index) continue;
+      if (osds_[locate(placement_.object_id(file, j))].failed()) {
+        recoverable = false;
+        break;
+      }
+    }
+    if (!recoverable) {
+      ++stats.unrecoverable;
+      continue;
+    }
+
+    // Destination: the least-utilized healthy peer in the dead device's
+    // group that can take the object (preserves the group invariant).
+    OsdId dst = dead;
+    double best_util = 2.0;
+    for (OsdId peer : peers) {
+      if (osds_[peer].failed()) continue;
+      if (osds_[peer].free_pages() < pages) continue;
+      if (osds_[peer].utilization() < best_util) {
+        best_util = osds_[peer].utilization();
+        dst = peer;
+      }
+    }
+    if (dst == dead) {
+      ++stats.unplaced;
+      continue;
+    }
+    if (!osds_[dst].add_object(oid, pages)) {
+      ++stats.unplaced;
+      continue;
+    }
+
+    // Read the k-1 surviving members, write the reconstructed object.
+    for (std::uint32_t j = 0; j < placement_.objects_per_file(); ++j) {
+      if (j == index) continue;
+      const ObjectId peer_oid = placement_.object_id(file, j);
+      Osd& peer_osd = osds_[locate(peer_oid)];
+      stats.device_time += peer_osd.read(peer_oid, 0, pages);
+      stats.peer_pages_read += pages;  // siblings share the object size
+    }
+    stats.device_time += osds_[dst].write(oid, 0, pages);
+    stats.pages_written += pages;
+
+    // Point the metadata at the rebuilt copy.
+    const OsdId default_home = placement_.default_osd(file, index);
+    remap_.set(oid, dst, default_home);
+    remap_.count_update();
+    ++stats.objects;
+  }
+
+  // Drop whatever remains on the dead device and return it to service
+  // (rebuilt empty; unrecoverable objects stay lost).
+  for (const ObjectId oid : victims) {
+    if (device.has_object(oid)) device.remove_object(oid);
+  }
+  device.set_failed(false);
+  return stats;
+}
+
+}  // namespace edm::cluster

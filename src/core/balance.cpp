@@ -1,0 +1,119 @@
+#include "core/balance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace edm::core {
+
+std::vector<double> calculate_data_movement(const WearModel& model,
+                                            std::span<const double> write_pages,
+                                            std::span<const double> utilization,
+                                            BalanceMode mode,
+                                            const BalanceParams& params) {
+  if (write_pages.size() != utilization.size()) {
+    throw std::invalid_argument(
+        "calculate_data_movement: array size mismatch");
+  }
+  const std::size_t n = write_pages.size();
+  std::vector<double> delta(n, 0.0);
+  if (n < 2) return delta;
+
+  // Working copies; the algorithm mutates them as shifts are booked.
+  std::vector<double> wc(write_pages.begin(), write_pages.end());
+  std::vector<double> u(utilization.begin(), utilization.end());
+
+  std::vector<double> ec(n);
+  auto recompute = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      ec[i] = model.erase_count(wc[i], u[i]);
+    }
+  };
+
+  // Devices that hit a utilization bound stop participating as source
+  // (frozen_src) or destination (frozen_dst).
+  std::vector<char> frozen_src(n, 0);
+  std::vector<char> frozen_dst(n, 0);
+
+  for (int step = 0; step < params.iterations; ++step) {
+    recompute();
+    std::size_t x = n;
+    std::size_t y = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!frozen_src[i] && (x == n || ec[i] > ec[x])) x = i;
+      if (!frozen_dst[i] && (y == n || ec[i] < ec[y])) y = i;
+    }
+    if (x == n || y == n || x == y ||
+        ec[x] - ec[y] <= 1e-9 * std::max(1.0, ec[x])) {
+      break;  // converged or nothing movable
+    }
+
+    const double movable = mode == BalanceMode::kWritePages ? wc[x] : u[x];
+    if (movable <= 0.0) {
+      frozen_src[x] = 1;
+      continue;
+    }
+
+    // Hard cap on the shift (utilization mode only; write pages can always
+    // equalise the pair).
+    double max_shift = movable;
+    if (mode == BalanceMode::kUtilization) {
+      const double shed_left = params.max_source_shed - (-delta[x]);
+      max_shift = std::min({u[x] - params.utilization_floor,
+                            params.utilization_ceiling - u[y], shed_left});
+      if (max_shift <= 0.0) {
+        if (u[x] - params.utilization_floor <= 0.0 || shed_left <= 0.0) {
+          frozen_src[x] = 1;
+        }
+        if (params.utilization_ceiling - u[y] <= 0.0) frozen_dst[y] = 1;
+        continue;
+      }
+    }
+
+    // Paper's inner loop: smallest epsilon whose shift closes the gap.
+    double shift = 0.0;
+    bool capped = false;
+    for (double eps = params.epsilon_step; eps < 1.0;
+         eps += params.epsilon_step) {
+      shift = movable * eps;
+      if (shift >= max_shift) {
+        shift = max_shift;
+        capped = true;
+      }
+      double ec_x, ec_y;
+      if (mode == BalanceMode::kWritePages) {
+        ec_x = model.erase_count(wc[x] - shift, u[x]);
+        ec_y = model.erase_count(wc[y] + shift, u[y]);
+      } else {
+        ec_x = model.erase_count(wc[x], u[x] - shift);
+        ec_y = model.erase_count(wc[y], u[y] + shift);
+      }
+      if (capped || ec_x - ec_y <= 0.0) break;
+    }
+
+    if (mode == BalanceMode::kWritePages) {
+      delta[x] -= shift;
+      delta[y] += shift;
+      wc[x] -= shift;
+      wc[y] += shift;
+    } else {
+      delta[x] -= shift;
+      delta[y] += shift;
+      u[x] -= shift;
+      u[y] += shift;
+      // A capped pair cannot make further progress against each other;
+      // freeze whichever side hit its bound.
+      if (capped) {
+        if (u[x] - params.utilization_floor <= 1e-12 ||
+            params.max_source_shed + delta[x] <= 1e-12) {
+          frozen_src[x] = 1;
+        }
+        if (params.utilization_ceiling - u[y] <= 1e-12) frozen_dst[y] = 1;
+        if (!frozen_src[x] && !frozen_dst[y]) frozen_src[x] = 1;
+      }
+    }
+  }
+  return delta;
+}
+
+}  // namespace edm::core

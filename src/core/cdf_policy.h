@@ -1,0 +1,25 @@
+// Cold-Data First (paper SIII.B.4/5).
+//
+// CDF cools a hot device by *lowering its utilization*: a lower u means
+// emptier victim blocks and cheaper GC (Eq. 4 via F(u)).  It migrates
+// rarely-accessed objects -- largest first, to move few objects and keep
+// the remapping table small -- so foreground traffic barely notices the
+// migration, at the price of somewhat more data moved than HDF (utilization
+// has a weaker grip on wear speed than write intensity).  Sources below 50%
+// utilization are skipped: under the Eq. 3 knee, reducing u buys nothing.
+#pragma once
+
+#include "core/policy.h"
+
+namespace edm::core {
+
+class CdfPolicy final : public MigrationPolicy {
+ public:
+  explicit CdfPolicy(PolicyConfig config) : MigrationPolicy(config) {}
+
+  const char* name() const override { return "EDM-CDF"; }
+  bool blocks_foreground() const override { return false; }
+  MigrationPlan plan(const ClusterView& view, bool force) override;
+};
+
+}  // namespace edm::core

@@ -1,0 +1,28 @@
+// CMT: the conventional (HDD-era) migration technique the paper compares
+// against, modelled on Sorrento (Tang et al., SC'04) as in the paper's
+// evaluation: "CMT measures the load factor of an SSD by EMWA of the I/O
+// latency" and "dynamically balances both the load and storage usage".
+//
+// CMT is wear-oblivious: it ranks objects by total access temperature
+// without differentiating reads from writes, and adds capacity-balancing
+// moves on top of load-balancing moves.  Both properties make it move more
+// objects than HDF/CDF (Fig. 8) and write more migration data into the
+// flash (Fig. 6's erase-count inflation).
+#pragma once
+
+#include "core/policy.h"
+
+namespace edm::core {
+
+class CmtPolicy final : public MigrationPolicy {
+ public:
+  explicit CmtPolicy(PolicyConfig config) : MigrationPolicy(config) {}
+
+  const char* name() const override { return "CMT"; }
+  /// Sorrento forwards requests during segment moves rather than blocking
+  /// them (lazy copy + redirection), so CMT competes for bandwidth only.
+  bool blocks_foreground() const override { return false; }
+  MigrationPlan plan(const ClusterView& view, bool force) override;
+};
+
+}  // namespace edm::core

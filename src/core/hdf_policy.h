@@ -1,0 +1,24 @@
+// Hot-Data First (paper SIII.B.4/5).
+//
+// HDF rebalances *wear* by shedding the most write-frequently accessed
+// objects from hot devices: from Eq. 4, fewer pages written means fewer
+// erases, and because write skew concentrates most writes in few objects,
+// HDF moves the least data of all policies.  The cost is that the moved
+// objects are exactly the ones foreground traffic wants, so requests to
+// in-flight objects block (the Fig. 7 response-time spike).
+#pragma once
+
+#include "core/policy.h"
+
+namespace edm::core {
+
+class HdfPolicy final : public MigrationPolicy {
+ public:
+  explicit HdfPolicy(PolicyConfig config) : MigrationPolicy(config) {}
+
+  const char* name() const override { return "EDM-HDF"; }
+  bool blocks_foreground() const override { return true; }
+  MigrationPlan plan(const ClusterView& view, bool force) override;
+};
+
+}  // namespace edm::core

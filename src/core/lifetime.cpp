@@ -1,0 +1,46 @@
+#include "core/lifetime.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace edm::core {
+
+LifetimeEstimate estimate_lifetime(std::span<const std::uint64_t> erase_counts,
+                                   double window_seconds,
+                                   const EnduranceModel& model) {
+  if (window_seconds <= 0.0) {
+    throw std::invalid_argument("estimate_lifetime: window must be > 0");
+  }
+  LifetimeEstimate out;
+  out.device_seconds.reserve(erase_counts.size());
+  const double budget = model.total_erase_budget();
+  double sum = 0.0;
+  std::size_t finite = 0;
+  for (const std::uint64_t erases : erase_counts) {
+    double life;
+    if (erases == 0) {
+      life = std::numeric_limits<double>::infinity();
+    } else {
+      const double rate = static_cast<double>(erases) / window_seconds;
+      life = budget / rate;
+      sum += life;
+      ++finite;
+    }
+    out.device_seconds.push_back(life);
+  }
+  if (out.device_seconds.empty()) return out;
+
+  std::vector<double> sorted = out.device_seconds;
+  std::sort(sorted.begin(), sorted.end());
+  out.first_failure_seconds = sorted.front();
+  out.first_to_second_gap_seconds =
+      sorted.size() > 1 ? sorted[1] - sorted[0] : 0.0;
+  out.mean_seconds = finite ? sum / static_cast<double>(finite) : 0.0;
+  out.balance_efficiency =
+      out.mean_seconds > 0.0 ? out.first_failure_seconds / out.mean_seconds
+                             : 0.0;
+  return out;
+}
+
+}  // namespace edm::core

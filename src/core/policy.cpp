@@ -1,0 +1,52 @@
+#include "core/policy.h"
+
+#include <stdexcept>
+
+#include "core/cdf_policy.h"
+#include "core/cmt_policy.h"
+#include "core/hdf_policy.h"
+
+namespace edm::core {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNone:
+      return "baseline";
+    case PolicyKind::kCmt:
+      return "CMT";
+    case PolicyKind::kHdf:
+      return "EDM-HDF";
+    case PolicyKind::kCdf:
+      return "EDM-CDF";
+  }
+  return "?";
+}
+
+PolicyKind policy_kind_from(const std::string& name) {
+  if (name == "baseline" || name == "none") return PolicyKind::kNone;
+  if (name == "cmt" || name == "CMT") return PolicyKind::kCmt;
+  if (name == "hdf" || name == "HDF" || name == "EDM-HDF") {
+    return PolicyKind::kHdf;
+  }
+  if (name == "cdf" || name == "CDF" || name == "EDM-CDF") {
+    return PolicyKind::kCdf;
+  }
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+std::unique_ptr<MigrationPolicy> make_policy(PolicyKind kind,
+                                             const PolicyConfig& config) {
+  switch (kind) {
+    case PolicyKind::kNone:
+      return nullptr;
+    case PolicyKind::kCmt:
+      return std::make_unique<CmtPolicy>(config);
+    case PolicyKind::kHdf:
+      return std::make_unique<HdfPolicy>(config);
+    case PolicyKind::kCdf:
+      return std::make_unique<CdfPolicy>(config);
+  }
+  throw std::invalid_argument("unknown policy kind");
+}
+
+}  // namespace edm::core

@@ -1,0 +1,90 @@
+// Migration policy interface and configuration.
+//
+// A policy is a pure planning function: ClusterView snapshot in, list of
+// (oid, src, dst) triples out.  Executing the plan (the actual object
+// shuffling and its I/O cost) is the data mover's job in the simulation
+// layer, mirroring the module split of the paper's architecture (Fig. 4:
+// wear monitor / access tracker / remapping manager / data mover).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/balance.h"
+#include "core/plan.h"
+#include "core/view.h"
+#include "core/wear_model.h"
+
+namespace edm::core {
+
+struct PolicyConfig {
+  /// Wear-imbalance trigger threshold lambda (paper SIII.B.2).
+  double lambda = 0.15;
+
+  /// Wear model parameters (Np from the flash geometry; sigma = 0.28).
+  WearModel model{32, 0.28};
+
+  /// Algorithm 1 parameters.
+  BalanceParams balance{};
+
+  /// CDF: objects whose total temperature is below this many accessed
+  /// pages *per object page* are "cold" candidates.  The threshold is
+  /// size-relative: an absolute cutoff would never classify a large object
+  /// as cold (a single stray read exceeds it), yet large cold objects are
+  /// exactly what CDF wants to move ("objects with the largest size are
+  /// first selected", SIII.B.5).
+  double cdf_cold_threshold = 0.5;
+
+  /// CDF: never migrate from a source below this utilization (paper: "we
+  /// never migrate a cold object from a source device whose disk
+  /// utilization is less than 50 percent").
+  double cdf_min_source_utilization = 0.50;
+
+  /// CMT: load-imbalance trigger threshold on the EWMA-latency load factor.
+  double cmt_theta = 0.10;
+
+  /// CMT: storage-usage imbalance (within a group) that triggers its
+  /// secondary capacity-balancing moves.
+  double cmt_usage_spread = 0.045;
+
+  /// Destinations may not be planned beyond this projected utilization.
+  double dest_utilization_cap = 0.90;
+};
+
+class MigrationPolicy {
+ public:
+  explicit MigrationPolicy(PolicyConfig config) : cfg_(config) {}
+  virtual ~MigrationPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Whether foreground requests touching an in-flight object must block
+  /// (paper SV.D: HDF blocks; CDF's cold objects are almost never accessed,
+  /// so it does not).
+  virtual bool blocks_foreground() const = 0;
+
+  /// Computes a migration plan.  When `force` is false the policy first
+  /// applies its own trigger condition and may return an empty plan; the
+  /// paper's evaluation forces one shuffle at the replay midpoint.
+  virtual MigrationPlan plan(const ClusterView& view, bool force) = 0;
+
+  const PolicyConfig& config() const { return cfg_; }
+
+  /// Swaps the wear model (online sigma re-calibration; see
+  /// core::SigmaEstimator).  Takes effect on the next plan() call.
+  void set_model(const WearModel& model) { cfg_.model = model; }
+
+ protected:
+  PolicyConfig cfg_;
+};
+
+enum class PolicyKind { kNone, kCmt, kHdf, kCdf };
+
+const char* to_string(PolicyKind kind);
+PolicyKind policy_kind_from(const std::string& name);
+
+/// Factory; kNone yields nullptr (the baseline system has no migration).
+std::unique_ptr<MigrationPolicy> make_policy(PolicyKind kind,
+                                             const PolicyConfig& config);
+
+}  // namespace edm::core

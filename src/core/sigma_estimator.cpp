@@ -1,0 +1,68 @@
+#include "core/sigma_estimator.h"
+
+#include <stdexcept>
+
+#include "core/wear_model.h"
+
+namespace edm::core {
+
+SigmaEstimator::SigmaEstimator(std::uint32_t pages_per_block, double initial,
+                               std::size_t capacity)
+    : np_(pages_per_block), initial_(initial), capacity_(capacity) {
+  if (np_ == 0) throw std::invalid_argument("SigmaEstimator: Np must be > 0");
+  if (capacity_ == 0) {
+    throw std::invalid_argument("SigmaEstimator: capacity must be > 0");
+  }
+  obs_.reserve(capacity_);
+}
+
+void SigmaEstimator::observe(double write_pages, double utilization,
+                             double erases) {
+  if (write_pages <= 0.0 || erases <= 0.0) return;  // no signal
+  if (utilization <= 0.0 || utilization > 1.0) return;
+  const Observation obs{write_pages, utilization, erases};
+  if (obs_.size() < capacity_) {
+    obs_.push_back(obs);
+  } else {
+    obs_[next_] = obs;
+    full_ = true;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+double SigmaEstimator::error(double sigma) const {
+  const WearModel model(np_, sigma);
+  double total = 0.0;
+  for (const auto& o : obs_) {
+    const double predicted = model.erase_count(o.wc, o.u);
+    const double rel = (predicted - o.ec) / o.ec;
+    total += rel * rel;
+  }
+  return total;
+}
+
+double SigmaEstimator::estimate() const {
+  if (obs_.size() < min_observations_) return initial_;
+  // Coarse grid over the plausible range, then one refinement pass.
+  double best_sigma = 0.0;
+  double best_err = error(0.0);
+  for (double sigma = 0.02; sigma <= 0.60; sigma += 0.02) {
+    const double e = error(sigma);
+    if (e < best_err) {
+      best_err = e;
+      best_sigma = sigma;
+    }
+  }
+  for (double sigma = best_sigma - 0.019; sigma <= best_sigma + 0.019;
+       sigma += 0.002) {
+    if (sigma < 0.0) continue;
+    const double e = error(sigma);
+    if (e < best_err) {
+      best_err = e;
+      best_sigma = sigma;
+    }
+  }
+  return best_sigma;
+}
+
+}  // namespace edm::core

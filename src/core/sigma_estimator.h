@@ -1,0 +1,58 @@
+// Online calibration of the wear model's impact factor sigma.
+//
+// The paper sets sigma = 0.28 empirically from offline trace simulation
+// (Fig. 3).  In a live cluster the same fit can be made online: every
+// monitoring window yields per-device observations (Wc, u, measured Ec),
+// and sigma is the single free parameter of Eq. 4 -- so a 1-D least-squares
+// fit over recent observations keeps the model matched to the workload as
+// it drifts.  This is a natural "future work" extension: EDM's movement
+// amounts are only as good as F(u).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace edm::core {
+
+class SigmaEstimator {
+ public:
+  /// `pages_per_block` is the device Np; `initial` is returned until
+  /// enough observations arrive; `capacity` bounds the observation window
+  /// (oldest evicted first).
+  explicit SigmaEstimator(std::uint32_t pages_per_block,
+                          double initial = 0.28, std::size_t capacity = 4096);
+
+  /// One device-window observation: host page writes, disk utilization and
+  /// the erases the device actually performed in the window.  Observations
+  /// with no writes or no erases carry no signal and are ignored.
+  void observe(double write_pages, double utilization, double erases);
+
+  /// Least-squares sigma over the current observation window (grid search
+  /// with refinement; sigma in [0, 0.6]).  Falls back to the initial value
+  /// with fewer than `min_observations` samples.
+  double estimate() const;
+
+  std::size_t observations() const { return obs_.size(); }
+  std::size_t min_observations() const { return min_observations_; }
+
+ private:
+  struct Observation {
+    double wc;
+    double u;
+    double ec;
+  };
+
+  /// Sum of squared relative prediction errors for a candidate sigma.
+  double error(double sigma) const;
+
+  std::uint32_t np_;
+  double initial_;
+  std::size_t capacity_;
+  std::size_t min_observations_ = 8;
+  std::vector<Observation> obs_;  // ring buffer
+  std::size_t next_ = 0;
+  bool full_ = false;
+};
+
+}  // namespace edm::core

@@ -1,0 +1,108 @@
+// Object temperature estimation (paper SIII.B.3, Definition 1).
+//
+// The time-line is split into fixed epochs; the temperature at epoch k is
+// T_k = sum_i A_i / 2^(k-i), maintained incrementally via the recurrence
+// T_k = T_{k-1}/2 + A_k (Eq. 6).  Accesses within the current epoch count
+// undamped; every epoch boundary halves all history.  Decay is applied
+// lazily per object (no O(objects) work at epoch boundaries).
+//
+// EDM keeps two temperatures per object: a write-only temperature (A_i =
+// write pages; what HDF ranks by) and a total temperature (A_i = read +
+// write pages; what CDF uses to find rarely-accessed objects).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/types.h"
+
+namespace edm::core {
+
+/// Single exponential-decay temperature map.
+class TemperatureTracker {
+ public:
+  /// Adds `amount` to the object's current-epoch accumulator A_k.
+  void record(ObjectId oid, double amount);
+
+  /// Moves to epoch k+1: all temperatures halve (lazily).
+  void advance_epoch() { ++epoch_; }
+
+  /// Temperature decayed to the current epoch; 0 for never-seen objects.
+  double temperature(ObjectId oid) const;
+
+  std::uint32_t epoch() const { return epoch_; }
+  std::size_t tracked_objects() const { return map_.size(); }
+
+  /// Drops entries whose decayed temperature falls below `floor` -- the
+  /// paper's memory-bound ("we cache only part of the objects' metadata in
+  /// memory"); cold entries are exactly the ones that no longer matter.
+  void evict_below(double floor);
+
+  /// Hard capacity bound: keeps (approximately) the `max_entries` hottest
+  /// entries, evicting from the cold end ("we only cache the k hottest
+  /// objects in memory for HDF", SIV).  0 = unbounded.  Enforcement is
+  /// amortised: call at epoch boundaries, not per access.
+  void enforce_capacity(std::size_t max_entries);
+
+ private:
+  struct Entry {
+    double temp = 0.0;        // temperature as of `epoch`
+    std::uint32_t epoch = 0;  // epoch the value is current for
+  };
+
+  static double decayed(const Entry& e, std::uint32_t now) {
+    const std::uint32_t delta = now - e.epoch;
+    if (delta >= 64) return 0.0;
+    return std::ldexp(e.temp, -static_cast<int>(delta));
+  }
+
+  std::unordered_map<ObjectId, Entry> map_;
+  std::uint32_t epoch_ = 0;
+};
+
+/// The per-OSD access tracker of the EDM architecture (Fig. 4): updates both
+/// temperatures on every read/write the OSD serves.
+class AccessTracker {
+ public:
+  /// `max_entries_per_map` bounds each temperature map's memory (0 =
+  /// unbounded); the coldest entries are shed at every epoch boundary.
+  explicit AccessTracker(std::size_t max_entries_per_map = 0)
+      : max_entries_(max_entries_per_map) {}
+
+  /// Records one object access of `pages` flash pages.
+  void on_access(ObjectId oid, std::uint32_t pages, bool is_write) {
+    total_.record(oid, pages);
+    if (is_write) write_.record(oid, pages);
+  }
+
+  /// Epoch boundary for both temperature maps (driven by the simulator's
+  /// per-minute tick).  Enforces the memory bound here, amortised.
+  void advance_epoch() {
+    write_.advance_epoch();
+    total_.advance_epoch();
+    if (max_entries_ != 0) {
+      write_.enforce_capacity(max_entries_);
+      total_.enforce_capacity(max_entries_);
+    }
+  }
+
+  double write_temperature(ObjectId oid) const {
+    return write_.temperature(oid);
+  }
+  double total_temperature(ObjectId oid) const {
+    return total_.temperature(oid);
+  }
+
+  TemperatureTracker& write_tracker() { return write_; }
+  TemperatureTracker& total_tracker() { return total_; }
+  const TemperatureTracker& write_tracker() const { return write_; }
+  const TemperatureTracker& total_tracker() const { return total_; }
+
+ private:
+  TemperatureTracker write_;
+  TemperatureTracker total_;
+  std::size_t max_entries_ = 0;
+};
+
+}  // namespace edm::core

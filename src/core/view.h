@@ -1,0 +1,50 @@
+// Read-only snapshot of cluster state consumed by migration policies.
+//
+// The simulator (or, in a real deployment, the MDS-side wear monitor)
+// assembles one of these before each migration decision; policies never
+// touch live cluster structures, which keeps planning a pure function of
+// the snapshot and trivially testable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "util/types.h"
+
+namespace edm::core {
+
+struct DeviceView {
+  OsdId id = 0;
+
+  /// Host page writes observed in the measurement window (Wc).
+  std::uint64_t write_pages = 0;
+
+  /// Disk utilization u in [0, 1] (allocated / capacity).
+  double utilization = 0.0;
+
+  /// EWMA of per-request I/O latency in us -- the CMT load factor.
+  double load_ewma_us = 0.0;
+
+  std::uint64_t capacity_pages = 0;
+  std::uint64_t free_pages = 0;
+};
+
+struct ObjectView {
+  ObjectId oid = 0;
+  std::uint32_t pages = 0;
+  double write_temp = 0.0;  // HDF ranking key
+  double total_temp = 0.0;  // CDF / CMT ranking key
+  bool remapped = false;    // already has a remapping-table entry
+};
+
+struct ClusterView {
+  std::vector<DeviceView> devices;
+  /// objects[d] lists the objects resident on devices[d] (same indexing).
+  std::vector<std::vector<ObjectView>> objects;
+  /// Placement geometry for the group constraint; non-owning, must outlive
+  /// planning.
+  const cluster::Placement* placement = nullptr;
+};
+
+}  // namespace edm::core

@@ -1,0 +1,54 @@
+#include "core/wear_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace edm::core {
+
+WearModel::WearModel(std::uint32_t pages_per_block, double sigma)
+    : np_(pages_per_block), sigma_(sigma) {
+  if (np_ == 0) throw std::invalid_argument("WearModel: Np must be > 0");
+  if (sigma_ < 0.0 || sigma_ >= 1.0) {
+    throw std::invalid_argument("WearModel: sigma must be in [0, 1)");
+  }
+}
+
+double WearModel::utilization_of_ur(double ur) const {
+  if (ur <= 0.0) return sigma_;
+  if (ur >= 1.0) return 1.0 + sigma_;
+  // (ur - 1) / ln(ur) is numerically stable away from 1; near 1 use the
+  // series limit (ur-1)/ln(ur) -> 1 + (ur-1)/2.
+  const double x = ur - 1.0;
+  if (std::abs(x) < 1e-9) return 1.0 + x / 2.0 + sigma_;
+  return x / std::log(ur) + sigma_;
+}
+
+double WearModel::ur_of_utilization(double u) const {
+  if (u <= utilization_of_ur(1e-12)) return 0.0;
+  if (u >= utilization_of_ur(kMaxUr)) return kMaxUr;
+  double lo = 1e-12;
+  double hi = kMaxUr;
+  // utilization_of_ur is strictly increasing; 60 bisection steps give full
+  // double precision over this interval.
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (utilization_of_ur(mid) < u) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double WearModel::erase_count(double write_pages, double u) const {
+  return erase_count_from_ur(write_pages, ur_of_utilization(u));
+}
+
+double WearModel::erase_count_from_ur(double write_pages, double ur) const {
+  if (ur > kMaxUr) ur = kMaxUr;
+  if (ur < 0.0) ur = 0.0;
+  return write_pages / (static_cast<double>(np_) * (1.0 - ur));
+}
+
+}  // namespace edm::core

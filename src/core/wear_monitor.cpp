@@ -1,0 +1,38 @@
+#include "core/wear_monitor.h"
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace edm::core {
+
+WearMonitor::WearMonitor(WearModel model, double lambda)
+    : model_(model), lambda_(lambda) {
+  if (lambda <= 0.0) {
+    throw std::invalid_argument("WearMonitor: lambda must be > 0");
+  }
+}
+
+WearAssessment WearMonitor::assess(std::span<const DeviceView> devices) const {
+  WearAssessment out;
+  out.erase_estimate.reserve(devices.size());
+  for (const auto& d : devices) {
+    out.erase_estimate.push_back(
+        model_.erase_count(static_cast<double>(d.write_pages), d.utilization));
+  }
+  const util::Summary s = util::summarize(out.erase_estimate);
+  out.mean = s.mean;
+  out.rsd = s.rsd;
+  out.imbalanced = s.rsd > lambda_;
+  for (std::uint32_t i = 0; i < devices.size(); ++i) {
+    const double ec = out.erase_estimate[i];
+    if (ec - out.mean > out.mean * lambda_) {
+      out.sources.push_back(i);
+    } else if (ec < out.mean) {
+      out.destinations.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace edm::core

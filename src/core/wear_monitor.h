@@ -1,0 +1,44 @@
+// Wear monitor (paper SIII.B.2 and Fig. 4): evaluates the per-device erase
+// estimate Ec(Wc_i, u_i) every tick and decides whether migration should
+// trigger.
+//
+// Trigger rule: significant wear imbalance means the relative standard
+// deviation sigma_e / mean(Ec) exceeds lambda.  A device is a migration
+// *source* when Ec_i - mean > mean * lambda, and a *destination* whenever
+// Ec_i < mean.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/view.h"
+#include "core/wear_model.h"
+#include "util/types.h"
+
+namespace edm::core {
+
+struct WearAssessment {
+  std::vector<double> erase_estimate;  // indexed like the input devices
+  double mean = 0.0;
+  double rsd = 0.0;
+  bool imbalanced = false;             // rsd > lambda
+  std::vector<std::uint32_t> sources;       // indices into the input span
+  std::vector<std::uint32_t> destinations;  // indices into the input span
+};
+
+class WearMonitor {
+ public:
+  WearMonitor(WearModel model, double lambda);
+
+  WearAssessment assess(std::span<const DeviceView> devices) const;
+
+  double lambda() const { return lambda_; }
+  const WearModel& model() const { return model_; }
+
+ private:
+  WearModel model_;
+  double lambda_;
+};
+
+}  // namespace edm::core

@@ -1,0 +1,50 @@
+#include "flash/config.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace edm::flash {
+
+std::uint64_t FlashConfig::logical_pages() const {
+  const auto physical = physical_pages();
+  auto logical = static_cast<std::uint64_t>(
+      std::floor(static_cast<double>(physical) * (1.0 - op_ratio)));
+  // GC needs spare blocks to relocate into; never expose them to the host.
+  const std::uint64_t reserved =
+      static_cast<std::uint64_t>(gc_low_water + 1) * pages_per_block;
+  if (physical <= reserved) return 0;
+  return std::min(logical, physical - reserved);
+}
+
+void FlashConfig::validate() const {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("FlashConfig: " + what);
+  };
+  if (page_size == 0) fail("page_size must be > 0");
+  if (pages_per_block == 0) fail("pages_per_block must be > 0");
+  if (num_blocks == 0) fail("num_blocks must be > 0");
+  if (op_ratio < 0.0 || op_ratio >= 1.0) fail("op_ratio must be in [0, 1)");
+  if (gc_low_water < 2) fail("gc_low_water must be >= 2");
+  if (num_channels == 0) fail("num_channels must be > 0");
+  if (logical_pages() == 0) {
+    fail("geometry leaves no logical capacity (too small or too much OP)");
+  }
+}
+
+FlashConfig FlashConfig::with_logical_capacity(std::uint64_t bytes) const {
+  FlashConfig out = *this;
+  const std::uint64_t wanted_pages = (bytes + page_size - 1) / page_size;
+  // logical = physical*(1-op) (minus reserve); solve for blocks and then
+  // nudge upward until the reserve constraint is also met.
+  auto blocks = static_cast<std::uint32_t>(std::ceil(
+      static_cast<double>(wanted_pages) /
+      ((1.0 - op_ratio) * pages_per_block)));
+  out.num_blocks = std::max(blocks, gc_low_water + 2);
+  while (out.logical_pages() < wanted_pages) ++out.num_blocks;
+  out.validate();
+  return out;
+}
+
+}  // namespace edm::flash

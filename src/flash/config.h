@@ -1,0 +1,86 @@
+// Flash device geometry and timing configuration.
+//
+// Defaults follow the paper's setup (SIV): 4 KB pages, 128 KB blocks
+// (32 pages/block), page read 25 us, page write 200 us, block erase 2 ms,
+// page-level FTL with greedy garbage collection.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace edm::flash {
+
+struct FlashConfig {
+  /// Bytes per flash page (read/program unit).
+  std::uint32_t page_size = 4096;
+
+  /// Pages per erase block.  32 x 4 KB = 128 KB blocks, as in the paper.
+  std::uint32_t pages_per_block = 32;
+
+  /// Total physical blocks in the device.
+  std::uint32_t num_blocks = 2048;
+
+  /// Over-provisioning ratio: fraction of physical pages hidden from the
+  /// logical address space.  Commodity SSDs reserve ~7%.
+  double op_ratio = 0.07;
+
+  /// Garbage collection starts when the free-block pool drops below this
+  /// many blocks, and runs until it is back above it.  Must be >= 2 so that
+  /// GC always has a relocation destination.
+  std::uint32_t gc_low_water = 4;
+
+  /// Device timing constants (simulated microseconds).
+  SimDuration page_read_us = 25;
+  SimDuration page_write_us = 200;
+  SimDuration block_erase_us = 2000;
+
+  /// Independent flash channels: a multi-page transfer overlaps across
+  /// channels, so an N-page range takes ceil(N/channels) page times of
+  /// wall clock (GC stalls stay serial -- the FTL blocks).  1 = the
+  /// paper's single-stream timing.
+  std::uint32_t num_channels = 1;
+
+  /// Hot/cold separation: when true, GC relocations are appended to their
+  /// own open block instead of the host log head.  Mixing relocated (cold,
+  /// long-lived) pages into the hot write stream is what drags the victim
+  /// valid ratio up under skewed workloads; a separate GC stream is the
+  /// classic FTL countermeasure.  Off by default -- the paper's page-level
+  /// FTL (flashsim-style) does not separate.
+  bool separate_gc_stream = false;
+
+  /// Victim selection policy.  kGreedy (the paper's assumption) always
+  /// erases the block with the fewest valid pages.  kCostBenefit weighs
+  /// reclaimable space against data age (Kawaguchi's score
+  /// age * (1-u)/(2u)) over a deterministic sample of candidates -- it
+  /// avoids repeatedly churning blocks that just stopped being written.
+  enum class GcPolicy : std::uint8_t { kGreedy = 0, kCostBenefit = 1 };
+  GcPolicy gc_policy = GcPolicy::kGreedy;
+
+  /// Candidates examined per cost-benefit selection (stride-sampled for
+  /// determinism).  Ignored under kGreedy.
+  std::uint32_t gc_sample_size = 64;
+
+  std::uint64_t physical_pages() const {
+    return static_cast<std::uint64_t>(num_blocks) * pages_per_block;
+  }
+
+  /// Pages exposed to the host.  Rounded down so at least gc_low_water + 1
+  /// blocks worth of slack always exists.
+  std::uint64_t logical_pages() const;
+
+  std::uint64_t logical_bytes() const { return logical_pages() * page_size; }
+  std::uint64_t block_bytes() const {
+    return static_cast<std::uint64_t>(pages_per_block) * page_size;
+  }
+
+  /// Throws std::invalid_argument when the geometry is unusable (e.g. no
+  /// over-provisioned slack for GC to make progress).
+  void validate() const;
+
+  /// Returns a config with num_blocks chosen so that logical capacity is at
+  /// least `bytes` (other fields copied from *this).
+  FlashConfig with_logical_capacity(std::uint64_t bytes) const;
+};
+
+}  // namespace edm::flash

@@ -1,0 +1,274 @@
+#include "flash/ssd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace edm::flash {
+
+Ssd::Ssd(FlashConfig config)
+    : config_(config),
+      l2p_(config.logical_pages(), kUnmapped),
+      p2l_(config.physical_pages(), kUnmapped),
+      blocks_(config.num_blocks),
+      victims_(config.num_blocks, config.pages_per_block),
+      block_erases_(config.num_blocks, 0) {
+  config_.validate();
+  free_blocks_.reserve(config_.num_blocks);
+  // Block 0 starts as the log head; the rest are free.  Push in reverse so
+  // blocks are consumed in ascending order (deterministic layouts in tests).
+  for (std::uint32_t b = config_.num_blocks; b-- > 1;) {
+    free_blocks_.push_back(b);
+  }
+  open_block_ = 0;
+  blocks_[0].open = true;
+}
+
+SimDuration Ssd::read(Lpn lpn) {
+  assert(lpn < l2p_.size());
+  ++stats_.host_page_reads;
+  stats_.busy_time_us += config_.page_read_us;
+  return config_.page_read_us;
+}
+
+SimDuration Ssd::write(Lpn lpn) {
+  assert(lpn < l2p_.size());
+  SimDuration elapsed = 0;
+  if (free_blocks_.size() < config_.gc_low_water) {
+    elapsed += collect_garbage();
+  }
+  invalidate(lpn);
+  append_page(lpn);
+  ++stats_.host_page_writes;
+  elapsed += config_.page_write_us;
+  stats_.busy_time_us += config_.page_write_us;  // GC added its own share.
+  return elapsed;
+}
+
+SimDuration Ssd::trim(Lpn lpn) {
+  assert(lpn < l2p_.size());
+  if (l2p_[lpn] != kUnmapped) {
+    invalidate(lpn);
+    ++stats_.trimmed_pages;
+  }
+  return 0;
+}
+
+SimDuration Ssd::read_range(Lpn first, std::uint32_t pages) {
+  SimDuration total = 0;
+  for (std::uint32_t i = 0; i < pages; ++i) total += read(first + i);
+  return channel_adjusted(total, pages, config_.page_read_us);
+}
+
+SimDuration Ssd::write_range(Lpn first, std::uint32_t pages) {
+  SimDuration total = 0;
+  for (std::uint32_t i = 0; i < pages; ++i) total += write(first + i);
+  return channel_adjusted(total, pages, config_.page_write_us);
+}
+
+SimDuration Ssd::channel_adjusted(SimDuration serial_total,
+                                  std::uint32_t pages,
+                                  SimDuration per_page) const {
+  if (config_.num_channels <= 1 || pages <= 1) return serial_total;
+  // Replace the serial transfer component with the channel-parallel wall
+  // time; GC stalls (included in serial_total) remain serial.
+  const std::uint32_t rounds =
+      (pages + config_.num_channels - 1) / config_.num_channels;
+  const SimDuration serial_transfer = per_page * pages;
+  const SimDuration parallel_transfer = per_page * rounds;
+  return serial_total - serial_transfer + parallel_transfer;
+}
+
+SimDuration Ssd::trim_range(Lpn first, std::uint32_t pages) {
+  SimDuration total = 0;
+  for (std::uint32_t i = 0; i < pages; ++i) total += trim(first + i);
+  return total;
+}
+
+double Ssd::physical_utilization() const {
+  return static_cast<double>(valid_pages_) /
+         static_cast<double>(config_.physical_pages());
+}
+
+double Ssd::logical_utilization() const {
+  return static_cast<double>(valid_pages_) /
+         static_cast<double>(config_.logical_pages());
+}
+
+SimDuration Ssd::prefill() {
+  SimDuration total = 0;
+  const auto pages = static_cast<Lpn>(config_.logical_pages());
+  for (Lpn lpn = 0; lpn < pages; ++lpn) total += write(lpn);
+  return total;
+}
+
+Ppn Ssd::append_page(Lpn lpn, bool gc_stream) {
+  const bool use_gc_stream = gc_stream && config_.separate_gc_stream;
+  std::uint32_t* head_id = use_gc_stream ? &gc_open_block_ : &open_block_;
+
+  auto pop_free = [this]() -> std::uint32_t {
+    if (free_blocks_.empty()) {
+      // Unreachable by construction: gc_low_water >= 2 keeps a reserve.
+      throw std::logic_error("Ssd: free-block pool exhausted");
+    }
+    const std::uint32_t block = free_blocks_.back();
+    free_blocks_.pop_back();
+    blocks_[block].open = true;
+    return block;
+  };
+
+  if (*head_id == kNoBlock) {
+    *head_id = pop_free();  // GC stream opens lazily on first relocation
+  } else if (blocks_[*head_id].write_ptr == config_.pages_per_block) {
+    // Retire the full log head into the GC candidate set.
+    blocks_[*head_id].open = false;
+    blocks_[*head_id].sealed_at = write_clock_;
+    victims_.insert(*head_id, blocks_[*head_id].valid);
+    *head_id = pop_free();
+  }
+  Block& head = blocks_[*head_id];
+  const Ppn ppn = *head_id * config_.pages_per_block + head.write_ptr;
+  ++head.write_ptr;
+  ++head.valid;
+  ++write_clock_;
+  p2l_[ppn] = lpn;
+  l2p_[lpn] = ppn;
+  ++valid_pages_;
+  return ppn;
+}
+
+std::int64_t Ssd::pick_victim() {
+  if (config_.gc_policy == FlashConfig::GcPolicy::kGreedy) {
+    return victims_.min_valid_block();
+  }
+  // Cost-benefit: score = age * (1 - u) / (2u), evaluated over a
+  // deterministic stride sample of sealed blocks; empty blocks are free
+  // wins and taken immediately.
+  std::int64_t best = -1;
+  double best_score = -1.0;
+  std::uint32_t examined = 0;
+  const std::uint32_t total = config_.num_blocks;
+  for (std::uint32_t step = 0;
+       step < total && examined < config_.gc_sample_size; ++step) {
+    const std::uint32_t b = scan_cursor_;
+    scan_cursor_ = (scan_cursor_ + 1) % total;
+    if (!victims_.contains(b)) continue;
+    ++examined;
+    const Block& block = blocks_[b];
+    if (block.valid == 0) return b;  // nothing to relocate
+    const double u = static_cast<double>(block.valid) /
+                     static_cast<double>(config_.pages_per_block);
+    const double age =
+        static_cast<double>(write_clock_ - block.sealed_at) + 1.0;
+    const double score = age * (1.0 - u) / (2.0 * u);
+    if (score > best_score) {
+      best_score = score;
+      best = b;
+    }
+  }
+  if (best < 0) return victims_.min_valid_block();  // sample missed: fall back
+  return best;
+}
+
+SimDuration Ssd::collect_garbage() {
+  assert(!gc_active_);
+  gc_active_ = true;
+  SimDuration elapsed = 0;
+  while (free_blocks_.size() < config_.gc_low_water) {
+    const std::int64_t victim = pick_victim();
+    if (victim < 0) break;  // Nothing reclaimable (tiny-device corner).
+    const auto vb = static_cast<std::uint32_t>(victim);
+    victims_.remove(vb);
+    const std::uint32_t victim_valid = blocks_[vb].valid;
+    stats_.victim_valid_pages += victim_valid;
+
+    // Relocate surviving pages to the log head.
+    const Ppn base = vb * config_.pages_per_block;
+    for (std::uint32_t i = 0;
+         i < config_.pages_per_block && blocks_[vb].valid > 0; ++i) {
+      const Ppn ppn = base + i;
+      const Lpn lpn = p2l_[ppn];
+      if (lpn == kUnmapped) continue;
+      p2l_[ppn] = kUnmapped;
+      --blocks_[vb].valid;
+      --valid_pages_;
+      append_page(lpn, /*gc_stream=*/true);
+      ++stats_.gc_page_moves;
+      elapsed += config_.page_read_us + config_.page_write_us;
+    }
+
+    // Erase and return to the free pool.
+    blocks_[vb] = Block{};
+    free_blocks_.push_back(vb);
+    ++stats_.erase_count;
+    ++block_erases_[vb];
+    elapsed += config_.block_erase_us;
+  }
+  stats_.busy_time_us += elapsed;
+  gc_active_ = false;
+  return elapsed;
+}
+
+Ssd::BlockWear Ssd::block_wear() const {
+  BlockWear out;
+  if (block_erases_.empty()) return out;
+  out.min_erases = block_erases_[0];
+  double sum = 0.0;
+  double sq = 0.0;
+  for (const std::uint64_t e : block_erases_) {
+    out.max_erases = std::max(out.max_erases, e);
+    out.min_erases = std::min(out.min_erases, e);
+    sum += static_cast<double>(e);
+    sq += static_cast<double>(e) * static_cast<double>(e);
+  }
+  const auto n = static_cast<double>(block_erases_.size());
+  out.mean_erases = sum / n;
+  const double var = sq / n - out.mean_erases * out.mean_erases;
+  out.rsd = out.mean_erases > 0.0
+                ? std::sqrt(std::max(0.0, var)) / out.mean_erases
+                : 0.0;
+  return out;
+}
+
+void Ssd::invalidate(Lpn lpn) {
+  const Ppn ppn = l2p_[lpn];
+  if (ppn == kUnmapped) return;
+  l2p_[lpn] = kUnmapped;
+  p2l_[ppn] = kUnmapped;
+  const std::uint32_t blk = block_of(ppn);
+  --blocks_[blk].valid;
+  --valid_pages_;
+  if (victims_.contains(blk)) {
+    victims_.update(blk, blocks_[blk].valid);
+  }
+}
+
+bool Ssd::check_invariants() const {
+  std::vector<std::uint32_t> valid_by_block(config_.num_blocks, 0);
+  std::uint64_t total_valid = 0;
+  for (Lpn lpn = 0; lpn < l2p_.size(); ++lpn) {
+    const Ppn ppn = l2p_[lpn];
+    if (ppn == kUnmapped) continue;
+    if (ppn >= p2l_.size() || p2l_[ppn] != lpn) return false;
+    ++valid_by_block[block_of(ppn)];
+    ++total_valid;
+  }
+  if (total_valid != valid_pages_) return false;
+  for (std::uint32_t b = 0; b < config_.num_blocks; ++b) {
+    if (blocks_[b].valid != valid_by_block[b]) return false;
+    if (blocks_[b].write_ptr > config_.pages_per_block) return false;
+    if (blocks_[b].valid > blocks_[b].write_ptr) return false;
+  }
+  // Free blocks must be fully clean.
+  for (std::uint32_t b : free_blocks_) {
+    if (blocks_[b].valid != 0 || blocks_[b].write_ptr != 0) return false;
+    if (blocks_[b].open) return false;
+  }
+  if (gc_open_block_ != kNoBlock && !blocks_[gc_open_block_].open) {
+    return false;
+  }
+  return blocks_[open_block_].open;
+}
+
+}  // namespace edm::flash

@@ -1,0 +1,148 @@
+// NAND flash SSD simulator with a page-level FTL (Kawaguchi-style mapping,
+// the scheme the paper's OSDs run) and greedy garbage collection.
+//
+// Behavioural model:
+//  * Reads and writes are page-granular; the host addresses logical pages.
+//  * Writes are out-of-place: the old physical page is invalidated and the
+//    data is appended to the open block (log-structured).
+//  * When the free-block pool drops below the low-water mark, GC repeatedly
+//    erases the full block with the fewest valid pages, first relocating its
+//    valid pages to the log head.  GC time is charged to the host write that
+//    triggered it -- this is the "GC blocks normal I/O" effect the paper's
+//    load model is built on.
+//  * trim() invalidates pages without writing, used when an object migrates
+//    away from a device.
+//
+// All operations return their service time so a discrete-event layer can
+// queue them; the device itself is passive (no internal clock).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/config.h"
+#include "flash/stats.h"
+#include "flash/victim_queue.h"
+#include "util/types.h"
+
+namespace edm::flash {
+
+class Ssd {
+ public:
+  explicit Ssd(FlashConfig config);
+
+  /// Reads one logical page.  Unmapped pages still cost a page read (the
+  /// device returns zeroes); this matches reading pre-created sparse files.
+  SimDuration read(Lpn lpn);
+
+  /// Writes one logical page, running GC first if the pool is low.  The
+  /// returned duration includes any GC stall incurred.
+  SimDuration write(Lpn lpn);
+
+  /// Invalidates one logical page if mapped.  Treated as a metadata-only
+  /// operation (zero device time), like an ATA TRIM.
+  SimDuration trim(Lpn lpn);
+
+  /// Range helpers; durations accumulate per page.
+  SimDuration read_range(Lpn first, std::uint32_t pages);
+  SimDuration write_range(Lpn first, std::uint32_t pages);
+  SimDuration trim_range(Lpn first, std::uint32_t pages);
+
+  bool is_mapped(Lpn lpn) const { return l2p_[lpn] != kUnmapped; }
+
+  /// Live data as a fraction of *physical* capacity -- the "u" that drives
+  /// GC efficiency (paper Eq. 2/3 territory).
+  double physical_utilization() const;
+
+  /// Live data as a fraction of *logical* capacity -- what a file system
+  /// observes as disk usage.
+  double logical_utilization() const;
+
+  std::uint64_t valid_pages() const { return valid_pages_; }
+  std::uint32_t free_blocks() const {
+    return static_cast<std::uint32_t>(free_blocks_.size());
+  }
+
+  const FlashConfig& config() const { return config_; }
+  const FlashStats& stats() const { return stats_; }
+
+  /// Zeroes the counters while keeping the mapping state.  Used after the
+  /// steady-state pre-fill so measurements exclude the warm-up (paper SIV:
+  /// "to skip the cold-start ... dummy data ... are first written").
+  void reset_stats() { stats_ = FlashStats{}; }
+
+  /// Writes every logical page once in LPN order: the paper's dummy-data
+  /// fill.  Returns total device time consumed.
+  SimDuration prefill();
+
+  /// Per-block wear distribution (lifetime, not reset by reset_stats):
+  /// greedy GC concentrates erases on the blocks that happen to host hot
+  /// data, so the device-internal spread shows how much a real FTL's
+  /// static wear levelling would have to fix.
+  struct BlockWear {
+    std::uint64_t max_erases = 0;
+    std::uint64_t min_erases = 0;
+    double mean_erases = 0.0;
+    double rsd = 0.0;  // stddev/mean across blocks
+  };
+  BlockWear block_wear() const;
+  std::uint64_t block_erases(std::uint32_t block) const {
+    return block_erases_[block];
+  }
+
+  /// Internal-consistency audit used by tests: recomputes valid counts from
+  /// the mapping and cross-checks every block's bookkeeping.  Returns true
+  /// when consistent.
+  bool check_invariants() const;
+
+ private:
+  static constexpr Ppn kUnmapped = 0xFFFFFFFFu;
+
+  struct Block {
+    std::uint32_t valid = 0;        // valid pages in this block
+    std::uint32_t write_ptr = 0;    // next free page slot
+    bool open = false;              // currently the log head
+    std::uint64_t sealed_at = 0;    // write clock when the block filled
+  };
+
+  std::uint32_t block_of(Ppn ppn) const { return ppn / config_.pages_per_block; }
+
+  /// Appends a page to a log head (the host stream, or the GC stream when
+  /// `gc_stream` and the config separates them), opening a fresh block when
+  /// needed.  Precondition: a free page exists (GC policy + reserve).
+  Ppn append_page(Lpn lpn, bool gc_stream = false);
+
+  /// Runs GC until the free pool is back above the low-water mark.
+  /// Returns the time spent (valid-page relocations + erases).
+  SimDuration collect_garbage();
+
+  /// Victim choice under the configured policy; -1 when no candidate.
+  std::int64_t pick_victim();
+
+  /// Converts a serial per-page duration sum into the channel-parallel
+  /// wall-clock time for an N-page transfer (GC components stay serial).
+  SimDuration channel_adjusted(SimDuration serial_total, std::uint32_t pages,
+                               SimDuration per_page) const;
+
+  /// Invalidates the physical page currently mapped to `lpn`, if any.
+  void invalidate(Lpn lpn);
+
+  FlashConfig config_;
+  FlashStats stats_;
+
+  std::vector<Ppn> l2p_;              // logical -> physical page
+  std::vector<Lpn> p2l_;              // physical -> logical page (for GC)
+  std::vector<Block> blocks_;
+  std::vector<std::uint32_t> free_blocks_;  // stack of free block ids
+  VictimQueue victims_;               // full blocks, by valid count
+  std::uint32_t open_block_ = 0;
+  static constexpr std::uint32_t kNoBlock = 0xFFFFFFFFu;
+  std::uint32_t gc_open_block_ = kNoBlock;  // lazily opened GC stream head
+  std::uint64_t valid_pages_ = 0;
+  std::vector<std::uint64_t> block_erases_;  // lifetime, per block
+  std::uint64_t write_clock_ = 0;  // host+GC pages programmed (age base)
+  std::uint32_t scan_cursor_ = 0;  // cost-benefit stride-sampling cursor
+  bool gc_active_ = false;  // re-entrancy guard: GC writes must not trigger GC
+};
+
+}  // namespace edm::flash

@@ -1,0 +1,47 @@
+// Wear and traffic counters exported by the flash simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace edm::flash {
+
+struct FlashStats {
+  /// Host-issued page reads / page writes (Wc in the paper's wear model).
+  std::uint64_t host_page_reads = 0;
+  std::uint64_t host_page_writes = 0;
+
+  /// Pages relocated by garbage collection (the write-amplification tax).
+  std::uint64_t gc_page_moves = 0;
+
+  /// Block erase operations (Ec in the paper's wear model).
+  std::uint64_t erase_count = 0;
+
+  /// Sum of valid-page counts over all GC victim blocks; divided by
+  /// erase_count * pages_per_block this is the *measured* u_r of Fig. 3.
+  std::uint64_t victim_valid_pages = 0;
+
+  /// Trimmed (explicitly invalidated) pages.
+  std::uint64_t trimmed_pages = 0;
+
+  /// Total device busy time attributable to host ops, including GC stalls
+  /// charged to the write that triggered them.
+  SimDuration busy_time_us = 0;
+
+  /// Mean valid ratio of GC victim blocks (u_r).  0 when no GC has run.
+  double measured_ur(std::uint32_t pages_per_block) const {
+    if (erase_count == 0) return 0.0;
+    return static_cast<double>(victim_valid_pages) /
+           (static_cast<double>(erase_count) * pages_per_block);
+  }
+
+  /// (host writes + GC moves) / host writes.  1.0 when no GC has run.
+  double write_amplification() const {
+    if (host_page_writes == 0) return 1.0;
+    return static_cast<double>(host_page_writes + gc_page_moves) /
+           static_cast<double>(host_page_writes);
+  }
+};
+
+}  // namespace edm::flash

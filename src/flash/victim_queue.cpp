@@ -1,0 +1,61 @@
+#include "flash/victim_queue.h"
+
+#include <cassert>
+
+namespace edm::flash {
+
+VictimQueue::VictimQueue(std::uint32_t num_blocks,
+                         std::uint32_t pages_per_block)
+    : buckets_(pages_per_block + 1),
+      position_(num_blocks, kAbsent),
+      bucket_of_(num_blocks, 0) {}
+
+void VictimQueue::insert(std::uint32_t block, std::uint32_t valid_count) {
+  assert(position_[block] == kAbsent);
+  assert(valid_count < buckets_.size());
+  auto& bucket = buckets_[valid_count];
+  position_[block] = static_cast<std::uint32_t>(bucket.size());
+  bucket_of_[block] = valid_count;
+  bucket.push_back(block);
+  ++size_;
+  if (valid_count < min_hint_) min_hint_ = valid_count;
+}
+
+void VictimQueue::remove(std::uint32_t block) {
+  assert(position_[block] != kAbsent);
+  auto& bucket = buckets_[bucket_of_[block]];
+  const std::uint32_t pos = position_[block];
+  const std::uint32_t last = bucket.back();
+  bucket[pos] = last;
+  position_[last] = pos;
+  bucket.pop_back();
+  position_[block] = kAbsent;
+  --size_;
+}
+
+void VictimQueue::update(std::uint32_t block, std::uint32_t new_valid_count) {
+  if (bucket_of_[block] == new_valid_count) return;
+  remove(block);
+  insert(block, new_valid_count);
+}
+
+std::int64_t VictimQueue::min_valid_block() const {
+  if (size_ == 0) return -1;
+  for (std::uint32_t b = min_hint_; b < buckets_.size(); ++b) {
+    if (!buckets_[b].empty()) {
+      min_hint_ = b;
+      return buckets_[b].front();
+    }
+  }
+  // Unreachable when size_ > 0, but keep the hint consistent.
+  min_hint_ = 0;
+  for (std::uint32_t b = 0; b < buckets_.size(); ++b) {
+    if (!buckets_[b].empty()) {
+      min_hint_ = b;
+      return buckets_[b].front();
+    }
+  }
+  return -1;
+}
+
+}  // namespace edm::flash

@@ -1,0 +1,49 @@
+// Constant-time greedy victim selection for garbage collection.
+//
+// The greedy policy (Chang et al., the policy the paper assumes) always
+// erases the full block with the fewest valid pages.  A linear scan per GC
+// would make long replays quadratic, so we bucket candidate blocks by valid
+// count: selection pops from the lowest non-empty bucket, and valid-count
+// changes move a block between buckets in O(1) via swap-remove.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace edm::flash {
+
+class VictimQueue {
+ public:
+  /// `num_blocks` total blocks, valid counts in [0, pages_per_block].
+  VictimQueue(std::uint32_t num_blocks, std::uint32_t pages_per_block);
+
+  /// Registers a block as a GC candidate with the given valid count.
+  /// Precondition: the block is not currently a candidate.
+  void insert(std::uint32_t block, std::uint32_t valid_count);
+
+  /// Unregisters a candidate block (when erased or reopened for writes).
+  void remove(std::uint32_t block);
+
+  /// Adjusts a candidate's valid count (page invalidation during updates).
+  void update(std::uint32_t block, std::uint32_t new_valid_count);
+
+  /// Returns the candidate with the minimum valid count, or -1 if empty.
+  /// Does not remove it.
+  std::int64_t min_valid_block() const;
+
+  bool contains(std::uint32_t block) const {
+    return position_[block] != kAbsent;
+  }
+  std::uint32_t size() const { return size_; }
+
+ private:
+  static constexpr std::uint32_t kAbsent = 0xFFFFFFFFu;
+
+  std::vector<std::vector<std::uint32_t>> buckets_;  // by valid count
+  std::vector<std::uint32_t> position_;   // block -> index in its bucket
+  std::vector<std::uint32_t> bucket_of_;  // block -> bucket id
+  std::uint32_t size_ = 0;
+  mutable std::uint32_t min_hint_ = 0;  // lowest possibly-non-empty bucket
+};
+
+}  // namespace edm::flash

@@ -1,0 +1,57 @@
+// Deterministic discrete-event queue.
+//
+// Ties on time break by insertion sequence, which makes every simulation
+// run bit-reproducible regardless of platform or optimisation level.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/types.h"
+
+namespace edm::sim {
+
+enum class EventKind : std::uint8_t {
+  kOsdComplete = 0,   // payload = osd id
+  kEpochTick = 1,     // temperature epoch boundary / wear-monitor check
+  kMoverResume = 2,   // payload = mover lane id (bandwidth pacing)
+};
+
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+  EventKind kind = EventKind::kOsdComplete;
+  std::uint64_t payload = 0;
+};
+
+class EventQueue {
+ public:
+  void push(SimTime time, EventKind kind, std::uint64_t payload) {
+    heap_.push(Event{time, next_seq_++, kind, payload});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+  const Event& peek() const { return heap_.top(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace edm::sim

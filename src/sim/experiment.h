@@ -1,0 +1,76 @@
+// One-call experiment execution: workload profile in, RunResult out.
+//
+// This is the top of the public API -- every bench binary and example is a
+// thin wrapper around run_experiment()/run_grid().  A cell fully describes
+// one bar/point of a paper figure: (trace, policy, cluster size).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "trace/profile.h"
+
+namespace edm::sim {
+
+struct ExperimentConfig {
+  /// Workload profile name ("home02" ... "lair62b", "random").
+  std::string trace_name = "home02";
+
+  /// Linear scale on file/op counts.  1.0 = the paper's Table I counts;
+  /// benches default to 0.1 for minutes-not-hours grids -- also the
+  /// calibrated operating point (see EXPERIMENTS.md "Scale sensitivity").
+  double scale = 0.1;
+
+  /// XORed into the workload profile's seed: run the same cell over
+  /// several seeds to separate conclusions from generator luck.
+  std::uint64_t trace_seed_offset = 0;
+
+  std::uint32_t num_osds = 16;
+  std::uint32_t num_groups = 4;       // m (paper: 4)
+  std::uint32_t objects_per_file = 4; // k (paper: 4)
+
+  /// Weighted grouping (paper SIII.D); overrides num_osds/num_groups when
+  /// non-empty.  See ClusterConfig::group_sizes.
+  std::vector<std::uint32_t> group_sizes;
+
+  /// Load-generating clients; paper: half the OSD count.  0 = auto.
+  std::uint16_t num_clients = 0;
+
+  core::PolicyKind policy = core::PolicyKind::kNone;
+  core::PolicyConfig policy_config;
+
+  SimConfig sim;
+
+  /// Epoch/window lengths scale with the trace by default so that reduced
+  /// replays still see multiple epochs; set to false to use sim.* verbatim.
+  bool scale_time_windows = true;
+
+  /// Flash geometry template (page size, block size, latencies).
+  flash::FlashConfig flash;
+
+  /// Max post-population utilization (paper: ~70%).
+  double target_max_utilization = 0.76;
+};
+
+/// Runs one cell: generates the trace, builds + populates the cluster,
+/// replays under the configured policy, returns metrics.
+RunResult run_experiment(const ExperimentConfig& config);
+
+/// Variant reusing a pre-generated trace (grid cells share workloads).
+RunResult run_experiment(const ExperimentConfig& config,
+                         const trace::Trace& trace);
+
+/// Runs cells concurrently on a thread pool (one DES per worker; the DES
+/// itself stays single-threaded).  Results are in input order.
+std::vector<RunResult> run_grid(const std::vector<ExperimentConfig>& cells,
+                                std::size_t threads = 0);
+
+/// Applies derived defaults (clients, scaled windows, policy Np) without
+/// running; exposed so tests can assert the derivation rules.
+ExperimentConfig finalize(const ExperimentConfig& config);
+
+}  // namespace edm::sim

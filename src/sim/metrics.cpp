@@ -1,0 +1,25 @@
+#include "sim/metrics.h"
+
+namespace edm::sim {
+
+std::uint64_t RunResult::aggregate_erases() const {
+  std::uint64_t total = 0;
+  for (const auto& o : per_osd) total += o.flash.erase_count;
+  return total;
+}
+
+std::uint64_t RunResult::aggregate_host_writes() const {
+  std::uint64_t total = 0;
+  for (const auto& o : per_osd) total += o.flash.host_page_writes;
+  return total;
+}
+
+double RunResult::erase_rsd() const {
+  util::StreamingStats s;
+  for (const auto& o : per_osd) {
+    s.add(static_cast<double>(o.flash.erase_count));
+  }
+  return s.rsd();
+}
+
+}  // namespace edm::sim

@@ -1,0 +1,91 @@
+// Per-run measurement output: everything the paper's figures consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flash/stats.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace edm::sim {
+
+/// One point of the Fig. 7 response-time timeline: ops completed in
+/// [window_start, window_end) and their mean response time.
+struct ResponseWindow {
+  SimTime window_start = 0;
+  std::uint64_t completed_ops = 0;
+  double mean_response_us = 0.0;
+};
+
+struct OsdMetrics {
+  flash::FlashStats flash;        // erase count, page writes, GC moves...
+  double utilization = 0.0;       // final disk utilization
+  double load_ewma_us = 0.0;      // final load factor
+  std::uint64_t requests_served = 0;
+  SimDuration busy_us = 0;        // total service time on this OSD
+};
+
+struct MigrationMetrics {
+  std::uint64_t planned_objects = 0;
+  std::uint64_t moved_objects = 0;   // completed (Fig. 8 numerator)
+  std::uint64_t skipped_objects = 0; // destination full / raced
+  std::uint64_t moved_pages = 0;
+  SimTime started_at = 0;
+  SimTime finished_at = 0;
+  std::size_t remap_table_size = 0;  // final (Fig. 8 overhead proxy)
+  std::uint64_t triggers = 0;        // times a non-empty plan was produced
+};
+
+/// Degraded-mode accounting when a failure was injected.
+struct DegradedMetrics {
+  std::int32_t failed_osd = -1;       // -1 = no failure injected
+  SimTime failed_at = 0;
+  std::uint64_t degraded_reads = 0;   // reads served via k-1 peer reads
+  std::uint64_t lost_writes = 0;      // writes to the dead device
+  std::uint64_t unavailable = 0;      // requests no redundancy could serve
+};
+
+struct RunResult {
+  std::string trace_name;
+  std::string policy_name;
+  std::uint32_t num_osds = 0;
+
+  // --- Fig. 5: aggregate throughput ---
+  std::uint64_t completed_ops = 0;  // file operations (open/close/read/write)
+  SimTime makespan_us = 0;
+  double throughput_ops_per_sec() const {
+    return makespan_us
+               ? static_cast<double>(completed_ops) * 1e6 /
+                     static_cast<double>(makespan_us)
+               : 0.0;
+  }
+
+  // --- Fig. 6 / Fig. 1: wear ---
+  std::vector<OsdMetrics> per_osd;
+  std::uint64_t aggregate_erases() const;
+  std::uint64_t aggregate_host_writes() const;
+  double erase_rsd() const;  // wear-variance measure across OSDs
+
+  // --- Fig. 7: response-time timeline ---
+  std::vector<ResponseWindow> response_timeline;
+  util::LogHistogram response_histogram;  // all-ops latency distribution
+  double mean_response_us = 0.0;
+
+  // --- Fig. 8 / migration cost ---
+  MigrationMetrics migration;
+
+  // --- failure injection (SIII.D experiments) ---
+  DegradedMetrics degraded;
+
+  std::uint64_t total_objects = 0;
+  double moved_object_fraction() const {
+    return total_objects ? static_cast<double>(migration.moved_objects) /
+                               static_cast<double>(total_objects)
+                         : 0.0;
+  }
+};
+
+}  // namespace edm::sim

@@ -1,0 +1,212 @@
+#include "sim/report.h"
+
+#include <cmath>
+#include <ostream>
+
+#include "util/table.h"
+
+namespace edm::sim {
+
+namespace {
+
+/// JSON-safe number: maps non-finite values to 0 (our metrics never
+/// legitimately produce them, but JSON cannot carry them at all).
+double safe(double v) { return std::isfinite(v) ? v : 0.0; }
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object() {
+    separator();
+    os_ << '{';
+    first_ = true;
+  }
+  void end_object() {
+    os_ << '}';
+    first_ = false;
+  }
+  void begin_array(const char* key) {
+    separator();
+    write_key(key);
+    os_ << '[';
+    first_ = true;
+  }
+  void end_array() {
+    os_ << ']';
+    first_ = false;
+  }
+  void field(const char* key, double value) {
+    separator();
+    write_key(key);
+    os_ << safe(value);
+  }
+  void field(const char* key, std::uint64_t value) {
+    separator();
+    write_key(key);
+    os_ << value;
+  }
+  void field(const char* key, const std::string& value) {
+    separator();
+    write_key(key);
+    os_ << '"';
+    for (char c : value) {
+      if (c == '"' || c == '\\') os_ << '\\';
+      os_ << c;
+    }
+    os_ << '"';
+  }
+  void key(const char* k) {
+    separator();
+    write_key(k);
+    first_ = true;  // next begin_object must not emit a comma
+  }
+
+ private:
+  void separator() {
+    if (!first_) os_ << ',';
+    first_ = false;
+  }
+  void write_key(const char* k) { os_ << '"' << k << "\":"; }
+
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_report(const RunResult& r, std::ostream& os, bool per_osd,
+                  bool timeline) {
+  using util::Table;
+  os << "== " << r.policy_name << " on " << r.trace_name << " ("
+     << r.num_osds << " OSDs) ==\n"
+     << "completed_ops:   " << r.completed_ops << "\n"
+     << "makespan:        " << Table::num(static_cast<double>(r.makespan_us) / 1e6, 2)
+     << " s\n"
+     << "throughput:      " << Table::num(r.throughput_ops_per_sec(), 0)
+     << " ops/s\n"
+     << "mean_rt:         " << Table::num(r.mean_response_us / 1000.0, 2)
+     << " ms (p99 "
+     << Table::num(r.response_histogram.quantile(0.99) / 1000.0, 2)
+     << " ms)\n"
+     << "aggregate_erases: " << r.aggregate_erases() << " (RSD "
+     << Table::num(r.erase_rsd(), 3) << ")\n"
+     << "migration:       triggers=" << r.migration.triggers
+     << " moved=" << r.migration.moved_objects << "/"
+     << r.migration.planned_objects << " planned, "
+     << r.migration.moved_pages << " pages, remap="
+     << r.migration.remap_table_size << " entries\n";
+  if (r.degraded.failed_osd >= 0) {
+    os << "degraded:        osd " << r.degraded.failed_osd << " failed at "
+       << Table::num(static_cast<double>(r.degraded.failed_at) / 1e6, 1)
+       << " s; " << r.degraded.degraded_reads << " reconstructed reads, "
+       << r.degraded.lost_writes << " lost writes, "
+       << r.degraded.unavailable << " unavailable\n";
+  }
+
+  if (per_osd) {
+    Table t({"osd", "erases", "host_writes", "gc_moves", "util", "served",
+             "busy(s)"});
+    for (std::size_t i = 0; i < r.per_osd.size(); ++i) {
+      const auto& o = r.per_osd[i];
+      t.add_row({
+          std::to_string(i),
+          Table::num(o.flash.erase_count),
+          Table::num(o.flash.host_page_writes),
+          Table::num(o.flash.gc_page_moves),
+          Table::num(o.utilization, 3),
+          Table::num(o.requests_served),
+          Table::num(static_cast<double>(o.busy_us) / 1e6, 2),
+      });
+    }
+    os << '\n';
+    t.print(os);
+  }
+  if (timeline && !r.response_timeline.empty()) {
+    Table t({"t(s)", "ops", "mean_rt(ms)"});
+    for (const auto& w : r.response_timeline) {
+      t.add_row({
+          Table::num(static_cast<double>(w.window_start) / 1e6, 1),
+          Table::num(w.completed_ops),
+          Table::num(w.mean_response_us / 1000.0, 2),
+      });
+    }
+    os << '\n';
+    t.print(os);
+  }
+}
+
+void write_json(const RunResult& r, std::ostream& os) {
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", std::string("edm-run-result/1"));
+  json.field("trace", r.trace_name);
+  json.field("policy", r.policy_name);
+  json.field("num_osds", std::uint64_t{r.num_osds});
+
+  json.key("summary");
+  json.begin_object();
+  json.field("completed_ops", r.completed_ops);
+  json.field("makespan_us", r.makespan_us);
+  json.field("throughput_ops_per_sec", r.throughput_ops_per_sec());
+  json.field("mean_response_us", r.mean_response_us);
+  json.field("p99_response_us", r.response_histogram.quantile(0.99));
+  json.field("aggregate_erases", r.aggregate_erases());
+  json.field("aggregate_host_writes", r.aggregate_host_writes());
+  json.field("erase_rsd", r.erase_rsd());
+  json.field("total_objects", r.total_objects);
+  json.end_object();
+
+  json.key("migration");
+  json.begin_object();
+  json.field("triggers", r.migration.triggers);
+  json.field("planned_objects", r.migration.planned_objects);
+  json.field("moved_objects", r.migration.moved_objects);
+  json.field("skipped_objects", r.migration.skipped_objects);
+  json.field("moved_pages", r.migration.moved_pages);
+  json.field("moved_fraction", r.moved_object_fraction());
+  json.field("remap_table_size",
+             std::uint64_t{r.migration.remap_table_size});
+  json.field("started_at_us", r.migration.started_at);
+  json.field("finished_at_us", r.migration.finished_at);
+  json.end_object();
+
+  json.key("degraded");
+  json.begin_object();
+  json.field("failed_osd",
+             static_cast<double>(r.degraded.failed_osd));
+  json.field("failed_at_us", r.degraded.failed_at);
+  json.field("degraded_reads", r.degraded.degraded_reads);
+  json.field("lost_writes", r.degraded.lost_writes);
+  json.field("unavailable", r.degraded.unavailable);
+  json.end_object();
+
+  json.begin_array("per_osd");
+  for (const auto& o : r.per_osd) {
+    json.begin_object();
+    json.field("erases", o.flash.erase_count);
+    json.field("host_page_writes", o.flash.host_page_writes);
+    json.field("host_page_reads", o.flash.host_page_reads);
+    json.field("gc_page_moves", o.flash.gc_page_moves);
+    json.field("write_amplification", o.flash.write_amplification());
+    json.field("utilization", o.utilization);
+    json.field("requests_served", o.requests_served);
+    json.field("busy_us", o.busy_us);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.begin_array("timeline");
+  for (const auto& w : r.response_timeline) {
+    json.begin_object();
+    json.field("window_start_us", w.window_start);
+    json.field("completed_ops", w.completed_ops);
+    json.field("mean_response_us", w.mean_response_us);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  os << '\n';
+}
+
+}  // namespace edm::sim

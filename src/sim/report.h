@@ -1,0 +1,22 @@
+// Run-result reporting: human-readable summary and machine-readable JSON.
+//
+// The JSON shape is stable and versioned so downstream tooling (plotting,
+// regression tracking) can consume simulator output without scraping
+// tables.
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/metrics.h"
+
+namespace edm::sim {
+
+/// Pretty multi-section report (summary, migration, per-OSD, timeline).
+void write_report(const RunResult& result, std::ostream& os,
+                  bool per_osd = true, bool timeline = true);
+
+/// Single JSON object: {schema, summary{...}, migration{...}, per_osd[...],
+/// timeline[...]}.  Always emits every field; numbers only (no NaN/inf).
+void write_json(const RunResult& result, std::ostream& os);
+
+}  // namespace edm::sim

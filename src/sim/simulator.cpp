@@ -1,0 +1,487 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace edm::sim {
+
+Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
+                     const trace::Trace& trace, core::MigrationPolicy* policy)
+    : cfg_(config),
+      cluster_(cluster),
+      trace_(trace),
+      policy_(policy),
+      tracker_(config.temperature_cache_entries) {
+  if (cfg_.num_clients == 0) {
+    throw std::invalid_argument("SimConfig: num_clients must be > 0");
+  }
+  if (cfg_.mover_concurrency == 0 || cfg_.mover_chunk_pages == 0) {
+    throw std::invalid_argument("SimConfig: mover parameters must be > 0");
+  }
+  servers_.reserve(cluster_.num_osds());
+  for (std::uint32_t i = 0; i < cluster_.num_osds(); ++i) {
+    servers_.emplace_back(cfg_.load_ewma_alpha);
+  }
+  // Assign records to replay lanes by the trace's client tag, folded onto
+  // the configured client count ("all trace records of multiple users are
+  // evenly assigned to each client").
+  clients_.resize(cfg_.num_clients);
+  for (std::uint32_t r = 0; r < trace_.records.size(); ++r) {
+    clients_[trace_.records[r].client % cfg_.num_clients].records.push_back(r);
+  }
+  lanes_.resize(cfg_.mover_concurrency);
+  if (cfg_.adaptive_sigma && policy_ != nullptr) {
+    sigma_estimator_ = std::make_unique<core::SigmaEstimator>(
+        cluster_.config().flash.pages_per_block,
+        policy_->config().model.sigma());
+    wear_snapshots_.resize(cluster_.num_osds());
+  }
+}
+
+double Simulator::current_sigma() const {
+  if (sigma_estimator_) return sigma_estimator_->estimate();
+  return policy_ ? policy_->config().model.sigma() : 0.28;
+}
+
+RunResult Simulator::run() {
+  if (ran_) throw std::logic_error("Simulator::run() called twice");
+  ran_ = true;
+
+  // Kick off every replay lane at t = 0.
+  for (std::uint16_t c = 0; c < clients_.size(); ++c) {
+    if (clients_[c].records.empty()) {
+      clients_[c].done = true;
+      continue;
+    }
+    ++active_clients_;
+  }
+  for (std::uint16_t c = 0; c < clients_.size(); ++c) {
+    if (!clients_[c].done) fill_client_window(c, 0);
+  }
+  if (clients_active() || mover_active()) {
+    events_.push(cfg_.epoch_length_us, EventKind::kEpochTick, 0);
+    epoch_tick_scheduled_ = true;
+  }
+
+  while (!events_.empty()) {
+    const Event e = events_.pop();
+    switch (e.kind) {
+      case EventKind::kOsdComplete:
+        on_osd_complete(static_cast<OsdId>(e.payload), e.time);
+        break;
+      case EventKind::kEpochTick:
+        on_epoch_tick(e.time);
+        break;
+      case EventKind::kMoverResume: {
+        const auto lane_id = static_cast<std::uint16_t>(e.payload);
+        if (lanes_[lane_id].active) {
+          issue_mover_chunk(lane_id, e.time);
+        } else {
+          advance_lane(lane_id, e.time);
+        }
+        break;
+      }
+    }
+  }
+  if (clients_active() || mover_active()) {
+    throw std::logic_error(
+        "Simulator: event queue drained with work outstanding (deadlock)");
+  }
+
+  // --- assemble results ---
+  RunResult out;
+  out.trace_name = trace_.name;
+  out.policy_name = policy_ ? policy_->name() : "baseline";
+  out.num_osds = cluster_.num_osds();
+  out.completed_ops = completed_ops_;
+  out.makespan_us = last_completion_;
+  out.total_objects = cluster_.object_count();
+
+  out.per_osd.resize(servers_.size());
+  for (std::uint32_t i = 0; i < servers_.size(); ++i) {
+    out.per_osd[i].flash = cluster_.osd(i).flash_stats();
+    out.per_osd[i].utilization = cluster_.osd(i).utilization();
+    out.per_osd[i].load_ewma_us = servers_[i].load.value();
+    out.per_osd[i].requests_served = servers_[i].served;
+    out.per_osd[i].busy_us = servers_[i].busy_us;
+  }
+
+  out.response_timeline.reserve(window_count_.size());
+  for (std::size_t w = 0; w < window_count_.size(); ++w) {
+    ResponseWindow rw;
+    rw.window_start = static_cast<SimTime>(w) * cfg_.response_window_us;
+    rw.completed_ops = window_count_[w];
+    rw.mean_response_us =
+        window_count_[w] ? window_sum_us_[w] / static_cast<double>(window_count_[w])
+                         : 0.0;
+    out.response_timeline.push_back(rw);
+  }
+  out.response_histogram = response_hist_;
+  out.mean_response_us = response_stats_.mean();
+
+  migration_.remap_table_size = cluster_.remap().size();
+  out.migration = migration_;
+
+  degraded_.degraded_reads = cluster_.degraded_reads();
+  degraded_.lost_writes = cluster_.lost_writes();
+  degraded_.unavailable = cluster_.unavailable_requests();
+  out.degraded = degraded_;
+  return out;
+}
+
+// ---------------------------------------------------------------- clients
+
+std::uint32_t Simulator::alloc_op(std::uint16_t client_id, SimTime now) {
+  std::uint32_t id;
+  if (!free_ops_.empty()) {
+    id = free_ops_.back();
+    free_ops_.pop_back();
+  } else {
+    id = static_cast<std::uint32_t>(ops_.size());
+    ops_.emplace_back();
+  }
+  ops_[id] = OpState{client_id, 0, now};
+  return id;
+}
+
+void Simulator::release_op(std::uint32_t op_id) { free_ops_.push_back(op_id); }
+
+void Simulator::fill_client_window(std::uint16_t client_id, SimTime now) {
+  Client& c = clients_[client_id];
+  while (c.in_flight < cfg_.client_queue_depth &&
+         c.cursor < c.records.size()) {
+    const trace::Record& rec = trace_.records[c.records[c.cursor]];
+    ++c.cursor;
+    ++issued_records_;
+    maybe_trigger_midpoint(now);
+    maybe_inject_failure(now);
+
+    io_scratch_.clear();
+    cluster_.map_request(rec, io_scratch_);
+    if (io_scratch_.empty()) {
+      // Metadata-only op (open/close): completes immediately.
+      ++completed_ops_;
+      record_response(now, 0);
+      continue;
+    }
+    const std::uint32_t op_id = alloc_op(client_id, now);
+    ops_[op_id].outstanding = static_cast<std::uint32_t>(io_scratch_.size());
+    ++c.in_flight;
+    for (const auto& io : io_scratch_) {
+      tracker_.on_access(io.oid, io.pages, io.is_write);
+      enqueue({SubRequest::Kind::kClient, op_id, io, now}, now);
+    }
+  }
+  if (c.cursor >= c.records.size() && c.in_flight == 0 && !c.done) {
+    c.done = true;
+    --active_clients_;
+  }
+}
+
+// ------------------------------------------------------------ OSD service
+
+void Simulator::enqueue(SubRequest req, SimTime now) {
+  const OsdId osd = req.io.osd;
+  servers_[osd].queue.push_back(std::move(req));
+  dispatch(osd, now);
+}
+
+void Simulator::dispatch(OsdId osd, SimTime now) {
+  OsdServer& s = servers_[osd];
+  while (!s.busy && !s.queue.empty()) {
+    SubRequest req = std::move(s.queue.front());
+    s.queue.pop_front();
+    if (req.kind == SubRequest::Kind::kClient &&
+        blocked_.count(req.io.oid) != 0) {
+      // Foreground access to an object being moved by a blocking policy:
+      // park until the move completes (paper SV.D).
+      parked_[req.io.oid].push_back(std::move(req));
+      continue;
+    }
+    if (req.kind == SubRequest::Kind::kClient) {
+      // The object may have migrated while this request sat in the queue
+      // (non-blocking CDF moves).  The MDS redirects it to the object's
+      // current OSD rather than dropping it on the floor.
+      const OsdId current = cluster_.locate(req.io.oid);
+      if (current != osd) {
+        req.io.osd = current;
+        servers_[current].queue.push_back(std::move(req));
+        dispatch(current, now);
+        continue;
+      }
+    }
+    const SimDuration service = cfg_.request_overhead_us + execute(req.io);
+    s.busy = true;
+    s.busy_us += service;
+    s.current = std::move(req);
+    events_.push(now + service, EventKind::kOsdComplete, osd);
+  }
+}
+
+SimDuration Simulator::execute(const cluster::OsdIo& io) {
+  cluster::Osd& osd = cluster_.osd(io.osd);
+  return io.is_write ? osd.write(io.oid, io.first_page, io.pages)
+                     : osd.read(io.oid, io.first_page, io.pages);
+}
+
+void Simulator::on_osd_complete(OsdId osd, SimTime now) {
+  OsdServer& s = servers_[osd];
+  assert(s.busy);
+  s.busy = false;
+  const SubRequest req = std::move(s.current);
+  s.load.add(static_cast<double>(now - req.enqueue_time));
+  ++s.served;
+
+  if (req.kind == SubRequest::Kind::kClient) {
+    OpState& op = ops_[req.owner];
+    assert(op.outstanding > 0);
+    if (--op.outstanding == 0) {
+      ++completed_ops_;
+      record_response(now, now - op.start);
+      Client& c = clients_[op.client];
+      assert(c.in_flight > 0);
+      --c.in_flight;
+      const std::uint16_t client_id = op.client;
+      release_op(req.owner);
+      fill_client_window(client_id, now);
+    }
+  } else {
+    on_mover_chunk_complete(req, now);
+  }
+  dispatch(osd, now);
+}
+
+// -------------------------------------------------------------- migration
+
+void Simulator::maybe_inject_failure(SimTime now) {
+  if (cfg_.fail_osd < 0 || failure_injected_) return;
+  if (static_cast<double>(issued_records_) <
+      cfg_.fail_at_fraction * static_cast<double>(trace_.records.size())) {
+    return;
+  }
+  failure_injected_ = true;
+  cluster_.fail_osd(static_cast<OsdId>(cfg_.fail_osd));
+  degraded_.failed_osd = cfg_.fail_osd;
+  degraded_.failed_at = now;
+}
+
+void Simulator::maybe_trigger_midpoint(SimTime now) {
+  if (cfg_.trigger != MigrationTrigger::kForcedMidpoint || midpoint_fired_) {
+    return;
+  }
+  if (issued_records_ * 2 < trace_.records.size()) return;
+  midpoint_fired_ = true;
+  start_migration(now, /*force=*/true);
+}
+
+void Simulator::start_migration(SimTime now, bool force) {
+  if (policy_ == nullptr) return;
+  if (mover_active()) return;  // one shuffle at a time
+  if (sigma_estimator_ &&
+      sigma_estimator_->observations() >=
+          sigma_estimator_->min_observations()) {
+    policy_->set_model(core::WearModel(
+        cluster_.config().flash.pages_per_block,
+        sigma_estimator_->estimate()));
+  }
+  const core::ClusterView view = build_view();
+  core::MigrationPlan plan = policy_->plan(view, force);
+  if (plan.empty()) return;
+  ++migration_.triggers;
+  migration_.planned_objects += plan.actions.size();
+  if (migration_.started_at == 0) migration_.started_at = now;
+  epochs_since_migration_ = 0;
+
+  // Triples are distributed over the mover lanes; a blocking policy blocks
+  // each object while its own copy is in flight (blocking the whole plan
+  // from shuffle start would stall the hottest objects for the entire
+  // shuffle, which at full trace scale can be minutes).
+  for (std::size_t i = 0; i < plan.actions.size(); ++i) {
+    lanes_[i % lanes_.size()].actions.push_back(plan.actions[i]);
+  }
+  for (std::uint16_t lane = 0; lane < lanes_.size(); ++lane) {
+    advance_lane(lane, now);
+  }
+}
+
+void Simulator::advance_lane(std::uint16_t lane_id, SimTime now) {
+  MoverLane& lane = lanes_[lane_id];
+  while (!lane.active && !lane.actions.empty()) {
+    const core::MigrationAction action = lane.actions.front();
+    lane.actions.pop_front();
+    if (!cluster_.begin_migration(action.oid, action.destination)) {
+      ++migration_.skipped_objects;
+      continue;
+    }
+    if (policy_ != nullptr && policy_->blocks_foreground()) {
+      blocked_.insert(action.oid);
+    }
+    lane.active = true;
+    lane.current = action;
+    lane.current.pages = cluster_.osd(action.source).object_pages(action.oid);
+    lane.pages_done = 0;
+    lane.writing = false;
+    issue_mover_chunk(lane_id, now);
+  }
+  if (!mover_active() && migration_.started_at != 0) {
+    migration_.finished_at = now;
+  }
+}
+
+void Simulator::issue_mover_chunk(std::uint16_t lane_id, SimTime now) {
+  MoverLane& lane = lanes_[lane_id];
+  lane.chunk_pages =
+      std::min(cfg_.mover_chunk_pages, lane.current.pages - lane.pages_done);
+  cluster::OsdIo io;
+  io.osd = lane.writing ? lane.current.destination : lane.current.source;
+  io.oid = lane.current.oid;
+  io.first_page = lane.pages_done;
+  io.pages = lane.chunk_pages;
+  io.is_write = lane.writing;
+  enqueue({SubRequest::Kind::kMover, lane_id, io, now}, now);
+}
+
+void Simulator::on_mover_chunk_complete(const SubRequest& req, SimTime now) {
+  const std::uint16_t lane_id = req.owner;
+  MoverLane& lane = lanes_[lane_id];
+  if (!lane.writing) {
+    // Read chunk landed.  Bandwidth pacing: the chunk crosses the mover's
+    // (network-limited) pipe before it can be written to the destination.
+    lane.writing = true;
+    SimDuration pace = 0;
+    if (cfg_.mover_lane_mbps > 0.0) {
+      const double bytes = static_cast<double>(lane.chunk_pages) *
+                           cluster_.config().flash.page_size;
+      pace = static_cast<SimDuration>(bytes / cfg_.mover_lane_mbps);  // us
+    }
+    if (pace > 0) {
+      events_.push(now + pace, EventKind::kMoverResume, lane_id);
+    } else {
+      issue_mover_chunk(lane_id, now);
+    }
+    return;
+  }
+  // Write chunk landed.
+  lane.pages_done += lane.chunk_pages;
+  lane.writing = false;
+  if (lane.pages_done < lane.current.pages) {
+    issue_mover_chunk(lane_id, now);
+    return;
+  }
+
+  // Object fully copied: switch location, release any parked requests.
+  const ObjectId oid = lane.current.oid;
+  cluster_.complete_migration(oid);
+  ++migration_.moved_objects;
+  migration_.moved_pages += lane.current.pages;
+  release_blocked(oid, now);
+  lane.active = false;
+  advance_lane(lane_id, now);
+}
+
+void Simulator::release_blocked(ObjectId oid, SimTime now) {
+  blocked_.erase(oid);
+  if (auto it = parked_.find(oid); it != parked_.end()) {
+    std::vector<SubRequest> waiters = std::move(it->second);
+    parked_.erase(it);
+    for (SubRequest& w : waiters) {
+      w.io.osd = cluster_.locate(oid);  // object's current home
+      enqueue(std::move(w), now);
+    }
+  }
+}
+
+bool Simulator::mover_active() const {
+  for (const auto& lane : lanes_) {
+    if (lane.active || !lane.actions.empty()) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------ bookkeeping
+
+void Simulator::on_epoch_tick(SimTime now) {
+  epoch_tick_scheduled_ = false;
+  tracker_.advance_epoch();
+  ++epochs_since_migration_;
+  if (sigma_estimator_) {
+    // Feed the estimator the per-device wear deltas of this epoch.
+    for (OsdId i = 0; i < cluster_.num_osds(); ++i) {
+      const auto& stats = cluster_.osd(i).flash_stats();
+      WearSnapshot& snap = wear_snapshots_[i];
+      const auto d_erases = stats.erase_count - snap.erases;
+      const auto d_writes = stats.host_page_writes - snap.writes;
+      sigma_estimator_->observe(static_cast<double>(d_writes),
+                                cluster_.osd(i).utilization(),
+                                static_cast<double>(d_erases));
+      snap = {stats.erase_count, stats.host_page_writes};
+    }
+  }
+  if (cfg_.trigger == MigrationTrigger::kMonitor && clients_active() &&
+      !mover_active() &&
+      epochs_since_migration_ >= cfg_.monitor_cooldown_epochs) {
+    start_migration(now, /*force=*/false);
+  }
+  if (clients_active() || mover_active()) {
+    events_.push(now + cfg_.epoch_length_us, EventKind::kEpochTick, 0);
+    epoch_tick_scheduled_ = true;
+  }
+}
+
+void Simulator::record_response(SimTime now, SimDuration response_us) {
+  // Makespan = last *file operation* completion: the replay is over when
+  // the workload is served, not when the mover drains its backlog.
+  last_completion_ = std::max(last_completion_, now);
+  response_stats_.add(static_cast<double>(response_us));
+  response_hist_.add(response_us);
+  const std::size_t window =
+      static_cast<std::size_t>(now / cfg_.response_window_us);
+  if (window >= window_count_.size()) {
+    window_count_.resize(window + 1, 0);
+    window_sum_us_.resize(window + 1, 0.0);
+  }
+  ++window_count_[window];
+  window_sum_us_[window] += static_cast<double>(response_us);
+}
+
+core::ClusterView Simulator::build_view() const {
+  core::ClusterView view;
+  view.placement = &cluster_.placement();
+  view.devices.reserve(cluster_.num_osds());
+  view.objects.resize(cluster_.num_osds());
+  for (OsdId i = 0; i < cluster_.num_osds(); ++i) {
+    const cluster::Osd& osd = cluster_.osd(i);
+    core::DeviceView d;
+    d.id = i;
+    d.write_pages = osd.flash_stats().host_page_writes;
+    d.utilization = osd.utilization();
+    d.load_ewma_us = servers_[i].load.value();
+    d.capacity_pages = osd.capacity_pages();
+    d.free_pages = osd.free_pages();
+    view.devices.push_back(d);
+
+    auto& objs = view.objects[i];
+    objs.reserve(osd.store().object_count());
+    osd.store().for_each_object([&](ObjectId oid) {
+      if (cluster_.migration_in_flight(oid)) return;  // skip mid-move copies
+      core::ObjectView o;
+      o.oid = oid;
+      o.pages = osd.object_pages(oid);
+      o.write_temp = tracker_.write_temperature(oid);
+      o.total_temp = tracker_.total_temperature(oid);
+      o.remapped = cluster_.remap().contains(oid);
+      objs.push_back(o);
+    });
+    // Deterministic order regardless of hash-map iteration.
+    std::sort(objs.begin(), objs.end(),
+              [](const core::ObjectView& a, const core::ObjectView& b) {
+                return a.oid < b.oid;
+              });
+  }
+  return view;
+}
+
+}  // namespace edm::sim

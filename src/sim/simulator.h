@@ -1,0 +1,244 @@
+// Discrete-event storage-cluster simulator.
+//
+// Reproduces the paper's measurement setup (SIV/SV):
+//  * Closed-loop clients replay their share of the trace records; each file
+//    operation fans out into per-OSD object page I/O via the cluster's
+//    RAID-5 mapping, and the next record is issued when the previous
+//    operation fully completes.
+//  * Every OSD services its queue serially ("osc-osd ... handles them
+//    serially"); the per-request service time is a fixed software/network
+//    overhead plus the flash simulator's device time, which includes GC
+//    stalls.
+//  * The data mover executes a migration plan on `mover_concurrency`
+//    parallel lanes; its chunked reads/writes share the OSD queues with
+//    foreground traffic.  Policies that move hot data (HDF, CMT) block
+//    foreground requests to in-flight objects -- the Fig. 7 spike;
+//    CDF only competes for bandwidth.
+//  * An epoch tick advances object-temperature decay every simulated
+//    minute and, in monitor mode, evaluates the wear-imbalance trigger.
+//
+// The simulator is single-threaded and fully deterministic; parallelism
+// lives one level up, across independent experiment cells.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/policy.h"
+#include "core/sigma_estimator.h"
+#include "core/temperature.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "trace/record.h"
+#include "util/ewma.h"
+#include "util/types.h"
+
+namespace edm::sim {
+
+enum class MigrationTrigger {
+  kNone,            // baseline: never migrate
+  kForcedMidpoint,  // one forced shuffle when half the records are issued
+  kMonitor,         // wear monitor decides at every epoch tick
+};
+
+struct SimConfig {
+  std::uint16_t num_clients = 8;
+
+  /// Concurrent file operations per client (the paper's replayer is
+  /// multi-threaded).  Depth > 1 is what lets a hot OSD actually build a
+  /// queue -- the congestion migration is supposed to relieve.
+  std::uint32_t client_queue_depth = 8;
+
+  /// Software + network time per OSD sub-request on top of device time.
+  SimDuration request_overhead_us = 100;
+
+  /// Temperature epoch length; the paper evaluates the wear model "every
+  /// minute".
+  SimDuration epoch_length_us = 60 * 1000 * 1000;
+
+  /// Fig. 7 aggregation window ("average response time for file operations
+  /// served in the past 3 minutes").
+  SimDuration response_window_us = 180ull * 1000 * 1000;
+
+  MigrationTrigger trigger = MigrationTrigger::kForcedMidpoint;
+
+  /// Epoch ticks between monitor-initiated migrations (damping).
+  std::uint32_t monitor_cooldown_epochs = 5;
+
+  std::uint32_t mover_concurrency = 4;   // parallel migration streams
+  std::uint32_t mover_chunk_pages = 256; // pages per mover sub-request
+
+  /// Per-lane mover throughput cap in MB/s (0 = device-speed, unthrottled).
+  /// The real data mover copies objects through the network + OSD protocol
+  /// stack; 8 MB/s per lane (32 MB/s aggregate) is a conservative share of
+  /// a GbE cluster under foreground load.  The fig7 bench slows this down
+  /// to stretch the migration phase across its measurement windows.
+  double mover_lane_mbps = 8.0;
+
+  /// CMT load-factor smoothing.  Small alpha = long effective window
+  /// (~1/alpha requests); a twitchy load factor mis-ranks devices.
+  double load_ewma_alpha = 0.002;
+
+  /// Memory bound of the access tracker's temperature maps, in entries per
+  /// map (paper SIV: "we cache only part of the objects' metadata in
+  /// memory").  0 = unbounded.
+  std::size_t temperature_cache_entries = 0;
+
+  /// Online sigma calibration: every epoch, per-device (Wc, u, Ec)
+  /// observations feed a SigmaEstimator, and the policy's wear model is
+  /// refit before each migration decision.  Extension beyond the paper's
+  /// fixed sigma = 0.28.
+  bool adaptive_sigma = false;
+
+  /// Failure injection: fail this OSD when `fail_at_fraction` of the
+  /// records have been issued (-1 = no injection).  The replay continues
+  /// in degraded mode: reads of its objects reconstruct from RAID-5 peers,
+  /// writes to it are lost (counted), and unreconstructable requests are
+  /// dropped -- see cluster degraded-mode accounting.
+  std::int32_t fail_osd = -1;
+  double fail_at_fraction = 0.5;
+};
+
+class Simulator {
+ public:
+  /// `policy` may be null (baseline).  Cluster and trace must outlive run().
+  Simulator(SimConfig config, cluster::Cluster& cluster,
+            const trace::Trace& trace, core::MigrationPolicy* policy);
+
+  /// Runs the replay to completion and returns the collected metrics.
+  /// Must be called at most once per Simulator instance.
+  RunResult run();
+
+  /// Snapshot assembly, exposed for tests and for out-of-band planning.
+  core::ClusterView build_view() const;
+
+  const core::AccessTracker& access_tracker() const { return tracker_; }
+
+  /// Last sigma handed to the policy (adaptive mode), else the configured
+  /// value.
+  double current_sigma() const;
+
+ private:
+  struct SubRequest {
+    enum class Kind : std::uint8_t { kClient, kMover };
+    Kind kind = Kind::kClient;
+    std::uint32_t owner = 0;  // op-slot index or mover lane id
+    cluster::OsdIo io;
+    SimTime enqueue_time = 0;
+  };
+
+  /// One in-flight file operation (a client may have several).
+  struct OpState {
+    std::uint16_t client = 0;
+    std::uint32_t outstanding = 0;
+    SimTime start = 0;
+  };
+
+  struct OsdServer {
+    std::deque<SubRequest> queue;
+    bool busy = false;
+    SubRequest current;
+    util::Ewma load;
+    std::uint64_t served = 0;
+    SimDuration busy_us = 0;  // total service time (overhead + device)
+    explicit OsdServer(double alpha) : load(alpha) {}
+  };
+
+  struct Client {
+    std::vector<std::uint32_t> records;  // indices into trace records
+    std::size_t cursor = 0;
+    std::uint32_t in_flight = 0;  // ops currently outstanding
+    bool done = false;
+  };
+
+  struct MoverLane {
+    std::deque<core::MigrationAction> actions;
+    bool active = false;
+    core::MigrationAction current;
+    std::uint32_t pages_done = 0;
+    std::uint32_t chunk_pages = 0;
+    bool writing = false;
+  };
+
+  // --- client side ---
+  void fill_client_window(std::uint16_t client_id, SimTime now);
+  std::uint32_t alloc_op(std::uint16_t client_id, SimTime now);
+  void release_op(std::uint32_t op_id);
+
+  // --- OSD service ---
+  void enqueue(SubRequest req, SimTime now);
+  void dispatch(OsdId osd, SimTime now);
+  void on_osd_complete(OsdId osd, SimTime now);
+  SimDuration execute(const cluster::OsdIo& io);
+
+  // --- failure injection ---
+  void maybe_inject_failure(SimTime now);
+
+  // --- migration ---
+  void maybe_trigger_midpoint(SimTime now);
+  void start_migration(SimTime now, bool force);
+  void advance_lane(std::uint16_t lane_id, SimTime now);
+  void issue_mover_chunk(std::uint16_t lane_id, SimTime now);
+  void on_mover_chunk_complete(const SubRequest& req, SimTime now);
+  void release_blocked(ObjectId oid, SimTime now);
+  bool mover_active() const;
+
+  // --- bookkeeping ---
+  void on_epoch_tick(SimTime now);
+  void record_response(SimTime now, SimDuration response_us);
+  bool clients_active() const { return active_clients_ > 0; }
+
+  SimConfig cfg_;
+  cluster::Cluster& cluster_;
+  const trace::Trace& trace_;
+  core::MigrationPolicy* policy_;
+
+  EventQueue events_;
+  std::vector<OsdServer> servers_;
+  std::vector<Client> clients_;
+  std::vector<MoverLane> lanes_;
+  std::vector<OpState> ops_;          // op-slot pool
+  std::vector<std::uint32_t> free_ops_;
+  core::AccessTracker tracker_;
+
+  // Adaptive-sigma state: per-device counters at the previous epoch tick.
+  struct WearSnapshot {
+    std::uint64_t erases = 0;
+    std::uint64_t writes = 0;
+  };
+  std::unique_ptr<core::SigmaEstimator> sigma_estimator_;
+  std::vector<WearSnapshot> wear_snapshots_;
+
+  /// Objects whose foreground access must block (HDF/CMT during movement).
+  std::unordered_set<ObjectId> blocked_;
+  std::unordered_map<ObjectId, std::vector<SubRequest>> parked_;
+
+  std::uint64_t issued_records_ = 0;
+  std::uint64_t completed_ops_ = 0;
+  std::uint32_t active_clients_ = 0;
+  bool midpoint_fired_ = false;
+  std::uint32_t epochs_since_migration_ = 0;
+  bool epoch_tick_scheduled_ = false;
+  SimTime last_completion_ = 0;
+  bool ran_ = false;
+
+  // response-time accounting
+  std::vector<std::uint64_t> window_count_;
+  std::vector<double> window_sum_us_;
+  util::StreamingStats response_stats_;
+  util::LogHistogram response_hist_;
+
+  MigrationMetrics migration_;
+  DegradedMetrics degraded_;
+  bool failure_injected_ = false;
+
+  // scratch to avoid per-op allocation
+  std::vector<cluster::OsdIo> io_scratch_;
+};
+
+}  // namespace edm::sim

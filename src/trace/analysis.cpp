@@ -1,0 +1,155 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace edm::trace {
+
+namespace {
+
+/// Share of `total` held by the top `fraction` of the sorted-descending
+/// values.
+double top_share(const std::vector<double>& sorted_desc, double total,
+                 double fraction) {
+  if (sorted_desc.empty() || total <= 0.0) return 0.0;
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(fraction * sorted_desc.size()));
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k && i < sorted_desc.size(); ++i) {
+    sum += sorted_desc[i];
+  }
+  return sum / total;
+}
+
+double gini(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double total = std::accumulate(values.begin(), values.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * values[i];
+  }
+  const double n = static_cast<double>(values.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+/// Pearson correlation of ranks (= Spearman for distinct-ish values).
+double rank_correlation(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  if (n < 2) return 0.0;
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<std::size_t> idx(v.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t x, std::size_t y) { return v[x] < v[y]; });
+    std::vector<double> r(v.size());
+    for (std::size_t pos = 0; pos < idx.size(); ++pos) {
+      r[idx[pos]] = static_cast<double>(pos);
+    }
+    return r;
+  };
+  const auto ra = ranks(a);
+  const auto rb = ranks(b);
+  double ma = 0;
+  double mb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0;
+  double va = 0;
+  double vb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (ra[i] - ma) * (rb[i] - mb);
+    va += (ra[i] - ma) * (ra[i] - ma);
+    vb += (rb[i] - mb) * (rb[i] - mb);
+  }
+  if (va <= 0 || vb <= 0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace
+
+SkewAnalysis analyze_skew(const Trace& trace) {
+  SkewAnalysis out;
+  const std::size_t n_files = trace.files.size();
+  if (n_files == 0) return out;
+
+  std::vector<double> write_bytes(n_files, 0.0);
+  std::vector<double> read_bytes(n_files, 0.0);
+  std::unordered_map<FileId, std::uint64_t> cursor;
+  // Rewrite detection at 4 KB granularity: file -> set of written pages.
+  std::unordered_map<FileId, std::unordered_set<std::uint64_t>> written;
+
+  std::uint64_t data_ops = 0;
+  std::uint64_t sequential = 0;
+  std::uint64_t write_reqs = 0;
+  std::uint64_t rewrites = 0;
+
+  for (const auto& rec : trace.records) {
+    if (rec.op != OpType::kRead && rec.op != OpType::kWrite) continue;
+    ++data_ops;
+    if (auto it = cursor.find(rec.file);
+        it != cursor.end() && it->second == rec.offset) {
+      ++sequential;
+    }
+    cursor[rec.file] = rec.offset + rec.size;
+
+    if (rec.op == OpType::kWrite) {
+      write_bytes[rec.file] += rec.size;
+      ++write_reqs;
+      auto& pages = written[rec.file];
+      bool any_rewrite = false;
+      for (std::uint64_t p = rec.offset / 4096;
+           p <= (rec.offset + rec.size - 1) / 4096; ++p) {
+        any_rewrite |= !pages.insert(p).second;
+      }
+      if (any_rewrite) ++rewrites;
+    } else {
+      read_bytes[rec.file] += rec.size;
+    }
+  }
+
+  const double write_total =
+      std::accumulate(write_bytes.begin(), write_bytes.end(), 0.0);
+  const double read_total =
+      std::accumulate(read_bytes.begin(), read_bytes.end(), 0.0);
+
+  std::vector<double> writes_sorted = write_bytes;
+  std::sort(writes_sorted.rbegin(), writes_sorted.rend());
+  std::vector<double> reads_sorted = read_bytes;
+  std::sort(reads_sorted.rbegin(), reads_sorted.rend());
+
+  out.write_top1_share = top_share(writes_sorted, write_total, 0.01);
+  out.write_top10_share = top_share(writes_sorted, write_total, 0.10);
+  out.read_top1_share = top_share(reads_sorted, read_total, 0.01);
+  out.read_top10_share = top_share(reads_sorted, read_total, 0.10);
+  out.write_gini = gini(write_bytes);
+  out.write_rewrite_ratio =
+      write_reqs ? static_cast<double>(rewrites) / static_cast<double>(write_reqs)
+                 : 0.0;
+  out.sequential_ratio =
+      data_ops ? static_cast<double>(sequential) / static_cast<double>(data_ops)
+               : 0.0;
+
+  double size_total = 0;
+  double size_max = 0;
+  for (const auto& f : trace.files) {
+    size_total += static_cast<double>(f.size_bytes);
+    size_max = std::max(size_max, static_cast<double>(f.size_bytes));
+  }
+  const double size_mean = size_total / static_cast<double>(n_files);
+  out.size_max_over_mean = size_mean > 0 ? size_max / size_mean : 0.0;
+  out.read_write_correlation = rank_correlation(write_bytes, read_bytes);
+  return out;
+}
+
+}  // namespace edm::trace

@@ -1,0 +1,45 @@
+// Workload analysis: the skew and locality statistics that determine how a
+// trace exercises EDM (write concentration drives HDF; file-size spread
+// drives utilization imbalance and CDF; locality drives the Fig. 3 sigma).
+//
+// Used by the Table I bench for extended columns, by tests to validate the
+// generator's calibration, and directly useful for characterising imported
+// real traces before replay.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/record.h"
+
+namespace edm::trace {
+
+struct SkewAnalysis {
+  /// Fraction of all write bytes landing on the hottest 1% / 10% of files.
+  double write_top1_share = 0.0;
+  double write_top10_share = 0.0;
+  /// Same for read bytes.
+  double read_top1_share = 0.0;
+  double read_top10_share = 0.0;
+  /// Gini coefficient of per-file write bytes (0 = uniform, 1 = one file).
+  double write_gini = 0.0;
+
+  /// Fraction of write requests whose offset repeats an earlier write to
+  /// the same file page range (rewrite ratio: the flash-level heat).
+  double write_rewrite_ratio = 0.0;
+
+  /// Fraction of read/write requests that continue sequentially from the
+  /// previous request to the same file.
+  double sequential_ratio = 0.0;
+
+  /// File-size spread: largest file / mean file size.
+  double size_max_over_mean = 0.0;
+
+  /// Spearman-style rank correlation between per-file write and read bytes
+  /// (are write-hot files also read-hot?).
+  double read_write_correlation = 0.0;
+};
+
+/// Single pass (plus per-file aggregation) over the trace.
+SkewAnalysis analyze_skew(const Trace& trace);
+
+}  // namespace edm::trace

@@ -1,0 +1,41 @@
+// Synthetic NFS-style trace generation from a WorkloadProfile.
+//
+// Structure of a generated trace:
+//  * `file_count` files with lognormal sizes (heavy-tailed, per profile).
+//  * A stream of open / read / write / close records organised in sessions:
+//    a session opens one file, performs a geometric number of requests
+//    (dominated by one op type, per `session_purity`), and closes it.
+//    Sessions target files via Zipfian popularity with *separate* rank
+//    permutations for reads and writes, so some files are write-hot and
+//    others read-hot -- the asymmetry EDM's HDF policy depends on.
+//  * Request offsets follow the per-file cursor with probability
+//    `sequential_locality` (spatial locality) and jump uniformly otherwise;
+//    sizes are uniform in [avg/2, 3*avg/2] so the generated mean matches the
+//    Table I target.
+//  * Records are round-robined over `clients` replay lanes.
+//
+// Generation is deterministic: (profile, clients) fully defines the output.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/profile.h"
+#include "trace/record.h"
+
+namespace edm::trace {
+
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(WorkloadProfile profile, std::uint16_t clients = 8);
+
+  /// Generates the full trace (files + records).
+  Trace generate() const;
+
+  const WorkloadProfile& profile() const { return profile_; }
+
+ private:
+  WorkloadProfile profile_;
+  std::uint16_t clients_;
+};
+
+}  // namespace edm::trace

@@ -1,0 +1,107 @@
+#include "trace/io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace edm::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'D', 'M', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("trace stream truncated");
+  return value;
+}
+
+}  // namespace
+
+void save_trace(const Trace& trace, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  put(os, kVersion);
+  const auto name_len = static_cast<std::uint32_t>(trace.name.size());
+  put(os, name_len);
+  os.write(trace.name.data(), name_len);
+
+  put(os, static_cast<std::uint64_t>(trace.files.size()));
+  for (const auto& f : trace.files) {
+    put(os, f.id);
+    put(os, f.size_bytes);
+  }
+  put(os, static_cast<std::uint64_t>(trace.records.size()));
+  for (const auto& r : trace.records) {
+    put(os, r.file);
+    put(os, r.offset);
+    put(os, r.size);
+    put(os, static_cast<std::uint8_t>(r.op));
+    put(os, r.client);
+    put(os, std::uint8_t{0});  // pad
+  }
+  if (!os) throw std::runtime_error("trace write failed");
+}
+
+Trace load_trace(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not an EDM trace stream");
+  }
+  const auto version = get<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported trace version " +
+                             std::to_string(version));
+  }
+  Trace trace;
+  const auto name_len = get<std::uint32_t>(is);
+  trace.name.resize(name_len);
+  is.read(trace.name.data(), name_len);
+  if (!is) throw std::runtime_error("trace stream truncated");
+
+  const auto file_count = get<std::uint64_t>(is);
+  trace.files.reserve(file_count);
+  for (std::uint64_t i = 0; i < file_count; ++i) {
+    FileSpec f;
+    f.id = get<FileId>(is);
+    f.size_bytes = get<std::uint64_t>(is);
+    trace.files.push_back(f);
+  }
+  const auto record_count = get<std::uint64_t>(is);
+  trace.records.reserve(record_count);
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    Record r;
+    r.file = get<FileId>(is);
+    r.offset = get<std::uint64_t>(is);
+    r.size = get<std::uint32_t>(is);
+    r.op = static_cast<OpType>(get<std::uint8_t>(is));
+    r.client = get<std::uint16_t>(is);
+    (void)get<std::uint8_t>(is);  // pad
+    trace.records.push_back(r);
+  }
+  return trace;
+}
+
+void save_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  save_trace(trace, os);
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return load_trace(is);
+}
+
+}  // namespace edm::trace

@@ -1,0 +1,29 @@
+// Binary (de)serialisation of traces, so expensive generated traces can be
+// cached on disk and shared between bench binaries.
+//
+// Format (little-endian, fixed-width):
+//   magic "EDMTRACE" (8 bytes) | version u32 | name_len u32 | name bytes
+//   file_count u64 | { id u64, size u64 } * file_count
+//   record_count u64 | { file u64, offset u64, size u32, op u8, client u16,
+//                        pad u8 } * record_count
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/record.h"
+
+namespace edm::trace {
+
+/// Writes `trace` to the stream.  Throws std::runtime_error on I/O failure.
+void save_trace(const Trace& trace, std::ostream& os);
+
+/// Reads a trace written by save_trace.  Throws std::runtime_error on a
+/// malformed stream (bad magic, truncated payload, unknown version).
+Trace load_trace(std::istream& is);
+
+/// File-path convenience wrappers.
+void save_trace_file(const Trace& trace, const std::string& path);
+Trace load_trace_file(const std::string& path);
+
+}  // namespace edm::trace

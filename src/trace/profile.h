@@ -1,0 +1,93 @@
+// Workload profiles reproducing the paper's Table I.
+//
+// The real Harvard NFS traces (Ellard et al., FAST'03) are not distributable
+// with this repository, so each workload is regenerated synthetically from
+// its published marginal statistics (file count, op counts, mean request
+// sizes) plus skew/locality knobs chosen to reproduce the paper's measured
+// behaviour: heavy Zipfian write concentration (SII: "a large body of the
+// writes might go to a small part of the data set"), heavy-tailed file
+// sizes (SII: "heavily skewed object size distribution"), and strong
+// temporal locality (SIII: Fig. 3 shows measured u_r far below the uniform
+// model).  DESIGN.md documents the substitution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace edm::trace {
+
+struct WorkloadProfile {
+  std::string name;
+
+  // --- Published Table I statistics ---
+  std::uint64_t file_count = 0;
+  std::uint64_t write_count = 0;
+  std::uint32_t avg_write_size = 0;  // bytes
+  std::uint64_t read_count = 0;
+  std::uint32_t avg_read_size = 0;  // bytes
+
+  // --- Synthesis knobs (our calibration; see header comment) ---
+  /// Zipf exponent of file popularity for writes; higher = more skew.
+  double write_zipf = 1.05;
+  /// Zipf exponent of file popularity for reads.
+  double read_zipf = 0.90;
+  /// Probability a request continues sequentially from the file cursor.
+  double sequential_locality = 0.60;
+
+  /// Zipf exponent of the *within-file* offset distribution for
+  /// non-sequential requests (0 = uniform).  Real NFS workloads rewrite
+  /// small hot regions (mailbox indices, directory blocks) far more often
+  /// than the rest of the file; this is the locality that separates hot and
+  /// cold flash blocks and produces the paper's sigma=0.28 gap between
+  /// measured u_r and the uniform Eq. 2 model (Fig. 3).
+  double offset_zipf = 0.0;
+
+  /// Probability that a *write* bypasses the sequential cursor and targets
+  /// the file's hot region directly.  Sequential write runs sweep whole
+  /// files and wash out page-level heat; real mail/home workloads instead
+  /// rewrite the same small regions (mailbox indices, db pages) over and
+  /// over.  Reads are unaffected.
+  double write_hot_bias = 0.0;
+
+  /// Leading fraction of each file that forms its hot region.  Together
+  /// with write_hot_bias this is a classic hot-spot model (e.g. bias 0.9 /
+  /// region 0.05 = 90% of writes hit 5% of the data): it controls the write
+  /// working-set size, and thereby how far measured u_r falls below the
+  /// uniform Eq. 2 curve (the sigma of Fig. 3).  Within the hot region,
+  /// offsets follow offset_zipf.
+  double hot_region_fraction = 0.10;
+  /// Write-probability multiplier of a write-leaning session relative to
+  /// the global write fraction f (read-leaning sessions are divided by it).
+  /// Session types are drawn so the *expected* write fraction stays exactly
+  /// f throughout the trace -- the mix is stationary, while individual
+  /// files still become write-hot vs read-hot (what HDF exploits and CDF
+  /// deliberately avoids).  1.0 = no distinction.
+  double session_type_bias = 3.0;
+  /// Mean ops per open/close session (geometric).
+  double mean_session_ops = 8.0;
+  /// Lognormal file-size shape: sigma of ln(size).
+  double file_size_sigma = 1.0;
+  /// Lognormal file-size median in bytes.
+  std::uint64_t median_file_size = 64 * 1024;
+  /// Base RNG seed; generation is fully deterministic given the profile.
+  std::uint64_t seed = 0x00ED400000000000ULL;
+
+  /// Returns a copy with file/op counts multiplied by `scale` (>= 1 kept at
+  /// a minimum of 1 item) so benches can run reduced-scale grids quickly.
+  WorkloadProfile scaled(double scale) const;
+};
+
+/// The seven Harvard workloads of Table I, in paper order:
+/// home02, home03, home04, deasna, deasna2, lair62, lair62b.
+std::span<const WorkloadProfile> table1_profiles();
+
+/// The paper's synthetic uniform-random workload (Fig. 3): random accesses,
+/// request sizes uniform in [4 KB, 16 KB].
+const WorkloadProfile& random_profile();
+
+/// Lookup by name across table1 + random.  Throws std::out_of_range for an
+/// unknown name.
+const WorkloadProfile& profile_by_name(const std::string& name);
+
+}  // namespace edm::trace

@@ -1,0 +1,44 @@
+// Exponentially weighted moving average.
+//
+// Used by the CMT baseline (Sorrento-style): its per-SSD load factor is the
+// EWMA of I/O latency (paper SV, "CMT measures the load factor of an SSD by
+// EMWA of the I/O latency").
+#pragma once
+
+namespace edm::util {
+
+/// Classic EWMA: v <- alpha*x + (1-alpha)*v.  Uninitialised until the first
+/// sample, which seeds the value directly (avoids cold-start bias).
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double x) {
+    if (!seeded_) {
+      value_ = x;
+      seeded_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+    ++count_;
+  }
+
+  double value() const { return value_; }
+  bool seeded() const { return seeded_; }
+  unsigned long long count() const { return count_; }
+  double alpha() const { return alpha_; }
+
+  void reset() {
+    value_ = 0.0;
+    seeded_ = false;
+    count_ = 0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+  unsigned long long count_ = 0;
+};
+
+}  // namespace edm::util

@@ -1,0 +1,88 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+namespace edm::util {
+
+LogHistogram::LogHistogram() : buckets_(kBuckets, 0) {}
+
+void LogHistogram::add(std::uint64_t value) {
+  const int bucket = value == 0 ? 0 : std::bit_width(value) - 1;
+  buckets_[static_cast<std::size_t>(bucket)]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const double in_bucket = static_cast<double>(buckets_[static_cast<std::size_t>(i)]);
+    if (cumulative + in_bucket >= target && in_bucket > 0) {
+      const double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << i);
+      const double hi = static_cast<double>(i >= 63 ? max_ : (1ULL << (i + 1)));
+      const double frac = (target - cumulative) / in_bucket;
+      return lo + frac * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(max_);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LogHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+std::string LogHistogram::brief() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " p50=" << quantile(0.5)
+     << " p95=" << quantile(0.95) << " p99=" << quantile(0.99)
+     << " max=" << max();
+  return os.str();
+}
+
+LinearHistogram::LinearHistogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / bins), bins_(static_cast<std::size_t>(bins), 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void LinearHistogram::add(double value) {
+  auto idx = static_cast<long>((value - lo_) / width_);
+  idx = std::clamp(idx, 0L, static_cast<long>(bins_.size()) - 1);
+  bins_[static_cast<std::size_t>(idx)]++;
+  ++count_;
+}
+
+double LinearHistogram::bin_low(int i) const { return lo_ + width_ * i; }
+double LinearHistogram::bin_high(int i) const { return lo_ + width_ * (i + 1); }
+
+}  // namespace edm::util

@@ -1,0 +1,67 @@
+// Histograms for latency and size distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edm::util {
+
+/// Log2-bucketed histogram for positive integer samples (latencies in us,
+/// request sizes in bytes).  Constant memory, O(1) insert, good enough
+/// resolution for order-of-magnitude latency reporting.
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  void add(std::uint64_t value);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return count_ ? max_ : 0; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Approximate quantile (linear interpolation inside the bucket).
+  double quantile(double q) const;
+
+  void merge(const LogHistogram& other);
+  void reset();
+
+  /// Renders "p50=... p95=... p99=... max=..." for log lines.
+  std::string brief() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Fixed-width linear histogram over [lo, hi) with out-of-range clamping.
+/// Used for utilization and temperature distributions where the domain is
+/// known a priori.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, int bins);
+
+  void add(double value);
+
+  std::uint64_t count() const { return count_; }
+  const std::vector<std::uint64_t>& bins() const { return bins_; }
+  double bin_low(int i) const;
+  double bin_high(int i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace edm::util

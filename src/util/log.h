@@ -1,0 +1,47 @@
+// Minimal leveled logger.  The simulator is a library; logging defaults to
+// warnings only so bench output stays clean, and tests can raise verbosity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace edm::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.  Not synchronised:
+/// set it once at startup, before spawning pool workers.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a line to stderr with a level tag.  Thread-safe (single write call).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace edm::util
+
+#define EDM_LOG(level)                                         \
+  if (static_cast<int>(level) < static_cast<int>(::edm::util::log_level())) { \
+  } else                                                       \
+    ::edm::util::detail::LogMessage(level)
+
+#define EDM_DEBUG EDM_LOG(::edm::util::LogLevel::kDebug)
+#define EDM_INFO EDM_LOG(::edm::util::LogLevel::kInfo)
+#define EDM_WARN EDM_LOG(::edm::util::LogLevel::kWarn)
+#define EDM_ERROR EDM_LOG(::edm::util::LogLevel::kError)

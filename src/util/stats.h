@@ -1,0 +1,74 @@
+// Streaming and batch statistics used throughout the simulator and the
+// EDM wear monitor (which triggers migration on the relative standard
+// deviation of per-SSD erase counts).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace edm::util {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+/// Numerically stable for long replay runs with billions of samples.
+class StreamingStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || count_ == 1) min_ = x;
+    if (x > max_ || count_ == 1) max_ = x;
+    sum_ += x;
+  }
+
+  void merge(const StreamingStats& other);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Population variance (divides by n, not n-1): the wear monitor looks at
+  /// the full device population, not a sample.
+  double variance() const {
+    return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  double stddev() const;
+
+  /// Relative standard deviation sigma/mean; 0 when the mean is 0.
+  /// This is the paper's wear-imbalance metric (SIII.B.2).
+  double rsd() const;
+
+  void reset() { *this = StreamingStats{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch statistics over a value span (used by the wear monitor on the
+/// per-device erase-count vector each evaluation tick).
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double rsd = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+/// Percentile of a value set (exclusive linear interpolation).  The input is
+/// copied and sorted; intended for end-of-run reporting, not hot paths.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace edm::util

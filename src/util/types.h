@@ -1,0 +1,48 @@
+// Common scalar types and unit helpers shared across the EDM library.
+//
+// All simulated time in this codebase is expressed in integer microseconds
+// (SimTime).  The paper's device timing constants (25 us page read, 200 us
+// page write, 2 ms block erase) are exactly representable, and integer time
+// keeps the discrete-event engine deterministic across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace edm {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// Duration in microseconds.
+using SimDuration = std::uint64_t;
+
+namespace time_literals {
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000;
+constexpr SimDuration kSecond = 1000 * 1000;
+constexpr SimDuration kMinute = 60 * kSecond;
+}  // namespace time_literals
+
+/// Logical page number within one SSD's logical address space.
+using Lpn = std::uint32_t;
+
+/// Physical page number within one SSD's physical flash array.
+using Ppn = std::uint32_t;
+
+/// Identifier of an object stored in the cluster.
+using ObjectId = std::uint64_t;
+
+/// Identifier of a file (inode number).
+using FileId = std::uint64_t;
+
+/// Index of an OSD (object-based storage device) within the cluster.
+using OsdId = std::uint32_t;
+
+/// Byte-size unit helpers.
+namespace size_literals {
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+}  // namespace size_literals
+
+}  // namespace edm

@@ -1,0 +1,164 @@
+#include "cluster/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.h"
+
+namespace edm::cluster {
+namespace {
+
+TEST(ObjectStore, FreshStoreFullyFree) {
+  ObjectStore store(1000);
+  EXPECT_EQ(store.capacity_pages(), 1000u);
+  EXPECT_EQ(store.free_pages(), 1000u);
+  EXPECT_EQ(store.allocated_pages(), 0u);
+  EXPECT_EQ(store.utilization(), 0.0);
+  EXPECT_TRUE(store.check_invariants());
+}
+
+TEST(ObjectStore, CreateAllocatesContiguously) {
+  ObjectStore store(1000);
+  ASSERT_TRUE(store.create(1, 100));
+  const auto* extents = store.extents(1);
+  ASSERT_NE(extents, nullptr);
+  ASSERT_EQ(extents->size(), 1u);
+  EXPECT_EQ((*extents)[0].first, 0u);
+  EXPECT_EQ((*extents)[0].pages, 100u);
+  EXPECT_EQ(store.object_pages(1), 100u);
+  EXPECT_TRUE(store.check_invariants());
+}
+
+TEST(ObjectStore, CreateRejectsDuplicatesZeroAndOverflow) {
+  ObjectStore store(100);
+  EXPECT_TRUE(store.create(1, 50));
+  EXPECT_FALSE(store.create(1, 10));   // duplicate
+  EXPECT_FALSE(store.create(2, 0));    // zero pages
+  EXPECT_FALSE(store.create(3, 51));   // exceeds free space
+  EXPECT_TRUE(store.create(3, 50));    // exactly fits
+  EXPECT_EQ(store.free_pages(), 0u);
+}
+
+TEST(ObjectStore, RemoveFreesAndCoalesces) {
+  ObjectStore store(300);
+  store.create(1, 100);
+  store.create(2, 100);
+  store.create(3, 100);
+  const auto freed = store.remove(2);
+  ASSERT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0].pages, 100u);
+  EXPECT_EQ(store.free_pages(), 100u);
+  store.remove(1);
+  store.remove(3);
+  EXPECT_EQ(store.free_pages(), 300u);
+  EXPECT_TRUE(store.check_invariants());
+  // All holes must have coalesced into one extent, so a full-size object
+  // fits contiguously again.
+  EXPECT_TRUE(store.create(4, 300));
+  const auto* extents = store.extents(4);
+  ASSERT_EQ(extents->size(), 1u);
+}
+
+TEST(ObjectStore, RemoveUnknownIsEmpty) {
+  ObjectStore store(100);
+  EXPECT_TRUE(store.remove(42).empty());
+}
+
+TEST(ObjectStore, FragmentedAllocationSpansHoles) {
+  ObjectStore store(300);
+  store.create(1, 100);
+  store.create(2, 100);
+  store.create(3, 100);
+  store.remove(1);
+  store.remove(3);  // two non-adjacent 100-page holes
+  ASSERT_TRUE(store.create(4, 150));
+  const auto* extents = store.extents(4);
+  ASSERT_EQ(extents->size(), 2u);
+  EXPECT_EQ(store.object_pages(4), 150u);
+  EXPECT_TRUE(store.check_invariants());
+}
+
+TEST(ObjectStore, MapRangeWithinSingleExtent) {
+  ObjectStore store(100);
+  store.create(1, 50);
+  const auto mapped = store.map_range(1, 10, 20);
+  ASSERT_EQ(mapped.size(), 1u);
+  EXPECT_EQ(mapped[0].first, 10u);
+  EXPECT_EQ(mapped[0].pages, 20u);
+}
+
+TEST(ObjectStore, MapRangeAcrossExtents) {
+  ObjectStore store(300);
+  store.create(1, 100);
+  store.create(2, 100);
+  store.create(3, 100);
+  store.remove(1);
+  store.remove(3);
+  store.create(4, 150);  // extents [0,100) and [200,250)
+  const auto mapped = store.map_range(4, 90, 30);
+  ASSERT_EQ(mapped.size(), 2u);
+  EXPECT_EQ(mapped[0].first, 90u);
+  EXPECT_EQ(mapped[0].pages, 10u);
+  EXPECT_EQ(mapped[1].first, 200u);
+  EXPECT_EQ(mapped[1].pages, 20u);
+}
+
+TEST(ObjectStore, MapRangeClampsAtObjectEnd) {
+  ObjectStore store(100);
+  store.create(1, 30);
+  const auto mapped = store.map_range(1, 20, 50);
+  std::uint32_t total = 0;
+  for (const auto& e : mapped) total += e.pages;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(ObjectStore, MapRangeUnknownObjectEmpty) {
+  ObjectStore store(100);
+  EXPECT_TRUE(store.map_range(9, 0, 10).empty());
+}
+
+TEST(ObjectStore, ForEachObjectVisitsAll) {
+  ObjectStore store(100);
+  store.create(10, 10);
+  store.create(20, 10);
+  std::map<ObjectId, int> seen;
+  store.for_each_object([&](ObjectId oid) { seen[oid]++; });
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[10], 1);
+  EXPECT_EQ(seen[20], 1);
+}
+
+// Property: random create/remove churn keeps the free list + extents an
+// exact tiling and accounting consistent.
+TEST(ObjectStore, FuzzedChurnPreservesInvariants) {
+  ObjectStore store(4096);
+  util::Xoshiro256 rng(5);
+  std::map<ObjectId, std::uint32_t> live;
+  ObjectId next = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (live.empty() || rng.next_double() < 0.55) {
+      const auto pages = static_cast<std::uint32_t>(rng.next_in(1, 64));
+      if (store.create(next, pages)) live[next] = pages;
+      ++next;
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.next_below(live.size()));
+      store.remove(it->first);
+      live.erase(it);
+    }
+    if (i % 500 == 0) {
+      ASSERT_TRUE(store.check_invariants()) << "step " << i;
+    }
+  }
+  std::uint64_t expected = 0;
+  for (const auto& [oid, pages] : live) {
+    ASSERT_EQ(store.object_pages(oid), pages);
+    expected += pages;
+  }
+  EXPECT_EQ(store.allocated_pages(), expected);
+  EXPECT_TRUE(store.check_invariants());
+}
+
+}  // namespace
+}  // namespace edm::cluster

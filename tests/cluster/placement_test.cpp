@@ -1,0 +1,118 @@
+#include "cluster/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace edm::cluster {
+namespace {
+
+TEST(Placement, PaperConfigurationsValid) {
+  EXPECT_NO_THROW(Placement(16, 4, 4));
+  EXPECT_NO_THROW(Placement(20, 4, 4));
+}
+
+TEST(Placement, RejectsInvalidGeometry) {
+  EXPECT_THROW(Placement(0, 4, 4), std::invalid_argument);
+  EXPECT_THROW(Placement(16, 0, 4), std::invalid_argument);
+  EXPECT_THROW(Placement(16, 4, 0), std::invalid_argument);
+  EXPECT_THROW(Placement(16, 4, 5), std::invalid_argument);   // k > m
+  EXPECT_THROW(Placement(18, 4, 4), std::invalid_argument);   // m does not divide n
+  EXPECT_THROW(Placement(2, 4, 2), std::invalid_argument);    // m > n
+}
+
+TEST(Placement, DefaultOsdIsInodeModN) {
+  const Placement p(16, 4, 4);
+  EXPECT_EQ(p.default_osd(0, 0), 0u);
+  EXPECT_EQ(p.default_osd(5, 0), 5u);
+  EXPECT_EQ(p.default_osd(5, 3), 8u);
+  EXPECT_EQ(p.default_osd(15, 1), 0u);  // wraps
+  EXPECT_EQ(p.default_osd(100, 0), 4u);
+}
+
+TEST(Placement, GroupOfIsModM) {
+  const Placement p(16, 4, 4);
+  EXPECT_EQ(p.group_of(0), 0u);
+  EXPECT_EQ(p.group_of(5), 1u);
+  EXPECT_EQ(p.group_of(15), 3u);
+}
+
+TEST(Placement, GroupMembersMatchPaperFigure2) {
+  // Group_i = {ssd_i, ssd_(m+i), ..., ssd_(m*r+i)}.
+  const Placement p(16, 4, 4);
+  EXPECT_EQ(p.group_members(0), (std::vector<OsdId>{0, 4, 8, 12}));
+  EXPECT_EQ(p.group_members(3), (std::vector<OsdId>{3, 7, 11, 15}));
+}
+
+TEST(Placement, GroupPeersExcludesSelf) {
+  const Placement p(20, 4, 4);
+  const auto peers = p.group_peers(6);
+  EXPECT_EQ(peers, (std::vector<OsdId>{2, 10, 14, 18}));
+}
+
+TEST(Placement, SameGroup) {
+  const Placement p(16, 4, 4);
+  EXPECT_TRUE(p.same_group(1, 13));
+  EXPECT_FALSE(p.same_group(1, 2));
+}
+
+// The reliability invariant (paper SIII.A/D): any two objects of one file
+// land in different groups -- for every file, including wrap-around.
+TEST(Placement, ObjectsOfAFileAlwaysInDistinctGroups) {
+  for (std::uint32_t n : {16u, 20u, 8u, 32u}) {
+    const Placement p(n, 4, 4);
+    for (FileId f = 0; f < 5000; ++f) {
+      std::set<std::uint32_t> groups;
+      for (std::uint32_t j = 0; j < 4; ++j) {
+        groups.insert(p.group_of(p.default_osd(f, j)));
+      }
+      ASSERT_EQ(groups.size(), 4u) << "file " << f << " n=" << n;
+    }
+  }
+}
+
+TEST(Placement, ObjectIdRoundTrip) {
+  const Placement p(16, 4, 4);
+  for (FileId f : {0ull, 1ull, 12345ull}) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      const ObjectId oid = p.object_id(f, j);
+      EXPECT_EQ(p.file_of(oid), f);
+      EXPECT_EQ(p.index_of(oid), j);
+    }
+  }
+}
+
+TEST(Placement, ObjectIdsAreDense) {
+  const Placement p(16, 4, 4);
+  EXPECT_EQ(p.object_id(0, 0), 0u);
+  EXPECT_EQ(p.object_id(0, 3), 3u);
+  EXPECT_EQ(p.object_id(1, 0), 4u);
+}
+
+class PlacementSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t,
+                                                 std::uint32_t>> {};
+
+TEST_P(PlacementSweep, DistinctGroupInvariantHolds) {
+  const auto [n, m, k] = GetParam();
+  const Placement p(n, m, k);
+  for (FileId f = 0; f < 2000; ++f) {
+    std::set<std::uint32_t> groups;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      groups.insert(p.group_of(p.default_osd(f, j)));
+    }
+    ASSERT_EQ(groups.size(), k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PlacementSweep,
+    ::testing::Values(std::make_tuple(16u, 4u, 4u),
+                      std::make_tuple(20u, 4u, 4u),
+                      std::make_tuple(12u, 6u, 4u),
+                      std::make_tuple(24u, 8u, 5u),
+                      std::make_tuple(4u, 2u, 2u)));
+
+}  // namespace
+}  // namespace edm::cluster

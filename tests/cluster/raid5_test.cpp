@@ -1,0 +1,177 @@
+#include "cluster/raid5.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace edm::cluster {
+namespace {
+
+constexpr std::uint32_t kUnit = 16 * 1024;
+
+TEST(Raid5Layout, RejectsBadParameters) {
+  EXPECT_THROW(Raid5Layout(1, kUnit), std::invalid_argument);
+  EXPECT_THROW(Raid5Layout(4, 0), std::invalid_argument);
+}
+
+TEST(Raid5Layout, ParityRotatesLeftSymmetric) {
+  const Raid5Layout layout(4, kUnit);
+  EXPECT_EQ(layout.parity_object(0), 3u);
+  EXPECT_EQ(layout.parity_object(1), 2u);
+  EXPECT_EQ(layout.parity_object(2), 1u);
+  EXPECT_EQ(layout.parity_object(3), 0u);
+  EXPECT_EQ(layout.parity_object(4), 3u);  // wraps
+}
+
+TEST(Raid5Layout, StripeCountAndObjectBytes) {
+  const Raid5Layout layout(4, kUnit);
+  // 3 data units per stripe.
+  EXPECT_EQ(layout.stripe_count(0), 0u);
+  EXPECT_EQ(layout.stripe_count(1), 1u);
+  EXPECT_EQ(layout.stripe_count(3 * kUnit), 1u);
+  EXPECT_EQ(layout.stripe_count(3 * kUnit + 1), 2u);
+  EXPECT_EQ(layout.object_bytes(3 * kUnit), kUnit);
+  EXPECT_EQ(layout.object_bytes(6 * kUnit), 2u * kUnit);
+}
+
+TEST(Raid5Layout, ReadMapsEveryByteExactlyOnce) {
+  const Raid5Layout layout(4, kUnit);
+  const std::uint64_t file_size = 10 * kUnit;  // multiple stripes
+  std::vector<ObjectIo> ios;
+  layout.map_read(0, static_cast<std::uint32_t>(file_size), ios);
+  std::uint64_t covered = 0;
+  for (const auto& io : ios) {
+    EXPECT_FALSE(io.is_write);
+    EXPECT_FALSE(io.is_parity);
+    covered += io.length;
+  }
+  EXPECT_EQ(covered, file_size);
+}
+
+TEST(Raid5Layout, ReadNeverTouchesParityObjectOfItsStripe) {
+  const Raid5Layout layout(4, kUnit);
+  std::vector<ObjectIo> ios;
+  layout.map_read(0, 9 * kUnit, ios);
+  for (const auto& io : ios) {
+    const std::uint64_t stripe = io.offset / kUnit;
+    EXPECT_NE(io.object_index, layout.parity_object(stripe));
+  }
+}
+
+TEST(Raid5Layout, SmallWriteIsReadModifyWrite) {
+  const Raid5Layout layout(4, kUnit);
+  std::vector<ObjectIo> ios;
+  layout.map_write(0, 4096, ios);
+  // Old data read + data write + old parity read + parity write.
+  ASSERT_EQ(ios.size(), 4u);
+  EXPECT_FALSE(ios[0].is_write);
+  EXPECT_FALSE(ios[0].is_parity);
+  EXPECT_TRUE(ios[1].is_write);
+  EXPECT_FALSE(ios[1].is_parity);
+  EXPECT_FALSE(ios[2].is_write);
+  EXPECT_TRUE(ios[2].is_parity);
+  EXPECT_TRUE(ios[3].is_write);
+  EXPECT_TRUE(ios[3].is_parity);
+  // Parity of stripe 0 lives on object k-1.
+  EXPECT_EQ(ios[2].object_index, 3u);
+}
+
+TEST(Raid5Layout, WriteParityCoalescedPerStripe) {
+  const Raid5Layout layout(4, kUnit);
+  std::vector<ObjectIo> ios;
+  // Write 3 units = exactly one full stripe of data.
+  layout.map_write(0, 3 * kUnit, ios);
+  int parity_writes = 0;
+  for (const auto& io : ios) {
+    if (io.is_parity && io.is_write) ++parity_writes;
+  }
+  EXPECT_EQ(parity_writes, 1);
+}
+
+TEST(Raid5Layout, WriteSpanningStripesTouchesEachParityOnce) {
+  const Raid5Layout layout(4, kUnit);
+  std::vector<ObjectIo> ios;
+  layout.map_write(0, 6 * kUnit, ios);  // two stripes
+  std::set<std::uint32_t> parity_objects;
+  for (const auto& io : ios) {
+    if (io.is_parity && io.is_write) {
+      parity_objects.insert(io.object_index);
+    }
+  }
+  EXPECT_EQ(parity_objects.size(), 2u);
+}
+
+TEST(Raid5Layout, DataSlotsNeverCollideWithParity) {
+  const Raid5Layout layout(4, kUnit);
+  std::vector<ObjectIo> ios;
+  layout.map_write(0, 30 * kUnit, ios);
+  for (const auto& io : ios) {
+    const std::uint64_t stripe = io.offset / kUnit;
+    if (!io.is_parity) {
+      ASSERT_NE(io.object_index, layout.parity_object(stripe));
+    } else {
+      ASSERT_EQ(io.object_index, layout.parity_object(stripe));
+    }
+  }
+}
+
+TEST(Raid5Layout, UnalignedWriteWithinOneUnit) {
+  const Raid5Layout layout(4, kUnit);
+  std::vector<ObjectIo> ios;
+  layout.map_write(1000, 500, ios);
+  ASSERT_EQ(ios.size(), 4u);
+  EXPECT_EQ(ios[1].offset, 1000u);
+  EXPECT_EQ(ios[1].length, 500u);
+}
+
+TEST(Raid5Layout, ObjectOffsetsAreStripeLocal) {
+  const Raid5Layout layout(4, kUnit);
+  std::vector<ObjectIo> ios;
+  // Data unit 3 (second stripe, first slot) starts at file offset 3*unit.
+  layout.map_read(3 * kUnit, kUnit, ios);
+  ASSERT_EQ(ios.size(), 1u);
+  EXPECT_EQ(ios[0].offset, kUnit);  // stripe 1 occupies object offset unit.
+}
+
+// Property: over a large file, data units distribute evenly across objects
+// (rotating parity balances both data and parity load).
+TEST(Raid5Layout, LoadSpreadsEvenlyAcrossObjects) {
+  const Raid5Layout layout(4, kUnit);
+  std::vector<ObjectIo> ios;
+  layout.map_write(0, 400 * kUnit, ios);
+  std::map<std::uint32_t, std::uint64_t> bytes;
+  for (const auto& io : ios) {
+    if (io.is_write) bytes[io.object_index] += io.length;
+  }
+  ASSERT_EQ(bytes.size(), 4u);
+  std::uint64_t min_bytes = UINT64_MAX;
+  std::uint64_t max_bytes = 0;
+  for (const auto& [obj, b] : bytes) {
+    min_bytes = std::min(min_bytes, b);
+    max_bytes = std::max(max_bytes, b);
+  }
+  EXPECT_LT(static_cast<double>(max_bytes) / static_cast<double>(min_bytes),
+            1.1);
+}
+
+class Raid5KSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(Raid5KSweep, ReadCoversRangeForAnyK) {
+  const Raid5Layout layout(GetParam(), kUnit);
+  std::vector<ObjectIo> ios;
+  const std::uint32_t length = 17 * kUnit + 123;
+  layout.map_read(kUnit / 2, length, ios);
+  std::uint64_t covered = 0;
+  for (const auto& io : ios) {
+    covered += io.length;
+    ASSERT_LT(io.object_index, GetParam());
+  }
+  EXPECT_EQ(covered, length);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, Raid5KSweep, ::testing::Values(2u, 3u, 4u, 5u, 8u));
+
+}  // namespace
+}  // namespace edm::cluster

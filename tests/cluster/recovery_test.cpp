@@ -1,0 +1,194 @@
+// Failure, degraded RAID-5 access, and rebuild (paper SIII.D).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/cluster.h"
+#include "trace/record.h"
+
+namespace edm::cluster {
+namespace {
+
+ClusterConfig small_config() {
+  ClusterConfig cfg;
+  cfg.num_osds = 16;  // group size 4: peers can absorb a whole rebuild
+  cfg.num_groups = 4;
+  cfg.objects_per_file = 4;
+  cfg.flash.num_blocks = 64;
+  cfg.flash.pages_per_block = 16;
+  cfg.target_max_utilization = 0.55;  // rebuild headroom on the peers
+  return cfg;
+}
+
+std::vector<trace::FileSpec> uniform_files(std::size_t n,
+                                           std::uint64_t bytes) {
+  std::vector<trace::FileSpec> files;
+  for (FileId f = 0; f < n; ++f) files.push_back({f, bytes});
+  return files;
+}
+
+TEST(Recovery, SingleFailureLosesNoFile) {
+  Cluster cluster(small_config(), uniform_files(32, 64 * 1024));
+  cluster.fail_osd(3);
+  EXPECT_EQ(cluster.failed_count(), 1u);
+  EXPECT_EQ(cluster.count_unavailable_files(), 0u);
+}
+
+TEST(Recovery, SameGroupDoubleFailureLosesNoFile) {
+  // The paper's headline reliability claim: objects of one file never
+  // share a group, so simultaneous wear-out within a group is survivable.
+  Cluster cluster(small_config(), uniform_files(64, 64 * 1024));
+  cluster.fail_osd(3);
+  cluster.fail_osd(7);  // same group as 3 (n=8, m=4)
+  EXPECT_EQ(cluster.count_unavailable_files(), 0u);
+}
+
+TEST(Recovery, CrossGroupDoubleFailureLosesFiles) {
+  Cluster cluster(small_config(), uniform_files(64, 64 * 1024));
+  cluster.fail_osd(3);
+  cluster.fail_osd(4);  // different group
+  EXPECT_GT(cluster.count_unavailable_files(), 0u);
+}
+
+TEST(Recovery, SameGroupInvariantHoldsAfterMigrations) {
+  Cluster cluster(small_config(), uniform_files(64, 64 * 1024));
+  // Shuffle some objects within their groups first.
+  for (FileId f = 0; f < 16; ++f) {
+    const ObjectId oid = cluster.placement().object_id(f, 2);
+    const OsdId dst =
+        cluster.placement().group_peers(cluster.locate(oid)).front();
+    if (cluster.begin_migration(oid, dst)) cluster.complete_migration(oid);
+  }
+  cluster.fail_osd(1);
+  cluster.fail_osd(5);  // same group
+  EXPECT_EQ(cluster.count_unavailable_files(), 0u);
+}
+
+TEST(Recovery, DegradedReadExpandsToPeers) {
+  Cluster cluster(small_config(), uniform_files(8, 256 * 1024));
+  trace::Record rec{/*file=*/2, /*offset=*/0, /*size=*/8 * 1024,
+                    trace::OpType::kRead, 0};
+  std::vector<OsdIo> healthy;
+  cluster.map_request(rec, healthy);
+  ASSERT_EQ(healthy.size(), 1u);
+
+  cluster.fail_osd(healthy[0].osd);
+  std::vector<OsdIo> degraded;
+  cluster.map_request(rec, degraded);
+  // One lost data read becomes k-1 = 3 peer reads.
+  ASSERT_EQ(degraded.size(), 3u);
+  std::set<ObjectId> peer_oids;
+  for (const auto& io : degraded) {
+    EXPECT_FALSE(io.is_write);
+    EXPECT_NE(io.oid, healthy[0].oid);
+    EXPECT_EQ(io.first_page, healthy[0].first_page);
+    EXPECT_EQ(io.pages, healthy[0].pages);
+    peer_oids.insert(io.oid);
+  }
+  EXPECT_EQ(peer_oids.size(), 3u);
+  EXPECT_EQ(cluster.degraded_reads(), 1u);
+}
+
+TEST(Recovery, WritesToFailedDeviceAreCountedLost) {
+  Cluster cluster(small_config(), uniform_files(8, 256 * 1024));
+  trace::Record rec{2, 0, 8 * 1024, trace::OpType::kWrite, 0};
+  std::vector<OsdIo> healthy;
+  cluster.map_request(rec, healthy);
+  // Fail the data-object's OSD.
+  OsdId data_osd = 0;
+  for (const auto& io : healthy) {
+    if (io.is_write && !io.is_parity) data_osd = io.osd;
+  }
+  cluster.fail_osd(data_osd);
+  std::vector<OsdIo> degraded;
+  cluster.map_request(rec, degraded);
+  // The data write is lost; its RMW pre-read is reconstructed from the
+  // k-1 peers (old data is still needed for the new parity).
+  EXPECT_GT(cluster.lost_writes(), 0u);
+  int writes = 0;
+  for (const auto& io : degraded) {
+    EXPECT_NE(io.osd, data_osd);  // nothing targets the dead device
+    if (io.is_write) ++writes;
+  }
+  EXPECT_EQ(writes, 1);  // only the parity write survives
+}
+
+TEST(Recovery, DoubleFailureReadIsUnavailable) {
+  Cluster cluster(small_config(), uniform_files(8, 256 * 1024));
+  trace::Record rec{2, 0, 8 * 1024, trace::OpType::kRead, 0};
+  std::vector<OsdIo> healthy;
+  cluster.map_request(rec, healthy);
+  const OsdId data_osd = healthy[0].osd;
+  cluster.fail_osd(data_osd);
+  // Fail one of the peer OSDs too (cross-group).
+  std::vector<OsdIo> degraded;
+  cluster.map_request(rec, degraded);
+  cluster.fail_osd(degraded[0].osd);
+  std::vector<OsdIo> dead;
+  cluster.map_request(rec, dead);
+  EXPECT_TRUE(dead.empty());
+  EXPECT_EQ(cluster.unavailable_requests(), 1u);
+}
+
+TEST(Recovery, RebuildRestoresAvailabilityAndInvariants) {
+  Cluster cluster(small_config(), uniform_files(64, 64 * 1024));
+  cluster.populate();
+  const OsdId dead = 3;
+  const auto objects_before = cluster.osd(dead).store().object_count();
+  ASSERT_GT(objects_before, 0u);
+
+  cluster.fail_osd(dead);
+  const auto stats = cluster.rebuild_osd(dead);
+  EXPECT_EQ(stats.objects, objects_before);
+  EXPECT_EQ(stats.unrecoverable, 0u);
+  EXPECT_EQ(stats.unplaced, 0u);
+  EXPECT_GT(stats.pages_written, 0u);
+  EXPECT_EQ(stats.peer_pages_read, 3u * stats.pages_written);  // k-1 reads
+  EXPECT_GT(stats.device_time, 0u);
+
+  // Device back in service, empty and healthy.
+  EXPECT_FALSE(cluster.osd_failed(dead));
+  EXPECT_EQ(cluster.osd(dead).store().object_count(), 0u);
+  EXPECT_EQ(cluster.count_unavailable_files(), 0u);
+
+  // Every rebuilt object is in the dead device's group (invariant held)
+  // and every file still spans 4 distinct groups.
+  for (FileId f = 0; f < 64; ++f) {
+    std::set<std::uint32_t> groups;
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      const OsdId where = cluster.locate(cluster.placement().object_id(f, j));
+      EXPECT_FALSE(cluster.osd_failed(where));
+      groups.insert(cluster.placement().group_of(where));
+    }
+    ASSERT_EQ(groups.size(), 4u);
+  }
+}
+
+TEST(Recovery, RebuildReportsUnrecoverableUnderDoubleFailure) {
+  Cluster cluster(small_config(), uniform_files(64, 64 * 1024));
+  cluster.populate();
+  cluster.fail_osd(3);
+  cluster.fail_osd(4);  // cross-group: some stripes have two lost members
+  const auto stats = cluster.rebuild_osd(3);
+  EXPECT_GT(stats.unrecoverable, 0u);
+  EXPECT_GT(stats.objects, 0u);  // the rest still rebuilds
+}
+
+TEST(Recovery, RebuiltObjectsServeReadsAgain) {
+  Cluster cluster(small_config(), uniform_files(16, 256 * 1024));
+  cluster.populate();
+  trace::Record rec{2, 0, 8 * 1024, trace::OpType::kRead, 0};
+  std::vector<OsdIo> before;
+  cluster.map_request(rec, before);
+  const OsdId dead = before[0].osd;
+  cluster.fail_osd(dead);
+  cluster.rebuild_osd(dead);
+  std::vector<OsdIo> after;
+  cluster.map_request(rec, after);
+  ASSERT_EQ(after.size(), 1u);  // normal single-target read again
+  EXPECT_EQ(after[0].oid, before[0].oid);
+  EXPECT_NE(after[0].osd, dead);  // lives on the rebuild destination now
+}
+
+}  // namespace
+}  // namespace edm::cluster

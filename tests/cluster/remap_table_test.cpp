@@ -1,0 +1,62 @@
+#include "cluster/remap_table.h"
+
+#include <gtest/gtest.h>
+
+namespace edm::cluster {
+namespace {
+
+TEST(RemapTable, EmptyLookup) {
+  RemapTable t;
+  EXPECT_FALSE(t.lookup(1).has_value());
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(RemapTable, SetAndLookup) {
+  RemapTable t;
+  t.set(/*oid=*/5, /*osd=*/3, /*default_home=*/1);
+  ASSERT_TRUE(t.lookup(5).has_value());
+  EXPECT_EQ(*t.lookup(5), 3u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(RemapTable, MovingBackHomeDropsEntry) {
+  RemapTable t;
+  t.set(5, 3, 1);
+  EXPECT_EQ(t.size(), 1u);
+  t.set(5, 1, 1);  // back to the hash home
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.contains(5));
+}
+
+TEST(RemapTable, ReMigrationUpdatesInPlace) {
+  // The paper's SIII.C point: moving an already-remapped object only
+  // updates its entry -- the table does not grow.
+  RemapTable t;
+  t.set(5, 3, 1);
+  t.set(5, 7, 1);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.lookup(5), 7u);
+}
+
+TEST(RemapTable, UpdateCounterIsLifetime) {
+  RemapTable t;
+  t.count_update();
+  t.count_update();
+  EXPECT_EQ(t.updates(), 2u);
+}
+
+TEST(RemapTable, ForEachVisitsAllEntries) {
+  RemapTable t;
+  t.set(1, 4, 0);
+  t.set(2, 8, 0);
+  int count = 0;
+  t.for_each([&](ObjectId oid, OsdId osd) {
+    ++count;
+    EXPECT_TRUE((oid == 1 && osd == 4) || (oid == 2 && osd == 8));
+  });
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace edm::cluster

@@ -1,0 +1,138 @@
+// Weighted (unequal) SSD groups -- the paper's SIII.D wear
+// de-synchronisation mechanism.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+
+namespace edm::cluster {
+namespace {
+
+TEST(WeightedPlacement, TopologyFromSizes) {
+  const Placement p({3, 4, 4, 5}, 4);
+  EXPECT_TRUE(p.weighted());
+  EXPECT_EQ(p.num_osds(), 16u);
+  EXPECT_EQ(p.num_groups(), 4u);
+  EXPECT_EQ(p.group_size(0), 3u);
+  EXPECT_EQ(p.group_size(3), 5u);
+}
+
+TEST(WeightedPlacement, RejectsBadInput) {
+  EXPECT_THROW(Placement({}, 4), std::invalid_argument);
+  EXPECT_THROW(Placement({3, 0, 4}, 2), std::invalid_argument);
+  EXPECT_THROW(Placement({3, 4}, 4), std::invalid_argument);  // k > m
+}
+
+TEST(WeightedPlacement, GroupsAreContiguousRanges) {
+  const Placement p({3, 4, 4, 5}, 4);
+  EXPECT_EQ(p.group_members(0), (std::vector<OsdId>{0, 1, 2}));
+  EXPECT_EQ(p.group_members(1), (std::vector<OsdId>{3, 4, 5, 6}));
+  EXPECT_EQ(p.group_members(3), (std::vector<OsdId>{11, 12, 13, 14, 15}));
+  EXPECT_EQ(p.group_of(0), 0u);
+  EXPECT_EQ(p.group_of(6), 1u);
+  EXPECT_EQ(p.group_of(15), 3u);
+}
+
+TEST(WeightedPlacement, GroupPeersExcludeSelf) {
+  const Placement p({3, 4, 4, 5}, 4);
+  EXPECT_EQ(p.group_peers(1), (std::vector<OsdId>{0, 2}));
+}
+
+TEST(WeightedPlacement, DistinctGroupInvariantForAllFiles) {
+  const Placement p({3, 4, 4, 5}, 4);
+  for (FileId f = 0; f < 10000; ++f) {
+    std::set<std::uint32_t> groups;
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      const OsdId osd = p.default_osd(f, j);
+      ASSERT_LT(osd, p.num_osds());
+      groups.insert(p.group_of(osd));
+    }
+    ASSERT_EQ(groups.size(), 4u) << "file " << f;
+  }
+}
+
+TEST(WeightedPlacement, SmallerGroupsCarryMoreLoadPerSsd) {
+  // The de-synchronisation mechanism: every group receives ~1/m of the
+  // objects, so devices in smaller groups host (and wear) more.
+  const Placement p({2, 4, 4, 6}, 4);
+  std::map<OsdId, std::uint64_t> objects_per_osd;
+  for (FileId f = 0; f < 40000; ++f) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      ++objects_per_osd[p.default_osd(f, j)];
+    }
+  }
+  auto group_mean = [&](std::uint32_t g) {
+    double total = 0;
+    for (OsdId osd : p.group_members(g)) {
+      total += static_cast<double>(objects_per_osd[osd]);
+    }
+    return total / p.group_size(g);
+  };
+  // Group 0 (2 SSDs) should be ~3x group 3 (6 SSDs) per device.
+  EXPECT_GT(group_mean(0), 2.3 * group_mean(3));
+  EXPECT_LT(group_mean(0), 3.8 * group_mean(3));
+}
+
+TEST(WeightedPlacement, MembersFillUniformlyWithinGroup) {
+  const Placement p({5, 5, 5, 5}, 4);
+  std::map<OsdId, std::uint64_t> counts;
+  for (FileId f = 0; f < 50000; ++f) {
+    for (std::uint32_t j = 0; j < 4; ++j) ++counts[p.default_osd(f, j)];
+  }
+  std::uint64_t lo = UINT64_MAX;
+  std::uint64_t hi = 0;
+  for (const auto& [osd, c] : counts) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_LT(static_cast<double>(hi) / static_cast<double>(lo), 1.15);
+}
+
+TEST(WeightedPlacement, ClusterBuildsAndMigratesIntraGroup) {
+  ClusterConfig cfg;
+  cfg.group_sizes = {3, 4, 4, 5};
+  cfg.flash.num_blocks = 64;
+  cfg.flash.pages_per_block = 16;
+  std::vector<trace::FileSpec> files;
+  for (FileId f = 0; f < 64; ++f) files.push_back({f, 64 * 1024});
+  Cluster cluster(cfg, files);
+  EXPECT_EQ(cluster.num_osds(), 16u);
+  EXPECT_TRUE(cluster.placement().weighted());
+
+  const ObjectId oid = cluster.placement().object_id(7, 1);
+  const OsdId src = cluster.locate(oid);
+  const auto peers = cluster.placement().group_peers(src);
+  ASSERT_FALSE(peers.empty());
+  ASSERT_TRUE(cluster.begin_migration(oid, peers.front()));
+  cluster.complete_migration(oid);
+  EXPECT_EQ(cluster.locate(oid), peers.front());
+
+  // Cross-group still forbidden.
+  OsdId other = 0;
+  while (cluster.placement().same_group(cluster.locate(oid), other)) ++other;
+  EXPECT_THROW(cluster.begin_migration(oid, other), std::logic_error);
+}
+
+TEST(WeightedPlacement, AvailabilityInvariantUnderGroupFailures) {
+  ClusterConfig cfg;
+  cfg.group_sizes = {3, 4, 4, 5};
+  cfg.flash.num_blocks = 64;
+  cfg.flash.pages_per_block = 16;
+  std::vector<trace::FileSpec> files;
+  for (FileId f = 0; f < 128; ++f) files.push_back({f, 64 * 1024});
+  Cluster cluster(cfg, files);
+  // Kill ALL of group 0.
+  for (OsdId osd : cluster.placement().group_members(0)) {
+    cluster.fail_osd(osd);
+  }
+  EXPECT_EQ(cluster.count_unavailable_files(), 0u);
+  // One more failure outside the group breaks stripes.
+  cluster.fail_osd(cluster.placement().group_members(1).front());
+  EXPECT_GT(cluster.count_unavailable_files(), 0u);
+}
+
+}  // namespace
+}  // namespace edm::cluster

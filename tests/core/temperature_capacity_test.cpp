@@ -1,0 +1,71 @@
+// Capacity-bounded temperature tracking (the paper's in-memory metadata
+// limit: "we only cache the k hottest objects in memory").
+#include <gtest/gtest.h>
+
+#include "core/temperature.h"
+
+namespace edm::core {
+namespace {
+
+TEST(TemperatureCapacity, UnboundedByDefault) {
+  TemperatureTracker t;
+  for (ObjectId oid = 0; oid < 1000; ++oid) t.record(oid, 1.0);
+  t.enforce_capacity(0);
+  EXPECT_EQ(t.tracked_objects(), 1000u);
+}
+
+TEST(TemperatureCapacity, NoOpWhenUnderCapacity) {
+  TemperatureTracker t;
+  t.record(1, 5.0);
+  t.record(2, 3.0);
+  t.enforce_capacity(10);
+  EXPECT_EQ(t.tracked_objects(), 2u);
+}
+
+TEST(TemperatureCapacity, KeepsTheHottestEntries) {
+  TemperatureTracker t;
+  for (ObjectId oid = 0; oid < 100; ++oid) {
+    t.record(oid, static_cast<double>(oid + 1));  // oid 99 hottest
+  }
+  t.enforce_capacity(10);
+  EXPECT_LE(t.tracked_objects(), 11u);  // ties may survive one round
+  EXPECT_GE(t.tracked_objects(), 10u);
+  for (ObjectId oid = 90; oid < 100; ++oid) {
+    EXPECT_GT(t.temperature(oid), 0.0) << "hot object " << oid << " evicted";
+  }
+  EXPECT_EQ(t.temperature(5), 0.0);  // cold object gone
+}
+
+TEST(TemperatureCapacity, EvictedObjectsCanReheat) {
+  TemperatureTracker t;
+  for (ObjectId oid = 0; oid < 50; ++oid) t.record(oid, 100.0);
+  t.record(99, 1.0);  // coldest
+  t.enforce_capacity(50);
+  EXPECT_EQ(t.temperature(99), 0.0);
+  t.record(99, 500.0);  // comes back hot
+  EXPECT_DOUBLE_EQ(t.temperature(99), 500.0);
+}
+
+TEST(TemperatureCapacity, AccessTrackerEnforcesAtEpochBoundary) {
+  AccessTracker tracker(/*max_entries_per_map=*/16);
+  for (ObjectId oid = 0; oid < 200; ++oid) {
+    tracker.on_access(oid, static_cast<std::uint32_t>(oid + 1), true);
+  }
+  EXPECT_EQ(tracker.write_tracker().tracked_objects(), 200u);  // amortised
+  tracker.advance_epoch();
+  EXPECT_LE(tracker.write_tracker().tracked_objects(), 17u);
+  EXPECT_LE(tracker.total_tracker().tracked_objects(), 17u);
+  // The hottest survive.
+  EXPECT_GT(tracker.write_temperature(199), 0.0);
+  EXPECT_EQ(tracker.write_temperature(3), 0.0);
+}
+
+TEST(TemperatureCapacity, UnboundedTrackerKeepsEverything) {
+  AccessTracker tracker;  // default: unbounded
+  for (ObjectId oid = 0; oid < 500; ++oid) tracker.on_access(oid, 1, false);
+  tracker.advance_epoch();
+  EXPECT_EQ(tracker.total_tracker().tracked_objects(), 500u);
+}
+
+}  // namespace
+}  // namespace edm::core

@@ -1,0 +1,106 @@
+#include "core/temperature.h"
+
+#include <gtest/gtest.h>
+
+namespace edm::core {
+namespace {
+
+TEST(TemperatureTracker, UnknownObjectIsCold) {
+  TemperatureTracker t;
+  EXPECT_EQ(t.temperature(42), 0.0);
+}
+
+TEST(TemperatureTracker, AccumulatesWithinEpoch) {
+  TemperatureTracker t;
+  t.record(1, 3.0);
+  t.record(1, 2.0);
+  EXPECT_DOUBLE_EQ(t.temperature(1), 5.0);
+}
+
+TEST(TemperatureTracker, Eq6RecurrenceExact) {
+  // T_k = T_{k-1} / 2 + A_k.
+  TemperatureTracker t;
+  t.record(1, 8.0);   // T_0 = 8
+  t.advance_epoch();
+  t.record(1, 2.0);   // T_1 = 8/2 + 2 = 6
+  EXPECT_DOUBLE_EQ(t.temperature(1), 6.0);
+  t.advance_epoch();
+  t.record(1, 1.0);   // T_2 = 6/2 + 1 = 4
+  EXPECT_DOUBLE_EQ(t.temperature(1), 4.0);
+}
+
+TEST(TemperatureTracker, DefinitionOneClosedForm) {
+  // T_k = sum_i A_i / 2^(k-i) over the access history.
+  TemperatureTracker t;
+  const double a[] = {5.0, 0.0, 3.0, 7.0};
+  for (int k = 0; k < 4; ++k) {
+    if (k > 0) t.advance_epoch();
+    if (a[k] > 0) t.record(9, a[k]);
+  }
+  double expected = 0;
+  for (int i = 0; i < 4; ++i) expected += a[i] / (1 << (3 - i));
+  EXPECT_DOUBLE_EQ(t.temperature(9), expected);
+}
+
+TEST(TemperatureTracker, LazyDecayWithoutAccess) {
+  TemperatureTracker t;
+  t.record(1, 16.0);
+  for (int i = 0; i < 3; ++i) t.advance_epoch();
+  EXPECT_DOUBLE_EQ(t.temperature(1), 2.0);  // 16 / 2^3
+}
+
+TEST(TemperatureTracker, VeryOldEntriesDecayToZero) {
+  TemperatureTracker t;
+  t.record(1, 1e18);
+  for (int i = 0; i < 70; ++i) t.advance_epoch();
+  EXPECT_EQ(t.temperature(1), 0.0);
+}
+
+TEST(TemperatureTracker, EvictBelowDropsColdEntries) {
+  TemperatureTracker t;
+  t.record(1, 100.0);
+  t.record(2, 0.5);
+  EXPECT_EQ(t.tracked_objects(), 2u);
+  t.evict_below(1.0);
+  EXPECT_EQ(t.tracked_objects(), 1u);
+  EXPECT_EQ(t.temperature(2), 0.0);
+  EXPECT_DOUBLE_EQ(t.temperature(1), 100.0);
+}
+
+TEST(TemperatureTracker, IndependentObjects) {
+  TemperatureTracker t;
+  t.record(1, 4.0);
+  t.record(2, 8.0);
+  t.advance_epoch();
+  t.record(1, 1.0);
+  EXPECT_DOUBLE_EQ(t.temperature(1), 3.0);
+  EXPECT_DOUBLE_EQ(t.temperature(2), 4.0);
+}
+
+TEST(AccessTracker, SeparatesWriteAndTotalTemperature) {
+  AccessTracker tracker;
+  tracker.on_access(1, 10, /*is_write=*/true);
+  tracker.on_access(1, 6, /*is_write=*/false);
+  EXPECT_DOUBLE_EQ(tracker.write_temperature(1), 10.0);
+  EXPECT_DOUBLE_EQ(tracker.total_temperature(1), 16.0);
+}
+
+TEST(AccessTracker, ReadsNeverHeatWriteTemperature) {
+  // HDF's A_i is "the write frequency of an object (not including the read
+  // operations)" -- SIII.B.5.
+  AccessTracker tracker;
+  for (int i = 0; i < 100; ++i) tracker.on_access(7, 4, false);
+  EXPECT_EQ(tracker.write_temperature(7), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.total_temperature(7), 400.0);
+}
+
+TEST(AccessTracker, EpochAdvancesBothMaps) {
+  AccessTracker tracker;
+  tracker.on_access(1, 8, true);
+  tracker.advance_epoch();
+  EXPECT_DOUBLE_EQ(tracker.write_temperature(1), 4.0);
+  EXPECT_DOUBLE_EQ(tracker.total_temperature(1), 4.0);
+}
+
+}  // namespace
+}  // namespace edm::core

@@ -1,0 +1,113 @@
+#include "core/wear_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace edm::core {
+namespace {
+
+DeviceView device(OsdId id, std::uint64_t wc, double u) {
+  DeviceView d;
+  d.id = id;
+  d.write_pages = wc;
+  d.utilization = u;
+  d.capacity_pages = 100000;
+  d.free_pages = static_cast<std::uint64_t>((1.0 - u) * 100000);
+  return d;
+}
+
+TEST(WearMonitor, RejectsNonPositiveLambda) {
+  EXPECT_THROW(WearMonitor(WearModel(32, 0.28), 0.0), std::invalid_argument);
+  EXPECT_THROW(WearMonitor(WearModel(32, 0.28), -1.0), std::invalid_argument);
+}
+
+TEST(WearMonitor, BalancedClusterDoesNotTrigger) {
+  const WearMonitor monitor(WearModel(32, 0.28), 0.15);
+  std::vector<DeviceView> devices;
+  for (OsdId i = 0; i < 8; ++i) devices.push_back(device(i, 10000, 0.6));
+  const auto a = monitor.assess(devices);
+  EXPECT_FALSE(a.imbalanced);
+  EXPECT_NEAR(a.rsd, 0.0, 1e-9);
+  EXPECT_TRUE(a.sources.empty());
+  // Every device sits exactly at the mean; none strictly below it.
+  EXPECT_TRUE(a.destinations.empty());
+}
+
+TEST(WearMonitor, SkewedWritesTrigger) {
+  const WearMonitor monitor(WearModel(32, 0.28), 0.15);
+  std::vector<DeviceView> devices;
+  for (OsdId i = 0; i < 8; ++i) {
+    devices.push_back(device(i, i == 0 ? 80000 : 10000, 0.6));
+  }
+  const auto a = monitor.assess(devices);
+  EXPECT_TRUE(a.imbalanced);
+  ASSERT_EQ(a.sources.size(), 1u);
+  EXPECT_EQ(a.sources[0], 0u);
+  EXPECT_EQ(a.destinations.size(), 7u);
+}
+
+TEST(WearMonitor, UtilizationAloneCanTrigger) {
+  // Same writes everywhere; one device runs much fuller -> more wear.
+  const WearMonitor monitor(WearModel(32, 0.28), 0.10);
+  std::vector<DeviceView> devices;
+  for (OsdId i = 0; i < 8; ++i) {
+    devices.push_back(device(i, 20000, i == 0 ? 0.92 : 0.55));
+  }
+  const auto a = monitor.assess(devices);
+  EXPECT_TRUE(a.imbalanced);
+  ASSERT_FALSE(a.sources.empty());
+  EXPECT_EQ(a.sources[0], 0u);
+}
+
+TEST(WearMonitor, SourceRuleIsMeanPlusLambda) {
+  const WearMonitor monitor(WearModel(32, 0.0), 0.4);
+  // Erase estimates proportional to writes at fixed u below the model knee.
+  std::vector<DeviceView> devices = {
+      device(0, 30000, 0.3),  // est ~2x mean: source
+      device(1, 10000, 0.3),  // below mean: destination
+      device(2, 20000, 0.3),  // at mean: neither
+  };
+  const auto a = monitor.assess(devices);
+  ASSERT_EQ(a.sources.size(), 1u);
+  EXPECT_EQ(a.sources[0], 0u);
+  ASSERT_EQ(a.destinations.size(), 1u);
+  EXPECT_EQ(a.destinations[0], 1u);
+}
+
+TEST(WearMonitor, EraseEstimatesMatchModel) {
+  const WearModel model(32, 0.28);
+  const WearMonitor monitor(model, 0.15);
+  std::vector<DeviceView> devices = {device(0, 12345, 0.66)};
+  const auto a = monitor.assess(devices);
+  ASSERT_EQ(a.erase_estimate.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.erase_estimate[0], model.erase_count(12345, 0.66));
+}
+
+TEST(WearMonitor, EmptyDeviceSet) {
+  const WearMonitor monitor(WearModel(32, 0.28), 0.15);
+  const auto a = monitor.assess({});
+  EXPECT_FALSE(a.imbalanced);
+  EXPECT_TRUE(a.sources.empty());
+  EXPECT_TRUE(a.destinations.empty());
+}
+
+class LambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LambdaSweep, HigherLambdaNeverAddsSources) {
+  std::vector<DeviceView> devices;
+  for (OsdId i = 0; i < 16; ++i) {
+    devices.push_back(device(i, 5000 + i * 2000, 0.55 + 0.02 * (i % 5)));
+  }
+  const WearMonitor tight(WearModel(32, 0.28), GetParam());
+  const WearMonitor loose(WearModel(32, 0.28), GetParam() * 2);
+  EXPECT_GE(tight.assess(devices).sources.size(),
+            loose.assess(devices).sources.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, LambdaSweep,
+                         ::testing::Values(0.05, 0.1, 0.15, 0.25));
+
+}  // namespace
+}  // namespace edm::core

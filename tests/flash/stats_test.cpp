@@ -1,0 +1,38 @@
+#include "flash/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace edm::flash {
+namespace {
+
+TEST(FlashStats, FreshStatsAreNeutral) {
+  const FlashStats s;
+  EXPECT_EQ(s.measured_ur(32), 0.0);
+  EXPECT_EQ(s.write_amplification(), 1.0);
+}
+
+TEST(FlashStats, MeasuredUrIsVictimValidShare) {
+  FlashStats s;
+  s.erase_count = 10;
+  s.victim_valid_pages = 80;  // 8 valid of 32 pages per victim on average
+  EXPECT_DOUBLE_EQ(s.measured_ur(32), 0.25);
+  EXPECT_DOUBLE_EQ(s.measured_ur(16), 0.5);
+}
+
+TEST(FlashStats, WriteAmplificationFormula) {
+  FlashStats s;
+  s.host_page_writes = 1000;
+  s.gc_page_moves = 500;
+  EXPECT_DOUBLE_EQ(s.write_amplification(), 1.5);
+  s.gc_page_moves = 0;
+  EXPECT_DOUBLE_EQ(s.write_amplification(), 1.0);
+}
+
+TEST(FlashStats, WriteAmplificationGuardsZeroWrites) {
+  FlashStats s;
+  s.gc_page_moves = 100;  // pathological but must not divide by zero
+  EXPECT_DOUBLE_EQ(s.write_amplification(), 1.0);
+}
+
+}  // namespace
+}  // namespace edm::flash

@@ -1,0 +1,123 @@
+#include "flash/victim_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace edm::flash {
+namespace {
+
+TEST(VictimQueue, EmptyReturnsMinusOne) {
+  VictimQueue q(10, 32);
+  EXPECT_EQ(q.min_valid_block(), -1);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(VictimQueue, SingleInsertFindable) {
+  VictimQueue q(10, 32);
+  q.insert(3, 7);
+  EXPECT_EQ(q.min_valid_block(), 3);
+  EXPECT_TRUE(q.contains(3));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(VictimQueue, MinSelectsLowestValidCount) {
+  VictimQueue q(10, 32);
+  q.insert(0, 20);
+  q.insert(1, 5);
+  q.insert(2, 12);
+  EXPECT_EQ(q.min_valid_block(), 1);
+}
+
+TEST(VictimQueue, RemoveUnregisters) {
+  VictimQueue q(10, 32);
+  q.insert(1, 5);
+  q.insert(2, 9);
+  q.remove(1);
+  EXPECT_FALSE(q.contains(1));
+  EXPECT_EQ(q.min_valid_block(), 2);
+}
+
+TEST(VictimQueue, UpdateMovesBetweenBuckets) {
+  VictimQueue q(10, 32);
+  q.insert(0, 30);
+  q.insert(1, 31);
+  q.update(1, 2);  // invalidations shrank it
+  EXPECT_EQ(q.min_valid_block(), 1);
+  q.update(1, 32);
+  EXPECT_EQ(q.min_valid_block(), 0);
+}
+
+TEST(VictimQueue, UpdateSameCountIsNoOp) {
+  VictimQueue q(4, 8);
+  q.insert(2, 3);
+  q.update(2, 3);
+  EXPECT_TRUE(q.contains(2));
+  EXPECT_EQ(q.min_valid_block(), 2);
+}
+
+TEST(VictimQueue, ZeroValidCountSupported) {
+  VictimQueue q(4, 8);
+  q.insert(0, 0);
+  q.insert(1, 1);
+  EXPECT_EQ(q.min_valid_block(), 0);
+}
+
+TEST(VictimQueue, MaxValidCountSupported) {
+  VictimQueue q(4, 8);
+  q.insert(0, 8);  // fully valid block is a legal (bad) candidate
+  EXPECT_EQ(q.min_valid_block(), 0);
+}
+
+// Property test: behave exactly like a naive min-map under random ops.
+TEST(VictimQueue, MatchesNaiveModelUnderFuzz) {
+  constexpr std::uint32_t kBlocks = 64;
+  constexpr std::uint32_t kPages = 16;
+  VictimQueue q(kBlocks, kPages);
+  std::map<std::uint32_t, std::uint32_t> model;  // block -> valid
+  util::Xoshiro256 rng(99);
+
+  for (int step = 0; step < 20000; ++step) {
+    const auto block = static_cast<std::uint32_t>(rng.next_below(kBlocks));
+    const auto action = rng.next_below(3);
+    if (action == 0) {
+      if (!model.count(block)) {
+        const auto valid = static_cast<std::uint32_t>(rng.next_below(kPages + 1));
+        q.insert(block, valid);
+        model[block] = valid;
+      }
+    } else if (action == 1) {
+      if (model.count(block)) {
+        q.remove(block);
+        model.erase(block);
+      }
+    } else {
+      if (model.count(block)) {
+        const auto valid = static_cast<std::uint32_t>(rng.next_below(kPages + 1));
+        q.update(block, valid);
+        model[block] = valid;
+      }
+    }
+    ASSERT_EQ(q.size(), model.size());
+    if (model.empty()) {
+      ASSERT_EQ(q.min_valid_block(), -1);
+    } else {
+      const auto min_valid =
+          std::min_element(model.begin(), model.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.second < b.second;
+                           })
+              ->second;
+      const auto got = q.min_valid_block();
+      ASSERT_GE(got, 0);
+      ASSERT_EQ(model.at(static_cast<std::uint32_t>(got)), min_valid);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edm::flash

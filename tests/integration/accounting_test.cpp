@@ -1,0 +1,116 @@
+// Cross-layer accounting invariants: everything the flash devices record
+// must be explainable by foreground I/O, parity, migration, and GC.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "core/cdf_policy.h"
+#include "core/hdf_policy.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "trace/profile.h"
+
+namespace edm {
+namespace {
+
+struct Rig {
+  explicit Rig(core::PolicyKind kind) {
+    profile = trace::profile_by_name("lair62").scaled(0.01);
+    trace = trace::TraceGenerator(profile, 4).generate();
+    cluster::ClusterConfig ccfg;
+    ccfg.num_osds = 8;
+    ccfg.flash.num_blocks = 128;
+    ccfg.flash.pages_per_block = 16;
+    cluster = std::make_unique<cluster::Cluster>(ccfg, trace.files);
+    cluster->populate();
+    cluster->steady_state_warmup();
+    cluster->reset_flash_stats();
+    core::PolicyConfig pcfg;
+    pcfg.model = core::WearModel(16, 0.28);
+    policy = core::make_policy(kind, pcfg);
+    sim::SimConfig scfg;
+    scfg.num_clients = 4;
+    result = sim::Simulator(scfg, *cluster, trace, policy.get()).run();
+  }
+
+  /// Foreground page writes implied by the trace through the RAID-5 layout
+  /// (data + parity + nothing else).
+  std::uint64_t expected_foreground_writes() const {
+    std::uint64_t pages = 0;
+    std::vector<cluster::OsdIo> ios;
+    // Build a fresh metadata-only cluster to re-map the workload without
+    // the migrations the measured cluster performed.
+    cluster::ClusterConfig ccfg;
+    ccfg.num_osds = 8;
+    ccfg.flash.num_blocks = 128;
+    ccfg.flash.pages_per_block = 16;
+    cluster::Cluster reference(ccfg, trace.files);
+    for (const auto& rec : trace.records) {
+      ios.clear();
+      reference.map_request(rec, ios);
+      for (const auto& io : ios) {
+        if (io.is_write) pages += io.pages;
+      }
+    }
+    return pages;
+  }
+
+  trace::WorkloadProfile profile;
+  trace::Trace trace;
+  std::unique_ptr<cluster::Cluster> cluster;
+  std::unique_ptr<core::MigrationPolicy> policy;
+  sim::RunResult result;
+};
+
+TEST(Accounting, BaselineHostWritesEqualForegroundWrites) {
+  Rig rig(core::PolicyKind::kNone);
+  EXPECT_EQ(rig.result.aggregate_host_writes(),
+            rig.expected_foreground_writes());
+}
+
+TEST(Accounting, MigrationWritesAreExactlyMoverPages) {
+  Rig rig(core::PolicyKind::kHdf);
+  // Host writes = foreground + one write per moved page (mover read side
+  // is reads, not writes).
+  EXPECT_EQ(rig.result.aggregate_host_writes(),
+            rig.expected_foreground_writes() + rig.result.migration.moved_pages);
+}
+
+TEST(Accounting, CdfMigrationWritesAlsoExact) {
+  Rig rig(core::PolicyKind::kCdf);
+  EXPECT_EQ(rig.result.aggregate_host_writes(),
+            rig.expected_foreground_writes() + rig.result.migration.moved_pages);
+}
+
+TEST(Accounting, ErasesReflectWritesPlusGcMoves) {
+  // Under greedy GC every erase frees one block; pages programmed =
+  // host writes + GC moves <= erases * pages_per_block + open-block slack.
+  Rig rig(core::PolicyKind::kNone);
+  for (const auto& o : rig.result.per_osd) {
+    const std::uint64_t programmed =
+        o.flash.host_page_writes + o.flash.gc_page_moves;
+    const std::uint64_t reclaimed =
+        o.flash.erase_count * 16 + 2ull * 128 * 16;  // + initial free pool
+    EXPECT_LE(programmed, reclaimed);
+  }
+}
+
+TEST(Accounting, ResponseWindowOpsSumToCompletedOps) {
+  Rig rig(core::PolicyKind::kHdf);
+  std::uint64_t sum = 0;
+  for (const auto& w : rig.result.response_timeline) sum += w.completed_ops;
+  EXPECT_EQ(sum, rig.result.completed_ops);
+  EXPECT_EQ(rig.result.completed_ops, rig.trace.records.size());
+}
+
+TEST(Accounting, RemapSizeNeverExceedsMovedObjects) {
+  Rig rig(core::PolicyKind::kCdf);
+  EXPECT_LE(rig.result.migration.remap_table_size,
+            rig.result.migration.moved_objects);
+  EXPECT_EQ(rig.cluster->migrations_completed(),
+            rig.result.migration.moved_objects);
+}
+
+}  // namespace
+}  // namespace edm

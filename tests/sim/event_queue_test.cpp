@@ -1,0 +1,62 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace edm::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(30, EventKind::kOsdComplete, 3);
+  q.push(10, EventKind::kOsdComplete, 1);
+  q.push(20, EventKind::kEpochTick, 2);
+  EXPECT_EQ(q.pop().payload, 1u);
+  EXPECT_EQ(q.pop().payload, 2u);
+  EXPECT_EQ(q.pop().payload, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    q.push(5, EventKind::kOsdComplete, i);
+  }
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(q.pop().payload, i);
+  }
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  q.push(10, EventKind::kOsdComplete, 1);
+  q.push(5, EventKind::kOsdComplete, 0);
+  EXPECT_EQ(q.pop().payload, 0u);
+  q.push(7, EventKind::kOsdComplete, 2);
+  EXPECT_EQ(q.pop().payload, 2u);
+  EXPECT_EQ(q.pop().payload, 1u);
+}
+
+TEST(EventQueue, PeekDoesNotRemove) {
+  EventQueue q;
+  q.push(1, EventKind::kEpochTick, 9);
+  EXPECT_EQ(q.peek().payload, 9u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CarriesKindAndTime) {
+  EventQueue q;
+  q.push(123, EventKind::kEpochTick, 7);
+  const Event e = q.pop();
+  EXPECT_EQ(e.time, 123u);
+  EXPECT_EQ(e.kind, EventKind::kEpochTick);
+  EXPECT_EQ(e.payload, 7u);
+}
+
+}  // namespace
+}  // namespace edm::sim

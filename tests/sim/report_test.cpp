@@ -1,0 +1,97 @@
+#include "sim/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/experiment.h"
+
+namespace edm::sim {
+namespace {
+
+RunResult sample_result() {
+  ExperimentConfig cfg;
+  cfg.trace_name = "home02";
+  cfg.scale = 0.004;
+  cfg.num_osds = 8;
+  cfg.policy = core::PolicyKind::kHdf;
+  return run_experiment(cfg);
+}
+
+TEST(Report, TextContainsHeadlineMetrics) {
+  const RunResult r = sample_result();
+  std::ostringstream os;
+  write_report(r, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("EDM-HDF"), std::string::npos);
+  EXPECT_NE(out.find("home02"), std::string::npos);
+  EXPECT_NE(out.find("throughput"), std::string::npos);
+  EXPECT_NE(out.find("aggregate_erases"), std::string::npos);
+  EXPECT_NE(out.find("osd"), std::string::npos);  // per-OSD table
+}
+
+TEST(Report, QuietModeOmitsTables) {
+  const RunResult r = sample_result();
+  std::ostringstream full;
+  std::ostringstream quiet;
+  write_report(r, full, true, true);
+  write_report(r, quiet, false, false);
+  EXPECT_LT(quiet.str().size(), full.str().size());
+  EXPECT_EQ(quiet.str().find("gc_moves"), std::string::npos);
+}
+
+TEST(Report, JsonIsStructurallySound) {
+  const RunResult r = sample_result();
+  std::ostringstream os;
+  write_json(r, os);
+  const std::string out = os.str();
+
+  // Balanced braces/brackets and no trailing commas.
+  int depth = 0;
+  bool in_string = false;
+  char prev = 0;
+  for (char c : out) {
+    if (in_string) {
+      if (c == '"' && prev != '\\') in_string = false;
+    } else {
+      if (c == '"') in_string = true;
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') {
+        --depth;
+        EXPECT_NE(prev, ',') << "trailing comma before " << c;
+      }
+      ASSERT_GE(depth, 0);
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) prev = c;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+
+  // Required fields present.
+  for (const char* key :
+       {"\"schema\":\"edm-run-result/1\"", "\"summary\":", "\"migration\":",
+        "\"per_osd\":", "\"timeline\":", "\"throughput_ops_per_sec\":",
+        "\"moved_objects\":", "\"erase_rsd\":"}) {
+    EXPECT_NE(out.find(key), std::string::npos) << key;
+  }
+  // No NaN/inf can appear in JSON.
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+  EXPECT_EQ(out.find("inf"), std::string::npos);
+}
+
+TEST(Report, JsonPerOsdArityMatchesCluster) {
+  const RunResult r = sample_result();
+  std::ostringstream os;
+  write_json(r, os);
+  const std::string out = os.str();
+  std::size_t count = 0;
+  for (std::size_t pos = out.find("\"host_page_writes\"");
+       pos != std::string::npos;
+       pos = out.find("\"host_page_writes\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, r.per_osd.size());
+}
+
+}  // namespace
+}  // namespace edm::sim

@@ -1,0 +1,124 @@
+#include "trace/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.h"
+#include "trace/profile.h"
+
+namespace edm::trace {
+namespace {
+
+Trace make_trace(std::vector<Record> records,
+                 std::vector<FileSpec> files) {
+  Trace t;
+  t.name = "synthetic";
+  t.files = std::move(files);
+  t.records = std::move(records);
+  return t;
+}
+
+TEST(Analysis, EmptyTrace) {
+  const auto a = analyze_skew(Trace{});
+  EXPECT_EQ(a.write_top1_share, 0.0);
+  EXPECT_EQ(a.write_gini, 0.0);
+}
+
+TEST(Analysis, UniformWritesHaveLowGini) {
+  std::vector<FileSpec> files;
+  std::vector<Record> records;
+  for (FileId f = 0; f < 100; ++f) {
+    files.push_back({f, 1 << 20});
+    records.push_back({f, 0, 4096, OpType::kWrite, 0});
+  }
+  const auto a = analyze_skew(make_trace(records, files));
+  EXPECT_LT(a.write_gini, 0.05);
+  EXPECT_NEAR(a.write_top10_share, 0.10, 0.02);
+}
+
+TEST(Analysis, SingleHotFileHasHighGini) {
+  std::vector<FileSpec> files;
+  for (FileId f = 0; f < 100; ++f) files.push_back({f, 1 << 20});
+  std::vector<Record> records;
+  for (int i = 0; i < 1000; ++i) {
+    records.push_back({0, static_cast<std::uint64_t>(i % 16) * 4096, 4096,
+                       OpType::kWrite, 0});
+  }
+  const auto a = analyze_skew(make_trace(records, files));
+  EXPECT_GT(a.write_gini, 0.95);
+  EXPECT_NEAR(a.write_top1_share, 1.0, 1e-9);
+}
+
+TEST(Analysis, RewriteRatioDetectsOverwrites) {
+  std::vector<FileSpec> files = {{0, 1 << 20}};
+  std::vector<Record> fresh;
+  std::vector<Record> rewriting;
+  for (int i = 0; i < 100; ++i) {
+    fresh.push_back({0, static_cast<std::uint64_t>(i) * 4096, 4096,
+                     OpType::kWrite, 0});
+    rewriting.push_back({0, 0, 4096, OpType::kWrite, 0});
+  }
+  EXPECT_EQ(analyze_skew(make_trace(fresh, files)).write_rewrite_ratio, 0.0);
+  // First write is fresh, the other 99 rewrite page 0.
+  EXPECT_NEAR(analyze_skew(make_trace(rewriting, files)).write_rewrite_ratio,
+              0.99, 1e-9);
+}
+
+TEST(Analysis, SequentialRatio) {
+  std::vector<FileSpec> files = {{0, 1 << 20}};
+  std::vector<Record> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back({0, static_cast<std::uint64_t>(i) * 4096, 4096,
+                       OpType::kRead, 0});
+  }
+  // 9 of 10 continue from the previous end offset.
+  EXPECT_NEAR(analyze_skew(make_trace(records, files)).sequential_ratio, 0.9,
+              1e-9);
+}
+
+TEST(Analysis, CorrelationSignsAreRight) {
+  std::vector<FileSpec> files;
+  for (FileId f = 0; f < 50; ++f) files.push_back({f, 1 << 20});
+  // Aligned: file f gets f writes and f reads.
+  std::vector<Record> aligned;
+  for (FileId f = 0; f < 50; ++f) {
+    for (FileId i = 0; i <= f; ++i) {
+      aligned.push_back({f, 0, 4096, OpType::kWrite, 0});
+      aligned.push_back({f, 0, 4096, OpType::kRead, 0});
+    }
+  }
+  EXPECT_GT(analyze_skew(make_trace(aligned, files)).read_write_correlation,
+            0.95);
+  // Opposed: file f gets f writes but (50-f) reads.
+  std::vector<Record> opposed;
+  for (FileId f = 0; f < 50; ++f) {
+    for (FileId i = 0; i <= f; ++i) {
+      opposed.push_back({f, 0, 4096, OpType::kWrite, 0});
+    }
+    for (FileId i = f; i < 50; ++i) {
+      opposed.push_back({f, 0, 4096, OpType::kRead, 0});
+    }
+  }
+  EXPECT_LT(analyze_skew(make_trace(opposed, files)).read_write_correlation,
+            -0.9);
+}
+
+TEST(Analysis, GeneratedProfilesMatchTheirCalibrationIntent) {
+  const auto home = analyze_skew(
+      TraceGenerator(profile_by_name("home02").scaled(0.02), 4).generate());
+  const auto random = analyze_skew(
+      TraceGenerator(random_profile().scaled(0.1), 4).generate());
+
+  // The skewed profile concentrates writes and rewrites hot pages; the
+  // random workload does neither.
+  EXPECT_GT(home.write_top10_share, 0.35);
+  EXPECT_GT(home.write_rewrite_ratio, 0.5);
+  EXPECT_LT(random.write_top10_share, 0.15);
+  // Reads and writes correlate (jittered shared popularity ranking).
+  EXPECT_GT(home.read_write_correlation, 0.2);
+  // Heavy-tailed file sizes for home02, fixed sizes for random.
+  EXPECT_GT(home.size_max_over_mean, 10.0);
+  EXPECT_LT(random.size_max_over_mean, 1.5);
+}
+
+}  // namespace
+}  // namespace edm::trace

@@ -1,0 +1,181 @@
+#include "trace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/profile.h"
+
+namespace edm::trace {
+namespace {
+
+WorkloadProfile small_profile() {
+  return profile_by_name("home02").scaled(0.02);
+}
+
+TEST(TraceGenerator, DeterministicForSameProfile) {
+  const TraceGenerator gen(small_profile(), 4);
+  const Trace a = gen.generate();
+  const Trace b = gen.generate();
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    ASSERT_EQ(a.records[i].file, b.records[i].file);
+    ASSERT_EQ(a.records[i].offset, b.records[i].offset);
+    ASSERT_EQ(a.records[i].size, b.records[i].size);
+    ASSERT_EQ(a.records[i].op, b.records[i].op);
+  }
+}
+
+TEST(TraceGenerator, OpCountsMatchProfileExactly) {
+  const auto profile = small_profile();
+  const Trace t = TraceGenerator(profile, 4).generate();
+  const auto c = characterize(t);
+  EXPECT_EQ(c.write_count, profile.write_count);
+  EXPECT_EQ(c.read_count, profile.read_count);
+  EXPECT_EQ(c.file_count, profile.file_count);
+  EXPECT_EQ(c.open_count, c.close_count);
+}
+
+TEST(TraceGenerator, MeanRequestSizesNearTargets) {
+  const auto profile = profile_by_name("home02").scaled(0.05);
+  const auto c = characterize(TraceGenerator(profile, 4).generate());
+  EXPECT_NEAR(c.avg_write_size, profile.avg_write_size,
+              0.12 * profile.avg_write_size);
+  EXPECT_NEAR(c.avg_read_size, profile.avg_read_size,
+              0.12 * profile.avg_read_size);
+}
+
+TEST(TraceGenerator, RequestsStayWithinFileBounds) {
+  const Trace t = TraceGenerator(small_profile(), 4).generate();
+  std::map<FileId, std::uint64_t> sizes;
+  for (const auto& f : t.files) sizes[f.id] = f.size_bytes;
+  for (const auto& r : t.records) {
+    if (r.op == OpType::kRead || r.op == OpType::kWrite) {
+      ASSERT_LE(r.offset + r.size, sizes.at(r.file))
+          << "file " << r.file << " off " << r.offset << " size " << r.size;
+      ASSERT_GT(r.size, 0u);
+    }
+  }
+}
+
+TEST(TraceGenerator, SessionsAreBracketedByOpenClose) {
+  const Trace t = TraceGenerator(small_profile(), 4).generate();
+  // Per client lane, records alternate open ... ops ... close on one file.
+  std::map<std::uint16_t, FileId> open_file;
+  std::map<std::uint16_t, bool> in_session;
+  for (const auto& r : t.records) {
+    switch (r.op) {
+      case OpType::kOpen:
+        ASSERT_FALSE(in_session[r.client]);
+        in_session[r.client] = true;
+        open_file[r.client] = r.file;
+        break;
+      case OpType::kClose:
+        ASSERT_TRUE(in_session[r.client]);
+        ASSERT_EQ(open_file[r.client], r.file);
+        in_session[r.client] = false;
+        break;
+      default:
+        ASSERT_TRUE(in_session[r.client]);
+        ASSERT_EQ(open_file[r.client], r.file);
+    }
+  }
+}
+
+TEST(TraceGenerator, ClientsAssignedRoundRobinOverSessions) {
+  const Trace t = TraceGenerator(small_profile(), 4).generate();
+  std::set<std::uint16_t> clients;
+  for (const auto& r : t.records) clients.insert(r.client);
+  EXPECT_EQ(clients.size(), 4u);
+}
+
+TEST(TraceGenerator, WriteMixIsStationaryAcrossTheTrace) {
+  // The paper's midpoint-shuffle experiment needs writes in BOTH halves;
+  // a naive generator depletes the write quota early.
+  const auto profile = profile_by_name("home02").scaled(0.05);
+  const Trace t = TraceGenerator(profile, 4).generate();
+  std::uint64_t first_half_writes = 0;
+  std::uint64_t second_half_writes = 0;
+  for (std::size_t i = 0; i < t.records.size(); ++i) {
+    if (t.records[i].op == OpType::kWrite) {
+      (i < t.records.size() / 2 ? first_half_writes : second_half_writes)++;
+    }
+  }
+  const double ratio = static_cast<double>(first_half_writes) /
+                       static_cast<double>(second_half_writes);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(TraceGenerator, WritePopularityIsSkewedForHomeProfiles) {
+  const Trace t = TraceGenerator(small_profile(), 4).generate();
+  std::map<FileId, std::uint64_t> write_bytes;
+  std::uint64_t total = 0;
+  for (const auto& r : t.records) {
+    if (r.op == OpType::kWrite) {
+      write_bytes[r.file] += r.size;
+      total += r.size;
+    }
+  }
+  // Top 1% of files should hold a disproportionate share of write bytes.
+  std::vector<std::uint64_t> by_file;
+  for (const auto& [f, b] : write_bytes) by_file.push_back(b);
+  std::sort(by_file.rbegin(), by_file.rend());
+  const std::size_t top = std::max<std::size_t>(1, t.files.size() / 100);
+  std::uint64_t top_bytes = 0;
+  for (std::size_t i = 0; i < top && i < by_file.size(); ++i) {
+    top_bytes += by_file[i];
+  }
+  EXPECT_GT(static_cast<double>(top_bytes) / static_cast<double>(total), 0.15);
+}
+
+TEST(TraceGenerator, RandomProfileIsUnskewed) {
+  auto profile = random_profile();
+  profile.file_count = 512;
+  profile.write_count = 20000;
+  profile.read_count = 20000;
+  const Trace t = TraceGenerator(profile, 4).generate();
+  std::map<FileId, std::uint64_t> touches;
+  for (const auto& r : t.records) {
+    if (r.op == OpType::kWrite) touches[r.file]++;
+  }
+  std::vector<std::uint64_t> counts;
+  for (const auto& [f, c] : touches) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+  // Uniform popularity: the hottest file should hold well under 2% of ops.
+  EXPECT_LT(static_cast<double>(counts.front()) / 20000.0, 0.02);
+}
+
+TEST(TraceGenerator, FileSizesHeavyTailed) {
+  const Trace t = TraceGenerator(profile_by_name("lair62").scaled(0.05), 4)
+                      .generate();
+  std::uint64_t max_size = 0;
+  std::uint64_t total = 0;
+  for (const auto& f : t.files) {
+    max_size = std::max(max_size, f.size_bytes);
+    total += f.size_bytes;
+    ASSERT_GE(f.size_bytes, 8u * 1024u);
+  }
+  const double mean = static_cast<double>(total) / t.files.size();
+  EXPECT_GT(static_cast<double>(max_size), 20.0 * mean);
+}
+
+class GeneratorAllProfiles : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GeneratorAllProfiles, GeneratesValidTraceAtTinyScale) {
+  const auto profile = profile_by_name(GetParam()).scaled(0.01);
+  const Trace t = TraceGenerator(profile, 4).generate();
+  const auto c = characterize(t);
+  EXPECT_EQ(c.write_count, profile.write_count);
+  EXPECT_EQ(c.read_count, profile.read_count);
+  EXPECT_GT(t.total_file_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, GeneratorAllProfiles,
+                         ::testing::Values("home02", "home03", "home04",
+                                           "deasna", "deasna2", "lair62",
+                                           "lair62b", "random"));
+
+}  // namespace
+}  // namespace edm::trace

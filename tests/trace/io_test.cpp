@@ -1,0 +1,91 @@
+#include "trace/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.h"
+#include "trace/profile.h"
+
+namespace edm::trace {
+namespace {
+
+Trace sample_trace() {
+  return TraceGenerator(profile_by_name("home02").scaled(0.005), 3)
+      .generate();
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  const Trace loaded = load_trace(buffer);
+
+  EXPECT_EQ(loaded.name, original.name);
+  ASSERT_EQ(loaded.files.size(), original.files.size());
+  for (std::size_t i = 0; i < original.files.size(); ++i) {
+    EXPECT_EQ(loaded.files[i].id, original.files[i].id);
+    EXPECT_EQ(loaded.files[i].size_bytes, original.files[i].size_bytes);
+  }
+  ASSERT_EQ(loaded.records.size(), original.records.size());
+  for (std::size_t i = 0; i < original.records.size(); ++i) {
+    EXPECT_EQ(loaded.records[i].file, original.records[i].file);
+    EXPECT_EQ(loaded.records[i].offset, original.records[i].offset);
+    EXPECT_EQ(loaded.records[i].size, original.records[i].size);
+    EXPECT_EQ(loaded.records[i].op, original.records[i].op);
+    EXPECT_EQ(loaded.records[i].client, original.records[i].client);
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  Trace empty;
+  empty.name = "empty";
+  std::stringstream buffer;
+  save_trace(empty, buffer);
+  const Trace loaded = load_trace(buffer);
+  EXPECT_EQ(loaded.name, "empty");
+  EXPECT_TRUE(loaded.files.empty());
+  EXPECT_TRUE(loaded.records.empty());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream buffer("NOTATRACE_______________");
+  EXPECT_THROW(load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedStream) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_trace(truncated), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnknownVersion) {
+  Trace empty;
+  empty.name = "v";
+  std::stringstream buffer;
+  save_trace(empty, buffer);
+  std::string bytes = buffer.str();
+  bytes[8] = 99;  // version field follows the 8-byte magic
+  std::stringstream bad(bytes);
+  EXPECT_THROW(load_trace(bad), std::runtime_error);
+}
+
+TEST(TraceIo, FileHelpersWork) {
+  const Trace original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/edm_trace_test.bin";
+  save_trace_file(original, path);
+  const Trace loaded = load_trace_file(path);
+  EXPECT_EQ(loaded.records.size(), original.records.size());
+  EXPECT_EQ(loaded.name, original.name);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace_file("/nonexistent/path/trace.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace edm::trace

@@ -1,0 +1,91 @@
+#include "trace/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace edm::trace {
+namespace {
+
+TEST(Profiles, Table1HasSevenWorkloadsInPaperOrder) {
+  const auto profiles = table1_profiles();
+  ASSERT_EQ(profiles.size(), 7u);
+  const char* expected[] = {"home02", "home03", "home04", "deasna",
+                            "deasna2", "lair62", "lair62b"};
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(profiles[i].name, expected[i]);
+  }
+}
+
+TEST(Profiles, Table1StatisticsMatchPaper) {
+  // Spot-check the published numbers verbatim (Table I).
+  const auto& home02 = profile_by_name("home02");
+  EXPECT_EQ(home02.file_count, 10931u);
+  EXPECT_EQ(home02.write_count, 730602u);
+  EXPECT_EQ(home02.avg_write_size, 8048u);
+  EXPECT_EQ(home02.read_count, 3497486u);
+  EXPECT_EQ(home02.avg_read_size, 8191u);
+
+  const auto& deasna = profile_by_name("deasna");
+  EXPECT_EQ(deasna.file_count, 9727u);
+  EXPECT_EQ(deasna.write_count, 232481u);
+  EXPECT_EQ(deasna.avg_write_size, 24167u);
+
+  const auto& lair62b = profile_by_name("lair62b");
+  EXPECT_EQ(lair62b.file_count, 27228u);
+  EXPECT_EQ(lair62b.read_count, 736469u);
+  EXPECT_EQ(lair62b.avg_read_size, 7612u);
+}
+
+TEST(Profiles, RandomWorkloadMatchesPaperDescription) {
+  const auto& random = random_profile();
+  // "each request size is ranging from 4KB to 16KB": mean 10 KB with our
+  // uniform [avg/2, 3avg/2] sampler.
+  EXPECT_EQ(random.avg_write_size, 10u * 1024u);
+  EXPECT_EQ(random.write_zipf, 0.0);
+  EXPECT_EQ(random.read_zipf, 0.0);
+  EXPECT_EQ(random.sequential_locality, 0.0);
+  EXPECT_EQ(random.write_hot_bias, 0.0);
+}
+
+TEST(Profiles, LookupUnknownThrows) {
+  EXPECT_THROW(profile_by_name("nope"), std::out_of_range);
+}
+
+TEST(Profiles, LookupRandom) {
+  EXPECT_EQ(profile_by_name("random").name, "random");
+}
+
+TEST(Profiles, ScaledMultipliesCounts) {
+  const auto scaled = profile_by_name("home02").scaled(0.1);
+  EXPECT_EQ(scaled.file_count, 1093u);
+  EXPECT_EQ(scaled.write_count, 73060u);
+  EXPECT_EQ(scaled.read_count, 349749u);
+  // Non-count knobs untouched.
+  EXPECT_EQ(scaled.avg_write_size, 8048u);
+  EXPECT_EQ(scaled.write_zipf, profile_by_name("home02").write_zipf);
+}
+
+TEST(Profiles, ScaledNeverDropsToZero) {
+  const auto scaled = profile_by_name("home02").scaled(1e-9);
+  EXPECT_GE(scaled.file_count, 1u);
+  EXPECT_GE(scaled.write_count, 1u);
+  EXPECT_GE(scaled.read_count, 1u);
+}
+
+TEST(Profiles, ScaledRejectsNonPositive) {
+  EXPECT_THROW(profile_by_name("home02").scaled(0.0), std::invalid_argument);
+  EXPECT_THROW(profile_by_name("home02").scaled(-1.0), std::invalid_argument);
+}
+
+TEST(Profiles, DistinctSeedsPerWorkload) {
+  const auto profiles = table1_profiles();
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (std::size_t j = i + 1; j < profiles.size(); ++j) {
+      EXPECT_NE(profiles[i].seed, profiles[j].seed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edm::trace

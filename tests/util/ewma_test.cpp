@@ -1,0 +1,62 @@
+#include "util/ewma.h"
+
+#include <gtest/gtest.h>
+
+namespace edm::util {
+namespace {
+
+TEST(Ewma, FirstSampleSeedsDirectly) {
+  Ewma e(0.1);
+  EXPECT_FALSE(e.seeded());
+  e.add(42.0);
+  EXPECT_TRUE(e.seeded());
+  EXPECT_EQ(e.value(), 42.0);
+}
+
+TEST(Ewma, RecurrenceExact) {
+  Ewma e(0.25);
+  e.add(8.0);
+  e.add(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.25 * 0.0 + 0.75 * 8.0);
+  e.add(4.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.25 * 4.0 + 0.75 * 6.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.2);
+  for (int i = 0; i < 200; ++i) e.add(3.5);
+  EXPECT_NEAR(e.value(), 3.5, 1e-9);
+}
+
+TEST(Ewma, SmallAlphaSmoothsSpikes) {
+  Ewma smooth(0.01);
+  Ewma twitchy(0.9);
+  for (int i = 0; i < 100; ++i) {
+    smooth.add(1.0);
+    twitchy.add(1.0);
+  }
+  smooth.add(100.0);
+  twitchy.add(100.0);
+  EXPECT_LT(smooth.value(), 3.0);
+  EXPECT_GT(twitchy.value(), 80.0);
+}
+
+TEST(Ewma, ResetClearsState) {
+  Ewma e(0.5);
+  e.add(10.0);
+  e.reset();
+  EXPECT_FALSE(e.seeded());
+  EXPECT_EQ(e.value(), 0.0);
+  EXPECT_EQ(e.count(), 0u);
+  e.add(2.0);
+  EXPECT_EQ(e.value(), 2.0);  // reseeds
+}
+
+TEST(Ewma, CountsSamples) {
+  Ewma e(0.5);
+  for (int i = 0; i < 7; ++i) e.add(1.0);
+  EXPECT_EQ(e.count(), 7u);
+}
+
+}  // namespace
+}  // namespace edm::util

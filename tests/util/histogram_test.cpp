@@ -1,0 +1,107 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace edm::util {
+namespace {
+
+TEST(LogHistogram, EmptyState) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, TracksMinMaxMeanExactly) {
+  LogHistogram h;
+  h.add(10);
+  h.add(20);
+  h.add(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(LogHistogram, QuantileWithinBucketResolution) {
+  LogHistogram h;
+  for (int i = 0; i < 1000; ++i) h.add(100);  // all in bucket [64,128)
+  const double q50 = h.quantile(0.5);
+  EXPECT_GE(q50, 64.0);
+  EXPECT_LE(q50, 128.0);
+}
+
+TEST(LogHistogram, QuantilesMonotone) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.add(v);
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.9), h.quantile(1.0));
+}
+
+TEST(LogHistogram, ZeroValuesLandInFirstBucket) {
+  LogHistogram h;
+  h.add(0);
+  h.add(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.quantile(0.5), 1.0);
+}
+
+TEST(LogHistogram, MergeCombinesCounts) {
+  LogHistogram a;
+  LogHistogram b;
+  a.add(5);
+  a.add(10);
+  b.add(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(LogHistogram, MergeIntoEmpty) {
+  LogHistogram a;
+  LogHistogram b;
+  b.add(7);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 7u);
+}
+
+TEST(LogHistogram, ResetClears) {
+  LogHistogram h;
+  h.add(123);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(LogHistogram, BriefMentionsCount) {
+  LogHistogram h;
+  h.add(1);
+  EXPECT_NE(h.brief().find("n=1"), std::string::npos);
+}
+
+TEST(LinearHistogram, BinsAndClamping) {
+  LinearHistogram h(0.0, 1.0, 10);
+  h.add(0.05);   // bin 0
+  h.add(0.95);   // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(7.0);    // clamped to bin 9
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bins()[0], 2u);
+  EXPECT_EQ(h.bins()[9], 2u);
+}
+
+TEST(LinearHistogram, BinBoundsConsistent) {
+  LinearHistogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 18.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 20.0);
+}
+
+}  // namespace
+}  // namespace edm::util

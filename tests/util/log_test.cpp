@@ -1,0 +1,72 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace edm::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsWarn) {
+  // The library must stay quiet in benches unless something is wrong.
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(Log, MacroCompilesAndFilters) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // With the level off, the stream expression must not be evaluated.
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  EDM_DEBUG << count();
+  EDM_ERROR << count();
+  EXPECT_EQ(evaluations, 0);
+
+  set_log_level(LogLevel::kError);
+  EDM_DEBUG << count();
+  EXPECT_EQ(evaluations, 0);
+  EDM_ERROR << count();  // evaluated (writes one line to stderr)
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, ConcurrentLoggingDoesNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);  // filtered, but exercises the macro path
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 1000; ++i) {
+        EDM_WARN << "thread message " << i;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace edm::util

@@ -1,0 +1,124 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace edm::util {
+namespace {
+
+TEST(Xoshiro256, DeterministicGivenSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256, ZeroSeedIsValid) {
+  // splitmix64 seeding guarantees a non-zero internal state even for 0.
+  Xoshiro256 rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng());
+  EXPECT_GT(seen.size(), 95u);  // not stuck
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleMeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(13);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBelowZeroBoundReturnsZero) {
+  Xoshiro256 rng(17);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Xoshiro256, NextBelowCoversAllResidues) {
+  Xoshiro256 rng(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256, NextInInclusiveBounds) {
+  Xoshiro256 rng(23);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.next_in(10, 13);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 13u);
+    saw_lo |= v == 10;
+    saw_hi |= v == 13;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, GaussianMomentsApproximatelyStandard) {
+  Xoshiro256 rng(29);
+  const int n = 200000;
+  double sum = 0;
+  double sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, SplitStreamsDecorrelated) {
+  Xoshiro256 parent(31);
+  Xoshiro256 child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ull);
+  Xoshiro256 rng(1);
+  (void)rng();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace edm::util

@@ -1,0 +1,124 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace edm::util {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.rsd(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(StreamingStats, MatchesNaiveComputation) {
+  Xoshiro256 rng(3);
+  std::vector<double> values;
+  StreamingStats s;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double() * 100 - 50;
+    values.push_back(v);
+    s.add(v);
+  }
+  double mean = 0;
+  for (double v : values) mean += v;
+  mean /= values.size();
+  double var = 0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= values.size();
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(StreamingStats, MergeEquivalentToSequential) {
+  Xoshiro256 rng(5);
+  StreamingStats whole;
+  StreamingStats a;
+  StreamingStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_gaussian();
+    whole.add(v);
+    (i % 3 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a;
+  a.add(1.0);
+  a.add(2.0);
+  StreamingStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_NEAR(empty.mean(), 1.5, 1e-12);
+}
+
+TEST(StreamingStats, RsdIsStddevOverMean) {
+  StreamingStats s;
+  for (double v : {10.0, 20.0, 30.0}) s.add(v);
+  // Population stddev of {10,20,30} = sqrt(200/3).
+  EXPECT_NEAR(s.rsd(), std::sqrt(200.0 / 3.0) / 20.0, 1e-12);
+}
+
+TEST(StreamingStats, RsdZeroMeanGuard) {
+  StreamingStats s;
+  s.add(-1.0);
+  s.add(1.0);
+  EXPECT_EQ(s.rsd(), 0.0);
+}
+
+TEST(Summarize, MatchesStreaming) {
+  const std::vector<double> v = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+  const Summary sum = summarize(v);
+  EXPECT_NEAR(sum.mean, 23.0 / 6.0, 1e-12);
+  EXPECT_EQ(sum.min, 1.0);
+  EXPECT_EQ(sum.max, 9.0);
+  EXPECT_NEAR(sum.sum, 23.0, 1e-12);
+  EXPECT_GT(sum.rsd, 0.0);
+}
+
+TEST(Percentile, EmptyAndEdges) {
+  EXPECT_EQ(percentile({}, 50), 0.0);
+  EXPECT_EQ(percentile({7.0}, 0), 7.0);
+  EXPECT_EQ(percentile({7.0}, 100), 7.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> v = {0.0, 10.0, 20.0, 30.0, 40.0};
+  EXPECT_NEAR(percentile(v, 0), 0.0, 1e-12);
+  EXPECT_NEAR(percentile(v, 50), 20.0, 1e-12);
+  EXPECT_NEAR(percentile(v, 100), 40.0, 1e-12);
+  EXPECT_NEAR(percentile(v, 25), 10.0, 1e-12);
+  EXPECT_NEAR(percentile(v, 12.5), 5.0, 1e-12);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_NEAR(percentile({5.0, 1.0, 3.0}, 50), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace edm::util
