@@ -1,7 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
-#include <cassert>
+#include <string>
 
 namespace edm::cluster {
 
@@ -19,6 +19,13 @@ void ClusterConfig::validate() const {
     throw std::invalid_argument(
         "ClusterConfig: stripe_unit must be a positive multiple of the "
         "flash page size");
+  }
+  if (destination_utilization_cap < target_max_utilization) {
+    // Every device starts at up to target_max_utilization, so a cap below
+    // it would reject every migration destination from the first shuffle.
+    throw std::invalid_argument(
+        "ClusterConfig: destination_utilization_cap must be >= "
+        "target_max_utilization (no destination could ever be admitted)");
   }
   // Placement construction validates n/m/k; FlashConfig validates geometry.
 }
@@ -212,31 +219,38 @@ void Cluster::reset_flash_stats() {
   for (auto& osd : osds_) osd.ssd().reset_stats();
 }
 
-bool Cluster::begin_migration(ObjectId oid, OsdId dst) {
+Cluster::MigrationAdmit Cluster::admit_migration(ObjectId oid, OsdId dst) {
+  if (in_flight_.count(oid)) return MigrationAdmit::kAlreadyInFlight;
   const OsdId src = locate(oid);
-  if (src == dst) return false;
-  if (in_flight_.count(oid)) return false;
-  if (osds_[src].failed() || osds_[dst].failed()) return false;
+  if (src == dst) return MigrationAdmit::kSameOsd;
+  if (osds_[src].failed()) return MigrationAdmit::kSourceFailed;
+  if (osds_[dst].failed()) return MigrationAdmit::kDestinationFailed;
   if (!placement_.same_group(src, dst)) {
     throw std::logic_error(
         "Cluster: cross-group migration violates the RAID-5 reliability "
         "invariant (paper SIII.D)");
   }
   const std::uint32_t pages = osds_[src].object_pages(oid);
-  if (pages == 0) return false;
+  if (pages == 0) return MigrationAdmit::kEmptyObject;
   Osd& target = osds_[dst];
   const double post_util =
       static_cast<double>(target.store().allocated_pages() + pages) /
       static_cast<double>(target.capacity_pages());
-  if (post_util > config_.destination_utilization_cap) return false;
-  if (!target.add_object(oid, pages)) return false;
+  if (post_util > config_.destination_utilization_cap) {
+    return MigrationAdmit::kOverCap;
+  }
+  if (!target.add_object(oid, pages)) return MigrationAdmit::kNoSpace;
   in_flight_[oid] = Move{src, dst};
-  return true;
+  return MigrationAdmit::kOk;
 }
 
 void Cluster::complete_migration(ObjectId oid) {
   auto it = in_flight_.find(oid);
-  assert(it != in_flight_.end());
+  if (it == in_flight_.end()) {
+    throw std::logic_error(
+        "Cluster::complete_migration: object " + std::to_string(oid) +
+        " has no migration in flight (already completed or aborted?)");
+  }
   const Move move = it->second;
   in_flight_.erase(it);
   osds_[move.src].remove_object(oid);
@@ -249,10 +263,47 @@ void Cluster::complete_migration(ObjectId oid) {
 
 void Cluster::abort_migration(ObjectId oid) {
   auto it = in_flight_.find(oid);
-  assert(it != in_flight_.end());
+  if (it == in_flight_.end()) {
+    throw std::logic_error(
+        "Cluster::abort_migration: object " + std::to_string(oid) +
+        " has no migration in flight (double abort releases the "
+        "destination reservation twice)");
+  }
   const Move move = it->second;
   in_flight_.erase(it);
   osds_[move.dst].remove_object(oid);
+}
+
+OsdId Cluster::migration_destination(ObjectId oid) const {
+  auto it = in_flight_.find(oid);
+  if (it == in_flight_.end()) {
+    throw std::logic_error(
+        "Cluster::migration_destination: object " + std::to_string(oid) +
+        " has no migration in flight");
+  }
+  return it->second.dst;
+}
+
+std::optional<OsdId> Cluster::healthy_destination(ObjectId oid) const {
+  const OsdId src = locate(oid);
+  const std::uint32_t pages = osds_[src].object_pages(oid);
+  if (pages == 0) return std::nullopt;
+  std::optional<OsdId> best;
+  double best_util = 2.0;
+  for (OsdId peer : placement_.group_peers(src)) {
+    const Osd& target = osds_[peer];
+    if (target.failed()) continue;
+    const double post_util =
+        static_cast<double>(target.store().allocated_pages() + pages) /
+        static_cast<double>(target.capacity_pages());
+    if (post_util > config_.destination_utilization_cap) continue;
+    if (target.free_pages() < pages) continue;
+    if (target.utilization() < best_util) {
+      best_util = target.utilization();
+      best = peer;
+    }
+  }
+  return best;
 }
 
 std::uint64_t Cluster::total_erase_count() const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <unordered_map>
@@ -114,25 +115,54 @@ class Cluster {
   void reset_flash_stats();
 
   // --- Migration ---
-  /// Reserves space for `oid` on `dst` and marks the move in flight.
-  /// Throws std::logic_error on a cross-group move (invariant violation);
-  /// returns false when `dst` lacks space or would exceed the destination
-  /// utilization cap.
-  bool begin_migration(ObjectId oid, OsdId dst);
+  /// Why a migration could not be admitted (kOk = it was).  The distinction
+  /// matters to the failure-aware mover: a kDestinationFailed move can be
+  /// re-planned to a healthy peer, a kSourceFailed one needs rebuild, the
+  /// rest are permanent skips for this shuffle.
+  enum class MigrationAdmit {
+    kOk,
+    kSameOsd,
+    kAlreadyInFlight,
+    kSourceFailed,
+    kDestinationFailed,
+    kEmptyObject,
+    kOverCap,
+    kNoSpace,
+  };
+
+  /// Reserves space for `oid` on `dst` and marks the move in flight;
+  /// returns the admission verdict.  Throws std::logic_error on a
+  /// cross-group move (invariant violation).
+  MigrationAdmit admit_migration(ObjectId oid, OsdId dst);
+
+  /// Convenience wrapper: true iff admit_migration() returned kOk.
+  bool begin_migration(ObjectId oid, OsdId dst) {
+    return admit_migration(oid, dst) == MigrationAdmit::kOk;
+  }
 
   /// Finishes an in-flight move: frees + trims the source copy and updates
-  /// the remapping table.
+  /// the remapping table.  Throws std::logic_error when no move of `oid`
+  /// is in flight (e.g. completed or aborted twice).
   void complete_migration(ObjectId oid);
 
-  /// Cancels an in-flight move, releasing the destination reservation.
+  /// Cancels an in-flight move, releasing the destination reservation
+  /// exactly once.  Throws std::logic_error when no move of `oid` is in
+  /// flight.
   void abort_migration(ObjectId oid);
 
   bool migration_in_flight(ObjectId oid) const {
     return in_flight_.count(oid) != 0;
   }
-  OsdId migration_destination(ObjectId oid) const {
-    return in_flight_.at(oid).dst;
-  }
+
+  /// Destination of an in-flight move.  Throws std::logic_error for
+  /// objects with no move in flight (was a raw out_of_range before).
+  OsdId migration_destination(ObjectId oid) const;
+
+  /// Least-utilized healthy same-group peer that can accept `oid` under
+  /// the destination utilization cap, or nullopt.  Used to re-plan a
+  /// migration whose destination died mid-flight and to place rebuilt
+  /// objects.
+  std::optional<OsdId> healthy_destination(ObjectId oid) const;
 
   /// Lifetime count of completed migrations (Fig. 8 metric).
   std::uint64_t migrations_completed() const { return migrations_completed_; }
@@ -163,12 +193,53 @@ class Cluster {
   /// Reconstructs every object of `dead` from its RAID-5 peers onto
   /// healthy OSDs of the same group (preserving the distinct-group
   /// invariant), then returns the device to service empty and healthy.
+  /// This is the *instantaneous* variant (state mutates, device time is
+  /// only tallied); the simulator's online rebuild drives the same
+  /// per-object steps below through the OSD queues instead.
   RebuildStats rebuild_osd(OsdId dead);
+
+  // --- Object-granular rebuild steps (online rebuild building blocks) ---
+  /// Outcome of admitting one object into a rebuild.
+  enum class RebuildOutcome {
+    kPlaced,         // destination reserved; copy may proceed
+    kUnrecoverable,  // a needed RAID-5 peer is also failed
+    kUnplaced,       // no healthy group peer had space
+  };
+
+  /// Sorted snapshot of the objects resident on `dead` (metadata survives
+  /// a device failure -- it lives on the MDS).
+  std::vector<ObjectId> failed_objects(OsdId dead) const;
+
+  /// Checks recoverability of one victim object and reserves space for it
+  /// on the least-utilized healthy group peer.  On kPlaced, `dst` holds
+  /// the reservation target.  Throws std::logic_error if the object has a
+  /// migration in flight (the mover must abort it first).
+  RebuildOutcome prepare_object_rebuild(OsdId dead, ObjectId oid, OsdId& dst);
+
+  /// Releases a reservation made by prepare_object_rebuild (the copy was
+  /// abandoned, e.g. the destination or a peer failed mid-rebuild).
+  void abort_object_rebuild(ObjectId oid, OsdId dst);
+
+  /// Commits a finished copy: points the remapping table at the rebuilt
+  /// replica and drops the dead device's stale copy.
+  void commit_object_rebuild(OsdId dead, ObjectId oid, OsdId dst);
+
+  /// Ends a rebuild: drops whatever remains on `dead` (unrecoverable or
+  /// unplaced objects stay lost) and returns the device to service empty
+  /// and healthy.
+  void finish_rebuild(OsdId dead);
 
   /// Degraded-mode accounting (since construction).
   std::uint64_t degraded_reads() const { return degraded_reads_; }
   std::uint64_t lost_writes() const { return lost_writes_; }
   std::uint64_t unavailable_requests() const { return unavailable_requests_; }
+
+  /// Accounting hooks for the simulator's event-time degraded paths: a
+  /// sub-request already queued when its OSD died is re-resolved by the
+  /// DES, not by map_request, but the counters must stay in one place.
+  void note_degraded_read() const { ++degraded_reads_; }
+  void note_lost_write() const { ++lost_writes_; }
+  void note_unavailable_request() const { ++unavailable_requests_; }
 
   // --- Cluster-wide accounting ---
   std::uint64_t total_erase_count() const;

@@ -5,7 +5,17 @@
 // wear-out *within* a group can never take two members of a stripe at
 // once.  These routines let tests and benches exercise exactly that
 // property, and quantify the cost of reconstructing a device.
+//
+// Rebuild comes in two shapes sharing the same per-object steps
+// (failed_objects / prepare / commit / finish):
+//  * rebuild_osd() mutates state instantaneously and tallies device time
+//    out-of-band -- fine for static what-if probes between replays.
+//  * The simulator's online rebuild drives the same steps as chunked
+//    reconstruction I/O through the OSD queues, so rebuild traffic
+//    contends with foreground requests (see sim/fault_injector.h).
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -30,56 +40,93 @@ std::uint64_t Cluster::count_unavailable_files() const {
   return unavailable;
 }
 
-Cluster::RebuildStats Cluster::rebuild_osd(OsdId dead) {
-  RebuildStats stats;
-  Osd& device = osds_[dead];
-
-  // Snapshot the victim's object list before mutating its store.
+std::vector<ObjectId> Cluster::failed_objects(OsdId dead) const {
   std::vector<ObjectId> victims;
-  victims.reserve(device.store().object_count());
-  device.store().for_each_object(
+  victims.reserve(osds_[dead].store().object_count());
+  osds_[dead].store().for_each_object(
       [&](ObjectId oid) { victims.push_back(oid); });
   std::sort(victims.begin(), victims.end());  // deterministic order
+  return victims;
+}
 
-  const auto peers = placement_.group_peers(dead);
-  for (const ObjectId oid : victims) {
+Cluster::RebuildOutcome Cluster::prepare_object_rebuild(OsdId dead,
+                                                        ObjectId oid,
+                                                        OsdId& dst) {
+  if (in_flight_.count(oid)) {
+    throw std::logic_error(
+        "Cluster::prepare_object_rebuild: object " + std::to_string(oid) +
+        " still has a migration in flight; abort it before rebuilding");
+  }
+  const FileId file = placement_.file_of(oid);
+  const std::uint32_t index = placement_.index_of(oid);
+
+  // Reconstruction needs every other member of the stripe set alive.
+  for (std::uint32_t j = 0; j < placement_.objects_per_file(); ++j) {
+    if (j == index) continue;
+    if (osds_[locate(placement_.object_id(file, j))].failed()) {
+      return RebuildOutcome::kUnrecoverable;
+    }
+  }
+
+  // Destination: the least-utilized healthy peer in the dead device's
+  // group that can take the object (preserves the group invariant).
+  const std::uint32_t pages = osds_[dead].object_pages(oid);
+  OsdId best = dead;
+  double best_util = 2.0;
+  for (OsdId peer : placement_.group_peers(dead)) {
+    if (osds_[peer].failed()) continue;
+    if (osds_[peer].free_pages() < pages) continue;
+    if (osds_[peer].utilization() < best_util) {
+      best_util = osds_[peer].utilization();
+      best = peer;
+    }
+  }
+  if (best == dead) return RebuildOutcome::kUnplaced;
+  if (!osds_[best].add_object(oid, pages)) return RebuildOutcome::kUnplaced;
+  dst = best;
+  return RebuildOutcome::kPlaced;
+}
+
+void Cluster::abort_object_rebuild(ObjectId oid, OsdId dst) {
+  osds_[dst].remove_object(oid);
+}
+
+void Cluster::commit_object_rebuild(OsdId dead, ObjectId oid, OsdId dst) {
+  const OsdId default_home = placement_.default_osd(placement_.file_of(oid),
+                                                    placement_.index_of(oid));
+  remap_.set(oid, dst, default_home);
+  remap_.count_update();
+  if (osds_[dead].has_object(oid)) osds_[dead].remove_object(oid);
+}
+
+void Cluster::finish_rebuild(OsdId dead) {
+  // Drop whatever remains on the dead device and return it to service
+  // (rebuilt empty; unrecoverable objects stay lost).
+  Osd& device = osds_[dead];
+  for (const ObjectId oid : failed_objects(dead)) {
+    device.remove_object(oid);
+  }
+  device.set_failed(false);
+}
+
+Cluster::RebuildStats Cluster::rebuild_osd(OsdId dead) {
+  RebuildStats stats;
+
+  for (const ObjectId oid : failed_objects(dead)) {
     const FileId file = placement_.file_of(oid);
     const std::uint32_t index = placement_.index_of(oid);
-    const std::uint32_t pages = device.object_pages(oid);
+    const std::uint32_t pages = osds_[dead].object_pages(oid);
 
-    // Reconstruction needs every other member of the stripe set alive.
-    bool recoverable = true;
-    for (std::uint32_t j = 0; j < placement_.objects_per_file(); ++j) {
-      if (j == index) continue;
-      if (osds_[locate(placement_.object_id(file, j))].failed()) {
-        recoverable = false;
-        break;
-      }
-    }
-    if (!recoverable) {
-      ++stats.unrecoverable;
-      continue;
-    }
-
-    // Destination: the least-utilized healthy peer in the dead device's
-    // group that can take the object (preserves the group invariant).
     OsdId dst = dead;
-    double best_util = 2.0;
-    for (OsdId peer : peers) {
-      if (osds_[peer].failed()) continue;
-      if (osds_[peer].free_pages() < pages) continue;
-      if (osds_[peer].utilization() < best_util) {
-        best_util = osds_[peer].utilization();
-        dst = peer;
-      }
-    }
-    if (dst == dead) {
-      ++stats.unplaced;
-      continue;
-    }
-    if (!osds_[dst].add_object(oid, pages)) {
-      ++stats.unplaced;
-      continue;
+    switch (prepare_object_rebuild(dead, oid, dst)) {
+      case RebuildOutcome::kUnrecoverable:
+        ++stats.unrecoverable;
+        continue;
+      case RebuildOutcome::kUnplaced:
+        ++stats.unplaced;
+        continue;
+      case RebuildOutcome::kPlaced:
+        break;
     }
 
     // Read the k-1 surviving members, write the reconstructed object.
@@ -93,19 +140,11 @@ Cluster::RebuildStats Cluster::rebuild_osd(OsdId dead) {
     stats.device_time += osds_[dst].write(oid, 0, pages);
     stats.pages_written += pages;
 
-    // Point the metadata at the rebuilt copy.
-    const OsdId default_home = placement_.default_osd(file, index);
-    remap_.set(oid, dst, default_home);
-    remap_.count_update();
+    commit_object_rebuild(dead, oid, dst);
     ++stats.objects;
   }
 
-  // Drop whatever remains on the dead device and return it to service
-  // (rebuilt empty; unrecoverable objects stay lost).
-  for (const ObjectId oid : victims) {
-    if (device.has_object(oid)) device.remove_object(oid);
-  }
-  device.set_failed(false);
+  finish_rebuild(dead);
   return stats;
 }
 

@@ -12,11 +12,18 @@ namespace edm::core {
 MigrationPlan CmtPolicy::plan(const ClusterView& view, bool force) {
   MigrationPlan out;
 
-  // Load factor: EWMA of I/O latency per device.
+  // Load factor: EWMA of I/O latency per device.  The trigger statistics
+  // only consider healthy devices -- a dead device's EWMA is frozen at its
+  // last value and would otherwise fake (or mask) an imbalance.
   std::vector<double> load;
   load.reserve(view.devices.size());
-  for (const auto& d : view.devices) load.push_back(d.load_ewma_us);
-  const util::Summary s = util::summarize(load);
+  std::vector<double> healthy_load;
+  healthy_load.reserve(view.devices.size());
+  for (const auto& d : view.devices) {
+    load.push_back(d.load_ewma_us);
+    if (!d.failed) healthy_load.push_back(d.load_ewma_us);
+  }
+  const util::Summary s = util::summarize(healthy_load);
   if (s.mean <= 0.0) return out;
   const bool imbalanced = (s.max - s.mean) > s.mean * cfg_.cmt_theta;
   if (!force && !imbalanced) return out;

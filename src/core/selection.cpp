@@ -12,6 +12,10 @@ std::vector<std::vector<std::uint32_t>> partition_by_group(
   std::vector<std::vector<std::uint32_t>> groups(
       view.placement->num_groups());
   for (std::uint32_t i = 0; i < view.devices.size(); ++i) {
+    // Failed devices take part in neither role: the mover cannot read
+    // their objects (that is rebuild's job) and must not reserve space on
+    // them.  Dropping them here keeps every policy failure-aware.
+    if (view.devices[i].failed) continue;
     groups[view.placement->group_of(view.devices[i].id)].push_back(i);
   }
   return groups;

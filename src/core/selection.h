@@ -12,7 +12,9 @@
 
 namespace edm::core {
 
-/// Indices (into ClusterView::devices) of the members of one SSD group.
+/// Indices (into ClusterView::devices) of the healthy members of one SSD
+/// group; failed devices are excluded, so policies never plan moves from
+/// or to a dead device.
 std::vector<std::vector<std::uint32_t>> partition_by_group(
     const ClusterView& view);
 

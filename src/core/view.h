@@ -28,6 +28,11 @@ struct DeviceView {
 
   std::uint64_t capacity_pages = 0;
   std::uint64_t free_pages = 0;
+
+  /// Device is down (fault injection): policies must neither pick it as a
+  /// migration destination nor try to drain objects off it -- those wait
+  /// for rebuild.
+  bool failed = false;
 };
 
 struct ObjectView {

@@ -13,9 +13,12 @@
 namespace edm::sim {
 
 enum class EventKind : std::uint8_t {
-  kOsdComplete = 0,   // payload = osd id
-  kEpochTick = 1,     // temperature epoch boundary / wear-monitor check
-  kMoverResume = 2,   // payload = mover lane id (bandwidth pacing)
+  kOsdComplete = 0,    // payload = osd id
+  kEpochTick = 1,      // temperature epoch boundary / wear-monitor check
+  kMoverResume = 2,    // payload = lane id | generation<<32 (pacing/backoff)
+  kFault = 3,          // scheduled FaultPlan event is due
+  kRetryResume = 4,    // payload = retry-slot index (transient-error backoff)
+  kRebuildResume = 5,  // payload = rebuild lane id | generation<<32
 };
 
 struct Event {

@@ -1,0 +1,69 @@
+#include "sim/fault_injector.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace edm::sim {
+
+void FaultPlan::validate(std::uint32_t num_osds) const {
+  SimTime prev = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (e.at < prev) {
+      throw std::invalid_argument(
+          "FaultPlan: events must be sorted by time (event " +
+          std::to_string(i) + " at t=" + std::to_string(e.at) +
+          " precedes t=" + std::to_string(prev) + ")");
+    }
+    prev = e.at;
+    if (e.osd >= num_osds) {
+      throw std::invalid_argument(
+          "FaultPlan: event " + std::to_string(i) + " targets OSD " +
+          std::to_string(e.osd) + " but the cluster has " +
+          std::to_string(num_osds) + " OSDs");
+    }
+  }
+  auto check_rate = [](double rate, const std::string& what) {
+    if (rate < 0.0 || rate > 1.0) {
+      throw std::invalid_argument("FaultPlan: " + what +
+                                  " must be in [0, 1], got " +
+                                  std::to_string(rate));
+    }
+  };
+  check_rate(transient_error_rate, "transient_error_rate");
+  for (std::size_t i = 0; i < per_osd_error_rates.size(); ++i) {
+    check_rate(per_osd_error_rates[i],
+               "per_osd_error_rates[" + std::to_string(i) + "]");
+  }
+  if (per_osd_error_rates.size() > num_osds) {
+    throw std::invalid_argument(
+        "FaultPlan: per_osd_error_rates has " +
+        std::to_string(per_osd_error_rates.size()) + " entries for " +
+        std::to_string(num_osds) + " OSDs");
+  }
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint32_t num_osds)
+    : plan_(std::move(plan)), rng_(plan_.seed) {
+  plan_.validate(num_osds);
+  rates_.assign(num_osds, plan_.transient_error_rate);
+  for (std::size_t i = 0; i < plan_.per_osd_error_rates.size(); ++i) {
+    rates_[i] = plan_.per_osd_error_rates[i];
+  }
+  for (double r : rates_) any_rate_ |= r > 0.0;
+}
+
+bool FaultInjector::transient_error(OsdId osd) {
+  // Zero-rate fast path draws nothing, so plans without transient errors
+  // pay no RNG cost and the stream stays byte-identical whether or not
+  // error-free devices exist.
+  if (!any_rate_) return false;
+  const double rate = rates_[osd];
+  if (rate <= 0.0) return false;
+  ++samples_;
+  const bool hit = rng_.next_double() < rate;
+  if (hit) ++transient_errors_;
+  return hit;
+}
+
+}  // namespace edm::sim

@@ -1,0 +1,104 @@
+// Deterministic fault injection for the discrete-event replay.
+//
+// A FaultPlan holds two ingredients:
+//  * scheduled whole-device events -- "OSD i dies at simulated time t",
+//    "start rebuilding OSD i at time t" -- consumed by the simulator as
+//    first-class events, so device death interleaves with queued requests
+//    and in-flight migrations instead of only between replays;
+//  * seeded stochastic transient errors -- each completed sub-request on
+//    OSD i flips an independent coin with that device's error rate; a hit
+//    forces the issuer through retry-with-backoff (see retry_policy.h).
+//
+// Everything is deterministic: the scheduled events are an explicit list,
+// and the transient stream comes from one xoshiro generator seeded from
+// the plan, advanced only by the (deterministic) event loop.  Same seed →
+// identical fault sequence → bit-identical metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace edm::sim {
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kFail = 0,     // device dies: queue drained, I/O degraded
+    kRebuild = 1,  // start online reconstruction of a failed device
+  };
+  SimTime at = 0;
+  OsdId osd = 0;
+  Kind kind = Kind::kFail;
+};
+
+struct FaultPlan {
+  /// Scheduled events, must be sorted by time (ties keep list order).
+  std::vector<FaultEvent> events;
+
+  /// Per-sub-request transient error probability applied to every OSD
+  /// without an explicit per-device rate below.
+  double transient_error_rate = 0.0;
+
+  /// Optional per-OSD rates (indexed by OsdId); entries beyond the list
+  /// fall back to transient_error_rate.  Values must be in [0, 1].
+  std::vector<double> per_osd_error_rates;
+
+  /// Seed of the transient-error stream.
+  std::uint64_t seed = 0x0DDFA117;
+
+  bool empty() const {
+    if (!events.empty()) return false;
+    if (transient_error_rate > 0.0) return false;
+    for (double r : per_osd_error_rates) {
+      if (r > 0.0) return false;
+    }
+    return true;
+  }
+
+  /// Fluent builders for tests and benches.
+  FaultPlan& fail(OsdId osd, SimTime at) {
+    events.push_back({at, osd, FaultEvent::Kind::kFail});
+    return *this;
+  }
+  FaultPlan& rebuild(OsdId osd, SimTime at) {
+    events.push_back({at, osd, FaultEvent::Kind::kRebuild});
+    return *this;
+  }
+
+  /// Rejects malformed plans: unsorted event times, out-of-range device
+  /// ids, error rates outside [0, 1].
+  void validate(std::uint32_t num_osds) const;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint32_t num_osds);
+
+  // --- scheduled events, consumed in plan order ---
+  bool has_pending() const { return next_ < plan_.events.size(); }
+  const FaultEvent& peek() const { return plan_.events[next_]; }
+  FaultEvent pop() { return plan_.events[next_++]; }
+
+  // --- seeded transient errors ---
+  /// Flips the coin for one completed sub-request on `osd`; advances the
+  /// deterministic stream.  Counted in transient_errors() on a hit.
+  bool transient_error(OsdId osd);
+
+  std::uint64_t transient_errors() const { return transient_errors_; }
+  std::uint64_t samples_drawn() const { return samples_; }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::vector<double> rates_;  // resolved per-OSD, dense
+  std::size_t next_ = 0;
+  util::Xoshiro256 rng_;
+  std::uint64_t transient_errors_ = 0;
+  std::uint64_t samples_ = 0;
+  bool any_rate_ = false;
+};
+
+}  // namespace edm::sim

@@ -48,6 +48,30 @@ struct DegradedMetrics {
   std::uint64_t unavailable = 0;      // requests no redundancy could serve
 };
 
+/// Fault-injection subsystem accounting: scheduled failures, transient
+/// errors + retry/backoff, failure-aware migration, online rebuild.
+struct FaultMetrics {
+  std::uint64_t scheduled_failures = 0;  // FaultPlan kFail events applied
+  std::uint64_t transient_errors = 0;    // injected per-request errors
+  std::uint64_t retried_requests = 0;    // sub-requests re-driven (backoff)
+  std::uint64_t abandoned_requests = 0;  // client retries exhausted
+  std::uint64_t requeued_on_failure = 0; // drained from a dying OSD queue
+
+  // Failure-aware data mover.
+  std::uint64_t migrations_aborted = 0;    // endpoint died / retries spent
+  std::uint64_t migrations_replanned = 0;  // re-targeted to a healthy peer
+
+  // Online rebuild (chunked reconstruction through the OSD queues).
+  std::uint64_t rebuild_objects = 0;        // reconstructed + committed
+  std::uint64_t rebuild_unrecoverable = 0;  // a needed peer also failed
+  std::uint64_t rebuild_unplaced = 0;       // no healthy peer had space
+  std::uint64_t rebuild_aborted = 0;        // abandoned mid-copy
+  std::uint64_t rebuild_pages_written = 0;
+  std::uint64_t rebuild_peer_pages_read = 0;
+  SimTime rebuild_started_at = 0;
+  SimTime rebuild_finished_at = 0;
+};
+
 struct RunResult {
   std::string trace_name;
   std::string policy_name;
@@ -79,6 +103,7 @@ struct RunResult {
 
   // --- failure injection (SIII.D experiments) ---
   DegradedMetrics degraded;
+  FaultMetrics faults;
 
   std::uint64_t total_objects = 0;
   double moved_object_fraction() const {

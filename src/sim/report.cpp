@@ -103,6 +103,26 @@ void write_report(const RunResult& r, std::ostream& os, bool per_osd,
        << r.degraded.lost_writes << " lost writes, "
        << r.degraded.unavailable << " unavailable\n";
   }
+  const FaultMetrics& f = r.faults;
+  if (f.scheduled_failures || f.transient_errors || f.requeued_on_failure) {
+    os << "faults:          " << f.scheduled_failures << " failures, "
+       << f.transient_errors << " transient errors ("
+       << f.retried_requests << " retried, " << f.abandoned_requests
+       << " abandoned), " << f.requeued_on_failure
+       << " requeued; mover aborted=" << f.migrations_aborted
+       << " replanned=" << f.migrations_replanned << "\n";
+  }
+  if (f.rebuild_started_at || f.rebuild_objects) {
+    os << "rebuild:         " << f.rebuild_objects << " objects ("
+       << f.rebuild_unrecoverable << " unrecoverable, " << f.rebuild_unplaced
+       << " unplaced, " << f.rebuild_aborted << " aborted), "
+       << f.rebuild_pages_written << " pages written, "
+       << f.rebuild_peer_pages_read << " peer pages read, window "
+       << Table::num(static_cast<double>(f.rebuild_started_at) / 1e6, 1)
+       << "-"
+       << Table::num(static_cast<double>(f.rebuild_finished_at) / 1e6, 1)
+       << " s\n";
+  }
 
   if (per_osd) {
     Table t({"osd", "erases", "host_writes", "gc_moves", "util", "served",
@@ -179,6 +199,25 @@ void write_json(const RunResult& r, std::ostream& os) {
   json.field("degraded_reads", r.degraded.degraded_reads);
   json.field("lost_writes", r.degraded.lost_writes);
   json.field("unavailable", r.degraded.unavailable);
+  json.end_object();
+
+  json.key("faults");
+  json.begin_object();
+  json.field("scheduled_failures", r.faults.scheduled_failures);
+  json.field("transient_errors", r.faults.transient_errors);
+  json.field("retried_requests", r.faults.retried_requests);
+  json.field("abandoned_requests", r.faults.abandoned_requests);
+  json.field("requeued_on_failure", r.faults.requeued_on_failure);
+  json.field("migrations_aborted", r.faults.migrations_aborted);
+  json.field("migrations_replanned", r.faults.migrations_replanned);
+  json.field("rebuild_objects", r.faults.rebuild_objects);
+  json.field("rebuild_unrecoverable", r.faults.rebuild_unrecoverable);
+  json.field("rebuild_unplaced", r.faults.rebuild_unplaced);
+  json.field("rebuild_aborted", r.faults.rebuild_aborted);
+  json.field("rebuild_pages_written", r.faults.rebuild_pages_written);
+  json.field("rebuild_peer_pages_read", r.faults.rebuild_peer_pages_read);
+  json.field("rebuild_started_at_us", r.faults.rebuild_started_at);
+  json.field("rebuild_finished_at_us", r.faults.rebuild_finished_at);
   json.end_object();
 
   json.begin_array("per_osd");

@@ -1,0 +1,68 @@
+// Capped exponential backoff for transient I/O errors.
+//
+// Both the closed-loop clients and the data mover re-drive a sub-request
+// that hit an injected transient error; the backoff keeps a flapping
+// device from being hammered at event-loop speed, and the attempt cap
+// turns a persistently erroring request into an *accounted* abandonment
+// instead of an infinite retry loop (acceptance rule: nothing is ever
+// silently dropped).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/types.h"
+
+namespace edm::sim {
+
+struct RetryPolicy {
+  /// Total tries per sub-request, the first attempt included.  A request
+  /// that fails `max_attempts` times is abandoned (counted, op completes).
+  std::uint32_t max_attempts = 4;
+
+  /// Delay before the first retry.
+  SimDuration base_backoff_us = 500;
+
+  /// Backoff growth per failed attempt (>= 1).
+  double multiplier = 2.0;
+
+  /// Hard ceiling on a single backoff interval.
+  SimDuration max_backoff_us = 100 * 1000;
+
+  /// Backoff before retry number `attempt` (1-based: the delay after the
+  /// attempt-th failure).  Exponential in the attempt index, capped.
+  SimDuration backoff_us(std::uint32_t attempt) const {
+    double delay = static_cast<double>(base_backoff_us);
+    for (std::uint32_t i = 1; i < attempt; ++i) {
+      delay *= multiplier;
+      if (delay >= static_cast<double>(max_backoff_us)) {
+        return max_backoff_us;
+      }
+    }
+    const auto out = static_cast<SimDuration>(delay);
+    return out > max_backoff_us ? max_backoff_us : out;
+  }
+
+  /// True when a request that has failed `attempts` times is out of tries.
+  bool exhausted(std::uint32_t attempts) const {
+    return attempts >= max_attempts;
+  }
+
+  void validate() const {
+    if (max_attempts == 0) {
+      throw std::invalid_argument("RetryPolicy: max_attempts must be > 0");
+    }
+    if (base_backoff_us == 0) {
+      throw std::invalid_argument("RetryPolicy: base_backoff_us must be > 0");
+    }
+    if (multiplier < 1.0) {
+      throw std::invalid_argument("RetryPolicy: multiplier must be >= 1");
+    }
+    if (max_backoff_us < base_backoff_us) {
+      throw std::invalid_argument(
+          "RetryPolicy: max_backoff_us must be >= base_backoff_us");
+    }
+  }
+};
+
+}  // namespace edm::sim

@@ -8,6 +8,45 @@
 
 namespace edm::sim {
 
+namespace {
+/// Pacing/backoff events carry the lane id and its generation so that a
+/// resume scheduled for an aborted lane incarnation is dropped instead of
+/// double-driving the lane.
+std::uint64_t lane_payload(std::uint32_t lane_id, std::uint32_t gen) {
+  return static_cast<std::uint64_t>(lane_id) |
+         (static_cast<std::uint64_t>(gen) << 32);
+}
+std::uint32_t payload_lane(std::uint64_t payload) {
+  return static_cast<std::uint32_t>(payload & 0xFFFFFFFFull);
+}
+std::uint32_t payload_gen(std::uint64_t payload) {
+  return static_cast<std::uint32_t>(payload >> 32);
+}
+}  // namespace
+
+void SimConfig::validate(std::uint32_t num_osds) const {
+  if (num_clients == 0) {
+    throw std::invalid_argument("SimConfig: num_clients must be > 0");
+  }
+  if (mover_concurrency == 0 || mover_chunk_pages == 0) {
+    throw std::invalid_argument("SimConfig: mover parameters must be > 0");
+  }
+  if (rebuild_lanes == 0 || rebuild_chunk_pages == 0) {
+    throw std::invalid_argument(
+        "SimConfig: rebuild_lanes and rebuild_chunk_pages must be > 0");
+  }
+  if (rebuild_lane_mbps < 0.0) {
+    throw std::invalid_argument(
+        "SimConfig: rebuild_lane_mbps must be >= 0 (0 = unthrottled)");
+  }
+  if (fail_osd >= 0 && static_cast<std::uint32_t>(fail_osd) >= num_osds) {
+    throw std::invalid_argument(
+        "SimConfig: fail_osd is outside the cluster");
+  }
+  retry.validate();
+  faults.validate(num_osds);
+}
+
 Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
                      const trace::Trace& trace, core::MigrationPolicy* policy)
     : cfg_(config),
@@ -15,12 +54,12 @@ Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
       trace_(trace),
       policy_(policy),
       tracker_(config.temperature_cache_entries) {
-  if (cfg_.num_clients == 0) {
-    throw std::invalid_argument("SimConfig: num_clients must be > 0");
+  cfg_.validate(cluster_.num_osds());
+  if (!cfg_.faults.empty()) {
+    injector_ =
+        std::make_unique<FaultInjector>(cfg_.faults, cluster_.num_osds());
   }
-  if (cfg_.mover_concurrency == 0 || cfg_.mover_chunk_pages == 0) {
-    throw std::invalid_argument("SimConfig: mover parameters must be > 0");
-  }
+  rebuild_lanes_.resize(cfg_.rebuild_lanes);
   servers_.reserve(cluster_.num_osds());
   for (std::uint32_t i = 0; i < cluster_.num_osds(); ++i) {
     servers_.emplace_back(cfg_.load_ewma_alpha);
@@ -65,6 +104,7 @@ RunResult Simulator::run() {
     events_.push(cfg_.epoch_length_us, EventKind::kEpochTick, 0);
     epoch_tick_scheduled_ = true;
   }
+  schedule_next_fault();
 
   while (!events_.empty()) {
     const Event e = events_.pop();
@@ -76,7 +116,9 @@ RunResult Simulator::run() {
         on_epoch_tick(e.time);
         break;
       case EventKind::kMoverResume: {
-        const auto lane_id = static_cast<std::uint16_t>(e.payload);
+        const auto lane_id =
+            static_cast<std::uint16_t>(payload_lane(e.payload));
+        if (payload_gen(e.payload) != lanes_[lane_id].gen) break;  // aborted
         if (lanes_[lane_id].active) {
           issue_mover_chunk(lane_id, e.time);
         } else {
@@ -84,9 +126,25 @@ RunResult Simulator::run() {
         }
         break;
       }
+      case EventKind::kFault:
+        on_fault_event(e.time);
+        break;
+      case EventKind::kRetryResume:
+        on_retry_resume(e.payload, e.time);
+        break;
+      case EventKind::kRebuildResume: {
+        const std::uint32_t lane_id = payload_lane(e.payload);
+        if (payload_gen(e.payload) != rebuild_lanes_[lane_id].gen) break;
+        if (rebuild_lanes_[lane_id].active) {
+          issue_rebuild_chunk(lane_id, e.time);
+        } else {
+          advance_rebuild_lane(lane_id, e.time);
+        }
+        break;
+      }
     }
   }
-  if (clients_active() || mover_active()) {
+  if (clients_active() || mover_active() || rebuild_running_) {
     throw std::logic_error(
         "Simulator: event queue drained with work outstanding (deadlock)");
   }
@@ -129,6 +187,9 @@ RunResult Simulator::run() {
   degraded_.lost_writes = cluster_.lost_writes();
   degraded_.unavailable = cluster_.unavailable_requests();
   out.degraded = degraded_;
+
+  if (injector_) faults_.transient_errors = injector_->transient_errors();
+  out.faults = faults_;
   return out;
 }
 
@@ -194,6 +255,7 @@ void Simulator::dispatch(OsdId osd, SimTime now) {
   while (!s.busy && !s.queue.empty()) {
     SubRequest req = std::move(s.queue.front());
     s.queue.pop_front();
+    if (stale(req)) continue;  // lane aborted while the chunk was queued
     if (req.kind == SubRequest::Kind::kClient &&
         blocked_.count(req.io.oid) != 0) {
       // Foreground access to an object being moved by a blocking policy:
@@ -201,7 +263,13 @@ void Simulator::dispatch(OsdId osd, SimTime now) {
       parked_[req.io.oid].push_back(std::move(req));
       continue;
     }
-    if (req.kind == SubRequest::Kind::kClient) {
+    // Mover chunks deliberately address the migration endpoints and
+    // rebuild writes the reserved destination, so only client traffic and
+    // rebuild peer *reads* follow an object that moved while queued.
+    const bool follows_object =
+        req.kind == SubRequest::Kind::kClient ||
+        (req.kind == SubRequest::Kind::kRebuild && !req.io.is_write);
+    if (follows_object) {
       // The object may have migrated while this request sat in the queue
       // (non-blocking CDF moves).  The MDS redirects it to the object's
       // current OSD rather than dropping it on the floor.
@@ -212,6 +280,13 @@ void Simulator::dispatch(OsdId osd, SimTime now) {
         dispatch(current, now);
         continue;
       }
+    }
+    if (req.kind == SubRequest::Kind::kClient && cluster_.osd_failed(osd)) {
+      // The device died while this request waited (or a retry/redirect
+      // landed on it after the failure): resolve through the degraded
+      // path instead of silently dropping it.
+      resolve_degraded_client(std::move(req), now);
+      continue;
     }
     const SimDuration service = cfg_.request_overhead_us + execute(req.io);
     s.busy = true;
@@ -231,27 +306,83 @@ void Simulator::on_osd_complete(OsdId osd, SimTime now) {
   OsdServer& s = servers_[osd];
   assert(s.busy);
   s.busy = false;
-  const SubRequest req = std::move(s.current);
+  SubRequest req = std::move(s.current);
   s.load.add(static_cast<double>(now - req.enqueue_time));
   ++s.served;
 
-  if (req.kind == SubRequest::Kind::kClient) {
-    OpState& op = ops_[req.owner];
-    assert(op.outstanding > 0);
-    if (--op.outstanding == 0) {
-      ++completed_ops_;
-      record_response(now, now - op.start);
-      Client& c = clients_[op.client];
-      assert(c.in_flight > 0);
-      --c.in_flight;
-      const std::uint16_t client_id = op.client;
-      release_op(req.owner);
-      fill_client_window(client_id, now);
+  if (stale(req)) {
+    // The owning mover/rebuild lane was aborted while this chunk was in
+    // service; the device work is sunk cost, the completion is dropped.
+    dispatch(osd, now);
+    return;
+  }
+
+  if (injector_ && injector_->transient_error(osd)) {
+    const std::uint32_t attempts = req.attempts + 1;
+    if (cfg_.retry.exhausted(attempts)) {
+      switch (req.kind) {
+        case SubRequest::Kind::kClient:
+          // Retries spent: the sub-request is abandoned (counted), but the
+          // file operation still completes -- nothing hangs the client.
+          ++faults_.abandoned_requests;
+          complete_client_subrequest(req.owner, now);
+          break;
+        case SubRequest::Kind::kMover:
+          abort_lane_migration(static_cast<std::uint16_t>(req.owner), now,
+                               /*replan=*/false);
+          break;
+        case SubRequest::Kind::kRebuild:
+          abort_rebuild_object(req.owner, now, /*requeue=*/false);
+          break;
+      }
+    } else {
+      ++faults_.retried_requests;
+      req.attempts = attempts;
+      schedule_retry(std::move(req), now + cfg_.retry.backoff_us(attempts));
     }
-  } else {
-    on_mover_chunk_complete(req, now);
+    dispatch(osd, now);
+    return;
+  }
+
+  switch (req.kind) {
+    case SubRequest::Kind::kClient:
+      complete_client_subrequest(req.owner, now);
+      break;
+    case SubRequest::Kind::kMover:
+      on_mover_chunk_complete(req, now);
+      break;
+    case SubRequest::Kind::kRebuild:
+      on_rebuild_subrequest_complete(req, now);
+      break;
   }
   dispatch(osd, now);
+}
+
+void Simulator::complete_client_subrequest(std::uint32_t op_id, SimTime now) {
+  OpState& op = ops_[op_id];
+  assert(op.outstanding > 0);
+  if (--op.outstanding == 0) {
+    ++completed_ops_;
+    record_response(now, now - op.start);
+    Client& c = clients_[op.client];
+    assert(c.in_flight > 0);
+    --c.in_flight;
+    const std::uint16_t client_id = op.client;
+    release_op(op_id);
+    fill_client_window(client_id, now);
+  }
+}
+
+bool Simulator::stale(const SubRequest& req) const {
+  switch (req.kind) {
+    case SubRequest::Kind::kClient:
+      return false;  // client sub-requests are never generation-dropped
+    case SubRequest::Kind::kMover:
+      return req.gen != lanes_[req.owner].gen;
+    case SubRequest::Kind::kRebuild:
+      return req.gen != rebuild_lanes_[req.owner].gen;
+  }
+  return false;
 }
 
 // -------------------------------------------------------------- migration
@@ -263,9 +394,136 @@ void Simulator::maybe_inject_failure(SimTime now) {
     return;
   }
   failure_injected_ = true;
-  cluster_.fail_osd(static_cast<OsdId>(cfg_.fail_osd));
-  degraded_.failed_osd = cfg_.fail_osd;
-  degraded_.failed_at = now;
+  apply_fail(static_cast<OsdId>(cfg_.fail_osd), now);
+}
+
+void Simulator::schedule_next_fault() {
+  if (injector_ && injector_->has_pending()) {
+    events_.push(injector_->peek().at, EventKind::kFault, 0);
+  }
+}
+
+void Simulator::on_fault_event(SimTime now) {
+  if (!injector_) return;
+  while (injector_->has_pending() && injector_->peek().at <= now) {
+    const FaultEvent e = injector_->pop();
+    if (e.kind == FaultEvent::Kind::kFail) {
+      apply_fail(e.osd, now);
+    } else {
+      apply_rebuild(e.osd, now);
+    }
+  }
+  schedule_next_fault();
+}
+
+void Simulator::apply_fail(OsdId id, SimTime now) {
+  if (cluster_.osd_failed(id)) return;
+  cluster_.fail_osd(id);
+  ++faults_.scheduled_failures;
+  if (degraded_.failed_osd < 0) {
+    degraded_.failed_osd = static_cast<std::int32_t>(id);
+    degraded_.failed_at = now;
+  }
+  // Drain the dying device's queue so nothing is silently dropped: client
+  // requests re-resolve through the degraded path, mover/rebuild chunks
+  // die with their lane (aborted below, which makes them stale).
+  OsdServer& s = servers_[id];
+  std::deque<SubRequest> drained;
+  drained.swap(s.queue);
+  for (SubRequest& req : drained) {
+    if (req.kind == SubRequest::Kind::kClient) {
+      ++faults_.requeued_on_failure;
+      resolve_degraded_client(std::move(req), now);
+    }
+  }
+  // Abort mover lanes whose in-flight move touches the dead device.  A
+  // dead destination is re-plannable (the object is still intact at the
+  // source); a dead source needs rebuild, not the mover.
+  for (std::uint16_t lane_id = 0; lane_id < lanes_.size(); ++lane_id) {
+    MoverLane& lane = lanes_[lane_id];
+    if (!lane.active) continue;
+    const bool src_died = lane.current.source == id;
+    const bool dst_died = lane.current.destination == id;
+    if (!src_died && !dst_died) continue;
+    abort_lane_migration(lane_id, now, /*replan=*/dst_died && !src_died);
+  }
+  // Abort rebuild streams reading from or writing to the dead device; the
+  // victim goes back on the queue so prepare re-decides its fate.
+  for (std::uint32_t lane_id = 0; lane_id < rebuild_lanes_.size();
+       ++lane_id) {
+    RebuildLane& lane = rebuild_lanes_[lane_id];
+    if (!lane.active || !rebuild_lane_touches(lane, id)) continue;
+    abort_rebuild_object(lane_id, now, /*requeue=*/true);
+  }
+}
+
+void Simulator::apply_rebuild(OsdId id, SimTime now) {
+  if (!cluster_.osd_failed(id)) return;  // rebuild of a healthy device: no-op
+  if (rebuild_running_) {
+    pending_rebuilds_.push_back(id);  // one target at a time
+    return;
+  }
+  start_rebuild(id, now);
+}
+
+void Simulator::resolve_degraded_client(SubRequest req, SimTime now) {
+  if (req.io.is_write) {
+    cluster_.note_lost_write();
+    complete_client_subrequest(req.owner, now);
+    return;
+  }
+  // RAID-5 reconstruction: the same object-relative page range of the
+  // file's k-1 other objects stands in for the lost chunk (mirrors what
+  // map_request does for requests mapped after the failure).
+  const cluster::Placement& place = cluster_.placement();
+  const FileId file = place.file_of(req.io.oid);
+  const std::uint32_t self = place.index_of(req.io.oid);
+  std::vector<SubRequest> peer_reads;
+  bool reconstructable = place.objects_per_file() > 1;
+  for (std::uint32_t j = 0;
+       reconstructable && j < place.objects_per_file(); ++j) {
+    if (j == self) continue;
+    const ObjectId peer = place.object_id(file, j);
+    const OsdId peer_osd = cluster_.locate(peer);
+    if (cluster_.osd_failed(peer_osd)) {
+      reconstructable = false;  // two stripe members gone
+      break;
+    }
+    SubRequest pr = req;
+    pr.io.oid = peer;
+    pr.io.osd = peer_osd;
+    pr.attempts = 0;
+    peer_reads.push_back(std::move(pr));
+  }
+  if (!reconstructable) {
+    cluster_.note_unavailable_request();
+    complete_client_subrequest(req.owner, now);
+    return;
+  }
+  cluster_.note_degraded_read();
+  ops_[req.owner].outstanding +=
+      static_cast<std::uint32_t>(peer_reads.size()) - 1;
+  for (SubRequest& pr : peer_reads) enqueue(std::move(pr), now);
+}
+
+void Simulator::schedule_retry(SubRequest req, SimTime when) {
+  std::uint32_t slot;
+  if (!free_retry_slots_.empty()) {
+    slot = free_retry_slots_.back();
+    free_retry_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(retry_slots_.size());
+    retry_slots_.emplace_back();
+  }
+  retry_slots_[slot] = std::move(req);
+  events_.push(when, EventKind::kRetryResume, slot);
+}
+
+void Simulator::on_retry_resume(std::uint64_t slot, SimTime now) {
+  SubRequest req = std::move(retry_slots_[static_cast<std::size_t>(slot)]);
+  free_retry_slots_.push_back(static_cast<std::uint32_t>(slot));
+  if (stale(req)) return;  // owning lane was aborted during the backoff
+  enqueue(std::move(req), now);
 }
 
 void Simulator::maybe_trigger_midpoint(SimTime now) {
@@ -310,9 +568,20 @@ void Simulator::start_migration(SimTime now, bool force) {
 void Simulator::advance_lane(std::uint16_t lane_id, SimTime now) {
   MoverLane& lane = lanes_[lane_id];
   while (!lane.active && !lane.actions.empty()) {
-    const core::MigrationAction action = lane.actions.front();
+    core::MigrationAction action = lane.actions.front();
     lane.actions.pop_front();
-    if (!cluster_.begin_migration(action.oid, action.destination)) {
+    action.source = cluster_.locate(action.oid);  // may have moved since plan
+    auto admit = cluster_.admit_migration(action.oid, action.destination);
+    if (admit == cluster::Cluster::MigrationAdmit::kDestinationFailed) {
+      // The planned destination died since the plan was drawn; re-target
+      // the move onto a healthy group peer instead of dropping it.
+      if (auto dst = cluster_.healthy_destination(action.oid)) {
+        action.destination = *dst;
+        ++faults_.migrations_replanned;
+        admit = cluster_.admit_migration(action.oid, action.destination);
+      }
+    }
+    if (admit != cluster::Cluster::MigrationAdmit::kOk) {
       ++migration_.skipped_objects;
       continue;
     }
@@ -341,7 +610,34 @@ void Simulator::issue_mover_chunk(std::uint16_t lane_id, SimTime now) {
   io.first_page = lane.pages_done;
   io.pages = lane.chunk_pages;
   io.is_write = lane.writing;
-  enqueue({SubRequest::Kind::kMover, lane_id, io, now}, now);
+  enqueue({SubRequest::Kind::kMover, lane_id, io, now, 0, lane.gen}, now);
+}
+
+void Simulator::abort_lane_migration(std::uint16_t lane_id, SimTime now,
+                                     bool replan) {
+  MoverLane& lane = lanes_[lane_id];
+  if (!lane.active) return;
+  const ObjectId oid = lane.current.oid;
+  cluster_.abort_migration(oid);  // releases the destination reservation
+  ++faults_.migrations_aborted;
+  release_blocked(oid, now);
+  ++lane.gen;  // in-flight chunks of the old incarnation become stale
+  lane.active = false;
+  if (replan && !cluster_.osd_failed(lane.current.source)) {
+    if (auto dst = cluster_.healthy_destination(oid)) {
+      core::MigrationAction retargeted = lane.current;
+      retargeted.destination = *dst;
+      lane.actions.push_front(retargeted);
+      ++faults_.migrations_replanned;
+    } else {
+      ++migration_.skipped_objects;
+    }
+  } else {
+    ++migration_.skipped_objects;
+  }
+  // Resume the lane after a backoff; the new generation tags the event.
+  events_.push(now + cfg_.retry.backoff_us(1), EventKind::kMoverResume,
+               lane_payload(lane_id, lane.gen));
 }
 
 void Simulator::on_mover_chunk_complete(const SubRequest& req, SimTime now) {
@@ -358,7 +654,8 @@ void Simulator::on_mover_chunk_complete(const SubRequest& req, SimTime now) {
       pace = static_cast<SimDuration>(bytes / cfg_.mover_lane_mbps);  // us
     }
     if (pace > 0) {
-      events_.push(now + pace, EventKind::kMoverResume, lane_id);
+      events_.push(now + pace, EventKind::kMoverResume,
+                   lane_payload(lane_id, lane.gen));
     } else {
       issue_mover_chunk(lane_id, now);
     }
@@ -397,6 +694,182 @@ void Simulator::release_blocked(ObjectId oid, SimTime now) {
 bool Simulator::mover_active() const {
   for (const auto& lane : lanes_) {
     if (lane.active || !lane.actions.empty()) return true;
+  }
+  return false;
+}
+
+// --------------------------------------------------------- online rebuild
+
+void Simulator::start_rebuild(OsdId dead, SimTime now) {
+  rebuild_target_ = dead;
+  rebuild_running_ = true;
+  rebuild_queue_.clear();
+  for (ObjectId oid : cluster_.failed_objects(dead)) {
+    rebuild_queue_.push_back(oid);
+  }
+  if (faults_.rebuild_started_at == 0) faults_.rebuild_started_at = now;
+  for (std::uint32_t lane = 0; lane < rebuild_lanes_.size(); ++lane) {
+    advance_rebuild_lane(lane, now);
+  }
+}
+
+void Simulator::advance_rebuild_lane(std::uint32_t lane_id, SimTime now) {
+  RebuildLane& lane = rebuild_lanes_[lane_id];
+  while (!lane.active && !rebuild_queue_.empty()) {
+    const ObjectId oid = rebuild_queue_.front();
+    rebuild_queue_.pop_front();
+    OsdId dst = 0;
+    const auto outcome =
+        cluster_.prepare_object_rebuild(rebuild_target_, oid, dst);
+    if (outcome == cluster::Cluster::RebuildOutcome::kUnrecoverable) {
+      ++faults_.rebuild_unrecoverable;
+      continue;
+    }
+    if (outcome == cluster::Cluster::RebuildOutcome::kUnplaced) {
+      ++faults_.rebuild_unplaced;
+      continue;
+    }
+    lane.oid = oid;
+    lane.dst = dst;
+    lane.pages = cluster_.osd(rebuild_target_).object_pages(oid);
+    lane.pages_done = 0;
+    lane.writing = false;
+    lane.reads_outstanding = 0;
+    if (lane.pages == 0) {
+      // Zero-length object: nothing to copy, commit the relocation as-is.
+      cluster_.commit_object_rebuild(rebuild_target_, oid, dst);
+      ++faults_.rebuild_objects;
+      continue;
+    }
+    lane.active = true;
+    issue_rebuild_chunk(lane_id, now);
+  }
+  maybe_finish_rebuild(now);
+}
+
+void Simulator::issue_rebuild_chunk(std::uint32_t lane_id, SimTime now) {
+  RebuildLane& lane = rebuild_lanes_[lane_id];
+  lane.chunk_pages =
+      std::min(cfg_.rebuild_chunk_pages, lane.pages - lane.pages_done);
+  if (!lane.writing) {
+    // Reconstruction reads: the same chunk range of the file's k-1 other
+    // objects, in parallel, through the normal OSD queues (siblings share
+    // the object size, so the page range is identical).
+    const cluster::Placement& place = cluster_.placement();
+    const FileId file = place.file_of(lane.oid);
+    const std::uint32_t self = place.index_of(lane.oid);
+    lane.reads_outstanding = 0;
+    for (std::uint32_t j = 0; j < place.objects_per_file(); ++j) {
+      if (j == self) continue;
+      const ObjectId peer = place.object_id(file, j);
+      cluster::OsdIo io;
+      io.osd = cluster_.locate(peer);
+      io.oid = peer;
+      io.first_page = lane.pages_done;
+      io.pages = lane.chunk_pages;
+      io.is_write = false;
+      ++lane.reads_outstanding;
+      enqueue({SubRequest::Kind::kRebuild, lane_id, io, now, 0, lane.gen},
+              now);
+    }
+    if (lane.reads_outstanding == 0) {
+      // k == 1: no redundancy to read from; the (blank) replacement is
+      // still written so the instant and online paths agree.
+      lane.writing = true;
+      issue_rebuild_chunk(lane_id, now);
+    }
+    return;
+  }
+  cluster::OsdIo io;
+  io.osd = lane.dst;
+  io.oid = lane.oid;
+  io.first_page = lane.pages_done;
+  io.pages = lane.chunk_pages;
+  io.is_write = true;
+  enqueue({SubRequest::Kind::kRebuild, lane_id, io, now, 0, lane.gen}, now);
+}
+
+void Simulator::on_rebuild_subrequest_complete(const SubRequest& req,
+                                               SimTime now) {
+  const std::uint32_t lane_id = req.owner;
+  RebuildLane& lane = rebuild_lanes_[lane_id];
+  if (!lane.writing) {
+    // One reconstruction read landed.
+    faults_.rebuild_peer_pages_read += req.io.pages;
+    assert(lane.reads_outstanding > 0);
+    if (--lane.reads_outstanding > 0) return;
+    // All k-1 peer chunks are in: pace the chunk across the rebuild pipe,
+    // then write it to the destination.
+    lane.writing = true;
+    SimDuration pace = 0;
+    if (cfg_.rebuild_lane_mbps > 0.0) {
+      const double bytes = static_cast<double>(lane.chunk_pages) *
+                           cluster_.config().flash.page_size;
+      pace = static_cast<SimDuration>(bytes / cfg_.rebuild_lane_mbps);  // us
+    }
+    if (pace > 0) {
+      events_.push(now + pace, EventKind::kRebuildResume,
+                   lane_payload(lane_id, lane.gen));
+    } else {
+      issue_rebuild_chunk(lane_id, now);
+    }
+    return;
+  }
+  // Destination chunk write landed.
+  faults_.rebuild_pages_written += req.io.pages;
+  lane.pages_done += lane.chunk_pages;
+  lane.writing = false;
+  if (lane.pages_done < lane.pages) {
+    issue_rebuild_chunk(lane_id, now);
+    return;
+  }
+  cluster_.commit_object_rebuild(rebuild_target_, lane.oid, lane.dst);
+  ++faults_.rebuild_objects;
+  lane.active = false;
+  advance_rebuild_lane(lane_id, now);
+}
+
+void Simulator::abort_rebuild_object(std::uint32_t lane_id, SimTime now,
+                                     bool requeue) {
+  RebuildLane& lane = rebuild_lanes_[lane_id];
+  if (!lane.active) return;
+  cluster_.abort_object_rebuild(lane.oid, lane.dst);
+  if (requeue) {
+    // A device involved in the copy died; prepare re-decides whether the
+    // object is still recoverable and where it fits.
+    rebuild_queue_.push_back(lane.oid);
+  } else {
+    ++faults_.rebuild_aborted;  // retries spent: the object stays lost
+  }
+  ++lane.gen;  // in-flight chunks of the old incarnation become stale
+  lane.active = false;
+  advance_rebuild_lane(lane_id, now);
+}
+
+void Simulator::maybe_finish_rebuild(SimTime now) {
+  if (!rebuild_running_ || !rebuild_queue_.empty()) return;
+  for (const RebuildLane& lane : rebuild_lanes_) {
+    if (lane.active) return;
+  }
+  cluster_.finish_rebuild(rebuild_target_);
+  faults_.rebuild_finished_at = now;
+  rebuild_running_ = false;
+  if (!pending_rebuilds_.empty()) {
+    const OsdId next = pending_rebuilds_.front();
+    pending_rebuilds_.pop_front();
+    apply_rebuild(next, now);
+  }
+}
+
+bool Simulator::rebuild_lane_touches(const RebuildLane& lane,
+                                     OsdId osd) const {
+  if (lane.dst == osd) return true;
+  const cluster::Placement& place = cluster_.placement();
+  const FileId file = place.file_of(lane.oid);
+  const std::uint32_t self = place.index_of(lane.oid);
+  for (std::uint32_t j = 0; j < place.objects_per_file(); ++j) {
+    if (j == self) continue;
+    if (cluster_.locate(place.object_id(file, j)) == osd) return true;
   }
   return false;
 }
@@ -461,6 +934,7 @@ core::ClusterView Simulator::build_view() const {
     d.load_ewma_us = servers_[i].load.value();
     d.capacity_pages = osd.capacity_pages();
     d.free_pages = osd.free_pages();
+    d.failed = osd.failed();
     view.devices.push_back(d);
 
     auto& objs = view.objects[i];

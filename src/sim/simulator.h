@@ -33,7 +33,9 @@
 #include "core/sigma_estimator.h"
 #include "core/temperature.h"
 #include "sim/event_queue.h"
+#include "sim/fault_injector.h"
 #include "sim/metrics.h"
+#include "sim/retry_policy.h"
 #include "trace/record.h"
 #include "util/ewma.h"
 #include "util/types.h"
@@ -95,13 +97,35 @@ struct SimConfig {
   /// fixed sigma = 0.28.
   bool adaptive_sigma = false;
 
-  /// Failure injection: fail this OSD when `fail_at_fraction` of the
-  /// records have been issued (-1 = no injection).  The replay continues
-  /// in degraded mode: reads of its objects reconstruct from RAID-5 peers,
-  /// writes to it are lost (counted), and unreconstructable requests are
-  /// dropped -- see cluster degraded-mode accounting.
+  /// Legacy failure injection: fail this OSD when `fail_at_fraction` of
+  /// the records have been issued (-1 = no injection).  Routed through the
+  /// same degraded-mode machinery as `faults` below; prefer a FaultPlan
+  /// for anything beyond a single fraction-triggered failure.
   std::int32_t fail_osd = -1;
   double fail_at_fraction = 0.5;
+
+  /// Scheduled fail/rebuild events + seeded transient I/O errors, consumed
+  /// by the event loop as first-class events (see fault_injector.h).
+  FaultPlan faults;
+
+  /// Capped exponential backoff for transient-error retries (clients, the
+  /// data mover, and rebuild traffic all share it).
+  RetryPolicy retry;
+
+  /// Online rebuild: parallel reconstruction streams and their chunking.
+  /// Each lane rebuilds one object at a time -- k-1 peer chunk reads
+  /// through the normal OSD queues, then a paced chunk write to the
+  /// destination -- so rebuild contends with foreground I/O instead of
+  /// mutating state instantaneously.
+  std::uint32_t rebuild_lanes = 2;
+  std::uint32_t rebuild_chunk_pages = 256;
+
+  /// Per-lane rebuild throughput cap in MB/s (0 = device-speed).
+  double rebuild_lane_mbps = 32.0;
+
+  /// Rejects invalid knob combinations (needs the cluster size to check
+  /// FaultPlan device ids).  Called by the Simulator constructor.
+  void validate(std::uint32_t num_osds) const;
 };
 
 class Simulator {
@@ -125,11 +149,13 @@ class Simulator {
 
  private:
   struct SubRequest {
-    enum class Kind : std::uint8_t { kClient, kMover };
+    enum class Kind : std::uint8_t { kClient, kMover, kRebuild };
     Kind kind = Kind::kClient;
-    std::uint32_t owner = 0;  // op-slot index or mover lane id
+    std::uint32_t owner = 0;  // op-slot index or mover/rebuild lane id
     cluster::OsdIo io;
     SimTime enqueue_time = 0;
+    std::uint32_t attempts = 0;  // transient-error failures so far
+    std::uint32_t gen = 0;       // lane generation (mover/rebuild kinds)
   };
 
   /// One in-flight file operation (a client may have several).
@@ -163,21 +189,52 @@ class Simulator {
     std::uint32_t pages_done = 0;
     std::uint32_t chunk_pages = 0;
     bool writing = false;
+    std::uint32_t gen = 0;  // bumped on abort; stale chunks are dropped
+  };
+
+  /// One online-rebuild stream: reconstructs one object at a time in
+  /// chunks (k-1 parallel peer reads, then a paced destination write).
+  struct RebuildLane {
+    bool active = false;
+    ObjectId oid = 0;
+    OsdId dst = 0;
+    std::uint32_t pages = 0;
+    std::uint32_t pages_done = 0;
+    std::uint32_t chunk_pages = 0;
+    std::uint32_t reads_outstanding = 0;
+    bool writing = false;
+    std::uint32_t gen = 0;  // bumped on abort; stale chunks are dropped
   };
 
   // --- client side ---
   void fill_client_window(std::uint16_t client_id, SimTime now);
   std::uint32_t alloc_op(std::uint16_t client_id, SimTime now);
   void release_op(std::uint32_t op_id);
+  /// Completes one client sub-request of an op; fires op completion when
+  /// it was the last outstanding one.
+  void complete_client_subrequest(std::uint32_t op_id, SimTime now);
 
   // --- OSD service ---
   void enqueue(SubRequest req, SimTime now);
   void dispatch(OsdId osd, SimTime now);
   void on_osd_complete(OsdId osd, SimTime now);
   SimDuration execute(const cluster::OsdIo& io);
+  /// True when a mover/rebuild sub-request belongs to an aborted lane
+  /// incarnation and must be dropped instead of acted on.
+  bool stale(const SubRequest& req) const;
 
   // --- failure injection ---
   void maybe_inject_failure(SimTime now);
+  void schedule_next_fault();
+  void on_fault_event(SimTime now);
+  void apply_fail(OsdId id, SimTime now);
+  void apply_rebuild(OsdId id, SimTime now);
+  /// Resolves a client sub-request whose target OSD is failed: writes are
+  /// lost (counted), reads fan out to k-1 reconstruction peer reads or are
+  /// counted unavailable.  The op always completes.
+  void resolve_degraded_client(SubRequest req, SimTime now);
+  void schedule_retry(SubRequest req, SimTime when);
+  void on_retry_resume(std::uint64_t slot, SimTime now);
 
   // --- migration ---
   void maybe_trigger_midpoint(SimTime now);
@@ -185,8 +242,23 @@ class Simulator {
   void advance_lane(std::uint16_t lane_id, SimTime now);
   void issue_mover_chunk(std::uint16_t lane_id, SimTime now);
   void on_mover_chunk_complete(const SubRequest& req, SimTime now);
+  /// Aborts the lane's in-flight move (releasing the destination
+  /// reservation); optionally re-plans it onto a healthy group peer, and
+  /// resumes the lane under backoff.
+  void abort_lane_migration(std::uint16_t lane_id, SimTime now, bool replan);
   void release_blocked(ObjectId oid, SimTime now);
   bool mover_active() const;
+
+  // --- online rebuild ---
+  void start_rebuild(OsdId dead, SimTime now);
+  void advance_rebuild_lane(std::uint32_t lane_id, SimTime now);
+  void issue_rebuild_chunk(std::uint32_t lane_id, SimTime now);
+  void on_rebuild_subrequest_complete(const SubRequest& req, SimTime now);
+  void abort_rebuild_object(std::uint32_t lane_id, SimTime now, bool requeue);
+  void maybe_finish_rebuild(SimTime now);
+  /// Whether the lane's current reconstruction involves `osd` (as a peer
+  /// source or the write destination).
+  bool rebuild_lane_touches(const RebuildLane& lane, OsdId osd) const;
 
   // --- bookkeeping ---
   void on_epoch_tick(SimTime now);
@@ -235,7 +307,21 @@ class Simulator {
 
   MigrationMetrics migration_;
   DegradedMetrics degraded_;
+  FaultMetrics faults_;
   bool failure_injected_ = false;
+
+  // Fault-injection state.
+  std::unique_ptr<FaultInjector> injector_;
+  std::vector<SubRequest> retry_slots_;  // requests waiting out a backoff
+  std::vector<std::uint32_t> free_retry_slots_;
+
+  // Online-rebuild state (one target at a time; later rebuild events for
+  // other devices queue behind it).
+  std::vector<RebuildLane> rebuild_lanes_;
+  std::deque<ObjectId> rebuild_queue_;
+  OsdId rebuild_target_ = 0;
+  bool rebuild_running_ = false;
+  std::deque<OsdId> pending_rebuilds_;
 
   // scratch to avoid per-op allocation
   std::vector<cluster::OsdIo> io_scratch_;

@@ -78,6 +78,12 @@ TEST(Cluster, ConfigValidation) {
   cfg = small_config();
   cfg.destination_utilization_cap = 1.5;
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_config();
+  // Cross-field: a destination cap below the population target would
+  // reject every migration destination from the first shuffle.
+  cfg.target_max_utilization = 0.76;
+  cfg.destination_utilization_cap = 0.50;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
 TEST(Cluster, MapRequestReadTouchesOnlyDataObjects) {
@@ -222,12 +228,77 @@ TEST(Cluster, MigrationToSelfOrDuplicateRejected) {
 
 TEST(Cluster, MigrationRespectsDestinationUtilizationCap) {
   ClusterConfig cfg = small_config();
-  cfg.destination_utilization_cap = 0.01;  // effectively nothing fits
-  Cluster cluster(cfg, uniform_files(16, 64 * 1024));
+  // Every OSD starts at the population target (uniform files, large
+  // enough that the minimum-capacity floor does not kick in), so a cap
+  // equal to the target means any incoming object overshoots.
+  cfg.destination_utilization_cap = cfg.target_max_utilization;
+  Cluster cluster(cfg, uniform_files(16, 1024 * 1024));
   const ObjectId oid = cluster.placement().object_id(2, 1);
   const OsdId dst =
       cluster.placement().group_peers(cluster.locate(oid)).front();
   EXPECT_FALSE(cluster.begin_migration(oid, dst));
+  EXPECT_EQ(cluster.admit_migration(oid, dst),
+            Cluster::MigrationAdmit::kOverCap);
+}
+
+TEST(Cluster, MigrationDestinationThrowsForUnknownObject) {
+  Cluster cluster(small_config(), uniform_files(16, 64 * 1024));
+  const ObjectId oid = cluster.placement().object_id(2, 1);
+  EXPECT_THROW(cluster.migration_destination(oid), std::logic_error);
+  const OsdId dst =
+      cluster.placement().group_peers(cluster.locate(oid)).front();
+  ASSERT_TRUE(cluster.begin_migration(oid, dst));
+  EXPECT_EQ(cluster.migration_destination(oid), dst);
+  cluster.abort_migration(oid);
+  EXPECT_THROW(cluster.migration_destination(oid), std::logic_error);
+}
+
+TEST(Cluster, AbortMigrationReleasesReservationExactlyOnce) {
+  Cluster cluster(small_config(), uniform_files(16, 64 * 1024));
+  const ObjectId oid = cluster.placement().object_id(2, 1);
+  const OsdId dst =
+      cluster.placement().group_peers(cluster.locate(oid)).front();
+  const auto free_before = cluster.osd(dst).free_pages();
+  ASSERT_TRUE(cluster.begin_migration(oid, dst));
+  cluster.abort_migration(oid);
+  EXPECT_EQ(cluster.osd(dst).free_pages(), free_before);
+  // A second abort (or a complete after abort) must not release the
+  // reservation twice -- it throws instead of corrupting the store.
+  EXPECT_THROW(cluster.abort_migration(oid), std::logic_error);
+  EXPECT_THROW(cluster.complete_migration(oid), std::logic_error);
+  EXPECT_EQ(cluster.osd(dst).free_pages(), free_before);
+}
+
+TEST(Cluster, AdmitMigrationReportsFailedEndpoints) {
+  Cluster cluster(small_config(), uniform_files(16, 64 * 1024));
+  const ObjectId oid = cluster.placement().object_id(2, 1);
+  const OsdId src = cluster.locate(oid);
+  const OsdId dst = cluster.placement().group_peers(src).front();
+  cluster.fail_osd(dst);
+  EXPECT_EQ(cluster.admit_migration(oid, dst),
+            Cluster::MigrationAdmit::kDestinationFailed);
+  cluster.osd(dst).set_failed(false);
+  cluster.fail_osd(src);
+  EXPECT_EQ(cluster.admit_migration(oid, dst),
+            Cluster::MigrationAdmit::kSourceFailed);
+  cluster.osd(src).set_failed(false);
+  EXPECT_EQ(cluster.admit_migration(oid, src),
+            Cluster::MigrationAdmit::kSameOsd);
+}
+
+TEST(Cluster, HealthyDestinationSkipsFailedPeers) {
+  Cluster cluster(small_config(), uniform_files(16, 64 * 1024));
+  const ObjectId oid = cluster.placement().object_id(2, 1);
+  const OsdId src = cluster.locate(oid);
+  const auto peers = cluster.placement().group_peers(src);
+  ASSERT_FALSE(peers.empty());
+  const auto dst = cluster.healthy_destination(oid);
+  ASSERT_TRUE(dst.has_value());
+  EXPECT_TRUE(cluster.placement().same_group(src, *dst));
+  // Fail every peer: no destination remains.
+  for (OsdId peer : peers) cluster.fail_osd(peer);
+  EXPECT_FALSE(cluster.healthy_destination(oid).has_value());
+  for (OsdId peer : peers) cluster.osd(peer).set_failed(false);
 }
 
 TEST(Cluster, GroupInvariantSurvivesMigrations) {

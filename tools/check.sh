@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build + test the normal config, then the
+# asan-ubsan config (CMakePresets.json).  Any failure aborts.
+#
+#   tools/check.sh [--fast]   # --fast skips the sanitizer config
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+run_preset() {
+  local preset="$1"
+  echo "== configure ($preset) =="
+  cmake --preset "$preset"
+  echo "== build ($preset) =="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "== test ($preset) =="
+  ctest --preset "$preset"
+}
+
+run_preset default
+if [[ "${1:-}" != "--fast" ]]; then
+  run_preset asan-ubsan
+fi
+echo "== all checks passed =="
