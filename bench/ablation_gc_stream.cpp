@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
       cells.push_back(cfg);
     }
   }
-  const auto results = edm::sim::run_grid(cells);
+  const auto results = edm::bench::run_cells(cells, args);
   Table cluster_table({"FTL", "system", "throughput(ops/s)",
                        "aggregate_erases", "erase_RSD"});
   for (std::size_t i = 0; i < results.size(); ++i) {

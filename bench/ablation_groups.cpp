@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
       cells.push_back(cfg);
     }
   }
-  const auto results = edm::sim::run_grid(cells);
+  const auto results = edm::bench::run_cells(cells, args);
 
   Table table({"groups(m)", "group_size", "system", "throughput(ops/s)",
                "erase_RSD", "aggregate_erases", "moved_objects"});

@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     cfg.policy_config.balance.iterations = budget;
     cells.push_back(cfg);
   }
-  const auto results = edm::sim::run_grid(cells);
+  const auto results = edm::bench::run_cells(cells, args);
   Table e2e({"iterations", "throughput(ops/s)", "erase_RSD", "moved_objects"});
   for (std::size_t i = 0; i < results.size(); ++i) {
     e2e.add_row({

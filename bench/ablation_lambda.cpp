@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   // Baseline reference.
   cells.push_back(
       edm::bench::cell("lair62", edm::core::PolicyKind::kNone, 16, args.scale));
-  const auto results = edm::sim::run_grid(cells);
+  const auto results = edm::bench::run_cells(cells, args);
 
   Table table({"lambda", "triggers", "moved_objects", "moved_pages",
                "aggregate_erases", "erase_RSD", "throughput(ops/s)"});

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
       cells.push_back(cfg);
     }
   }
-  const auto results = edm::sim::run_grid(cells);
+  const auto results = edm::bench::run_cells(cells, args);
 
   Table table({"queue_depth", "baseline(ops/s)", "HDF(ops/s)", "HDF_gain",
                "baseline_rt(ms)", "HDF_rt(ms)"});

@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
     cfg.policy_config.model = edm::core::WearModel(32, sigma);
     cells.push_back(cfg);
   }
-  const auto results = edm::sim::run_grid(cells);
+  const auto results = edm::bench::run_cells(cells, args);
   Table plan({"sigma", "aggregate_erases", "erase_RSD", "moved_objects",
               "throughput(ops/s)"});
   for (std::size_t s = 0; s < sigmas.size(); ++s) {

@@ -2,17 +2,25 @@
 // the standard experiment grid shapes used by the paper's evaluation.
 //
 // Every bench accepts:
-//   --scale=<f>   linear trace scale (default 0.1; 1.0 = paper-size counts)
-//   --csv         emit CSV instead of the aligned table
+//   --scale=<f>            linear trace scale (default 0.1; 1.0 = paper-size)
+//   --csv                  emit CSV instead of the aligned table
+//   --trace-out=<path>     write a Chrome trace-event JSON per cell
+//   --timeseries-out=<path> write a DES-clock time-series CSV per cell
+//   --sample-interval=<s>  sampling interval in simulated seconds (default 1)
+//
+// With several grid cells, telemetry output paths get "-<cell index>"
+// appended before the extension so every cell lands in its own file.
 #pragma once
 
-#include <cstdlib>
-#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.h"
+#include "telemetry/telemetry.h"
+#include "util/flags.h"
+#include "util/log.h"
 #include "util/table.h"
 
 namespace edm::bench {
@@ -20,22 +28,115 @@ namespace edm::bench {
 struct BenchArgs {
   double scale = 0.1;
   bool csv = false;
+
+  // Telemetry outputs ("" = off).
+  std::string trace_out;
+  std::string timeseries_out;
+  double sample_interval_s = 1.0;  // simulated seconds between samples
 };
+
+/// Registers the standard bench flags; benches with extra flags can add
+/// their own before calling parse().
+inline util::FlagParser make_flag_parser(BenchArgs& args) {
+  util::FlagParser parser;
+  parser.add_double("--scale", &args.scale,
+                    "linear trace scale (1.0 = paper-size counts)");
+  parser.add_bool("--csv", &args.csv, "emit CSV instead of a table");
+  parser.add_string("--trace-out", &args.trace_out,
+                    "write Chrome trace-event JSON (Perfetto-loadable)");
+  parser.add_string("--timeseries-out", &args.timeseries_out,
+                    "write per-OSD time-series CSV");
+  parser.add_double("--sample-interval", &args.sample_interval_s,
+                    "time-series sampling interval in simulated seconds");
+  return parser;
+}
 
 inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--scale=", 0) == 0) {
-      args.scale = std::atof(arg.c_str() + 8);
-    } else if (arg == "--csv") {
-      args.csv = true;
-    } else if (arg == "--help" || arg == "-h") {
-      std::cerr << "usage: " << argv[0] << " [--scale=<f>] [--csv]\n";
+  util::FlagParser parser = make_flag_parser(args);
+  switch (parser.parse(argc, argv)) {
+    case util::FlagParser::Result::kOk:
+      break;
+    case util::FlagParser::Result::kHelp:
+      parser.print_usage(std::cerr, argv[0]);
       std::exit(0);
-    }
+    case util::FlagParser::Result::kError:
+      std::cerr << parser.error() << "\n";
+      parser.print_usage(std::cerr, argv[0]);
+      std::exit(2);
   }
   return args;
+}
+
+/// Maps the telemetry flags onto one cell's TelemetryConfig.
+inline void apply_telemetry(sim::ExperimentConfig& cfg,
+                            const BenchArgs& args) {
+  if (!args.trace_out.empty()) {
+    cfg.telemetry.trace_enabled = true;
+    cfg.telemetry.metrics_enabled = true;
+  }
+  if (!args.timeseries_out.empty()) {
+    cfg.telemetry.sample_interval_us =
+        static_cast<SimDuration>(args.sample_interval_s * 1e6);
+  }
+}
+
+/// "out.json" -> "out-3.json" (multi-cell grids write one file per cell).
+inline std::string indexed_path(const std::string& path, std::size_t index,
+                                std::size_t total) {
+  if (total <= 1) return path;
+  const std::size_t dot = path.rfind('.');
+  const std::size_t slash = path.rfind('/');
+  const std::string suffix = "-" + std::to_string(index);
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + suffix;
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+inline void write_telemetry_outputs(const std::vector<sim::RunResult>& results,
+                                    const BenchArgs& args) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& tel = results[i].telemetry;
+    if (tel == nullptr) continue;
+    if (const auto* tracer = tel->tracer(); tracer != nullptr &&
+                                            !args.trace_out.empty()) {
+      if (tracer->dropped() > 0) {
+        EDM_WARN << "trace for cell " << i << " dropped "
+                 << tracer->dropped() << " events (cap "
+                 << tel->config().max_trace_events << ")";
+      }
+      const std::string path =
+          indexed_path(args.trace_out, i, results.size());
+      std::ofstream os(path);
+      if (!os) {
+        EDM_WARN << "cannot write trace file " << path;
+        continue;
+      }
+      tracer->write_chrome_json(os);
+    }
+    if (const auto* sampler = tel->sampler();
+        sampler != nullptr && !args.timeseries_out.empty()) {
+      const std::string path =
+          indexed_path(args.timeseries_out, i, results.size());
+      std::ofstream os(path);
+      if (!os) {
+        EDM_WARN << "cannot write time-series file " << path;
+        continue;
+      }
+      sampler->write_csv(os);
+    }
+  }
+}
+
+/// Standard bench runner: applies the telemetry flags to every cell, runs
+/// the grid, writes any requested telemetry files, returns the results.
+inline std::vector<sim::RunResult> run_cells(
+    std::vector<sim::ExperimentConfig> cells, const BenchArgs& args) {
+  for (auto& cfg : cells) apply_telemetry(cfg, args);
+  auto results = sim::run_grid(cells);
+  write_telemetry_outputs(results, args);
+  return results;
 }
 
 inline void emit(const util::Table& table, const BenchArgs& args,

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
       cfg.sim.fail_at_fraction = 0.5;
       cells.push_back(cfg);
     }
-    const auto results = edm::sim::run_grid(cells);
+    const auto results = edm::bench::run_cells(cells, args);
     const double healthy = results[0].throughput_ops_per_sec();
     for (std::size_t i = 0; i < results.size(); ++i) {
       const auto& r = results[i];

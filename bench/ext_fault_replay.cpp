@@ -23,11 +23,14 @@ int main(int argc, char** argv) {
   Table table({"trace", "mode", "throughput(ops/s)", "p99(ms)", "vs_healthy",
                "unavail_frac", "degraded_reads", "retried", "rebuilt",
                "rebuild(ms)"});
+  std::vector<edm::sim::RunResult> all_results;
   for (const char* trace_name : {"home02", "lair62"}) {
     // All modes replay one shared trace so the fault schedule (derived
     // from the healthy makespan) lines up across runs.
-    const auto base = edm::sim::finalize(edm::bench::cell(
-        trace_name, edm::core::PolicyKind::kNone, 16, args.scale));
+    auto base_cell = edm::bench::cell(trace_name, edm::core::PolicyKind::kNone,
+                                      16, args.scale);
+    edm::bench::apply_telemetry(base_cell, args);
+    const auto base = edm::sim::finalize(base_cell);
     auto profile =
         edm::trace::profile_by_name(base.trace_name).scaled(base.scale);
     profile.seed ^= base.trace_seed_offset;
@@ -68,6 +71,7 @@ int main(int argc, char** argv) {
         cfg.sim.faults = mode.faults;
         r = edm::sim::run_experiment(cfg, trace);
       }
+      all_results.push_back(r);
       const double p99 = r.response_histogram.quantile(0.99);
       const double unavail =
           r.completed_ops ? static_cast<double>(r.degraded.unavailable) /
@@ -102,5 +106,6 @@ int main(int argc, char** argv) {
       "same OSD queues, visible as a second p99 bump while it runs; "
       "transient errors add retries but, with backoff, no abandons at "
       "this rate.");
+  edm::bench::write_telemetry_outputs(all_results, args);
   return 0;
 }

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
       cells.push_back(edm::bench::cell(trace, policy, 16, args.scale));
     }
   }
-  const auto results = edm::sim::run_grid(cells);
+  const auto results = edm::bench::run_cells(cells, args);
 
   Table table({"trace", "system", "cluster_lifetime", "vs_baseline",
                "balance_efficiency", "first_to_second_gap"});

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const auto results = edm::sim::run_grid(cells);
+  const auto results = edm::bench::run_cells(cells, args);
 
   Table table({"trace", "seed", "HDF_throughput_gain", "HDF_erase_delta",
                "baseline_erase_RSD"});

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     cfg.group_sizes = v.sizes;
     cells.push_back(cfg);
   }
-  const auto results = edm::sim::run_grid(cells);
+  const auto results = edm::bench::run_cells(cells, args);
 
   Table per_group({"variant", "group", "ssds", "mean_erases_per_ssd",
                    "projected_group_wearout(days)"});

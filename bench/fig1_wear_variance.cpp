@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
     cells.push_back(
         edm::bench::cell(t, edm::core::PolicyKind::kNone, 16, args.scale));
   }
-  const auto results = edm::sim::run_grid(cells);
+  const auto results = edm::bench::run_cells(cells, args);
 
   Table table({"trace", "osd", "erase_count", "write_pages", "gc_moves",
                "utilization", "measured_ur"});

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const auto results = edm::sim::run_grid(cells);
+  const auto results = edm::bench::run_cells(cells, args);
 
   Table table({"osds", "trace", "system", "throughput(ops/s)",
                "vs_baseline", "mean_rt(ms)"});

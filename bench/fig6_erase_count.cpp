@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const auto results = edm::sim::run_grid(cells);
+  const auto results = edm::bench::run_cells(cells, args);
 
   Table table({"osds", "trace", "system", "aggregate_erases", "vs_baseline",
                "vs_CMT", "erase_RSD", "migration_pages"});

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
       cells.push_back(cfg);
     }
   }
-  const auto results = edm::sim::run_grid(cells);
+  const auto results = edm::bench::run_cells(cells, args);
 
   Table table({"trace", "system", "window_start(s)", "ops", "mean_rt(ms)",
                "phase"});

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "telemetry/telemetry.h"
+
 namespace edm::cluster {
 
 void ClusterConfig::validate() const {
@@ -220,6 +222,15 @@ void Cluster::reset_flash_stats() {
 }
 
 Cluster::MigrationAdmit Cluster::admit_migration(ObjectId oid, OsdId dst) {
+  const MigrationAdmit verdict = admit_migration_impl(oid, dst);
+  if (verdict != MigrationAdmit::kOk &&
+      tel_migrations_admit_rejected_ != nullptr) {
+    tel_migrations_admit_rejected_->inc();
+  }
+  return verdict;
+}
+
+Cluster::MigrationAdmit Cluster::admit_migration_impl(ObjectId oid, OsdId dst) {
   if (in_flight_.count(oid)) return MigrationAdmit::kAlreadyInFlight;
   const OsdId src = locate(oid);
   if (src == dst) return MigrationAdmit::kSameOsd;
@@ -244,6 +255,22 @@ Cluster::MigrationAdmit Cluster::admit_migration(ObjectId oid, OsdId dst) {
   return MigrationAdmit::kOk;
 }
 
+void Cluster::attach_telemetry(telemetry::Recorder* recorder) {
+  tel_ = recorder;
+  tel_migrations_completed_ = nullptr;
+  tel_migrations_admit_rejected_ = nullptr;
+  tel_rebuild_commits_ = nullptr;
+  for (auto& osd : osds_) osd.attach_telemetry(recorder);
+  if (tel_ != nullptr) {
+    if (auto* metrics = tel_->metrics()) {
+      tel_migrations_completed_ = metrics->counter("cluster.migrations_completed");
+      tel_migrations_admit_rejected_ =
+          metrics->counter("cluster.migrations_admit_rejected");
+      tel_rebuild_commits_ = metrics->counter("cluster.rebuild_commits");
+    }
+  }
+}
+
 void Cluster::complete_migration(ObjectId oid) {
   auto it = in_flight_.find(oid);
   if (it == in_flight_.end()) {
@@ -259,6 +286,7 @@ void Cluster::complete_migration(ObjectId oid) {
   remap_.set(oid, move.dst, default_home);
   remap_.count_update();
   ++migrations_completed_;
+  if (tel_migrations_completed_ != nullptr) tel_migrations_completed_->inc();
 }
 
 void Cluster::abort_migration(ObjectId oid) {

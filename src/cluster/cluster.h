@@ -21,6 +21,11 @@
 #include "trace/record.h"
 #include "util/types.h"
 
+namespace edm::telemetry {
+class Recorder;
+class Counter;
+}  // namespace edm::telemetry
+
 namespace edm::cluster {
 
 struct ClusterConfig {
@@ -245,11 +250,20 @@ class Cluster {
   std::uint64_t total_erase_count() const;
   std::uint64_t total_host_page_writes() const;
 
+  // --- Telemetry ---
+  /// Hooks the whole ensemble into a run's telemetry: every OSD's flash
+  /// device (GC spans/counters) plus migration- and rebuild-level counters
+  /// maintained here.  Null detaches.  One recorder per simulation; the
+  /// cluster never shares it across threads.
+  void attach_telemetry(telemetry::Recorder* recorder);
+
  private:
   struct Move {
     OsdId src;
     OsdId dst;
   };
+
+  MigrationAdmit admit_migration_impl(ObjectId oid, OsdId dst);
 
   ClusterConfig config_;
   Placement placement_;
@@ -266,6 +280,12 @@ class Cluster {
   mutable std::uint64_t degraded_reads_ = 0;
   mutable std::uint64_t lost_writes_ = 0;
   mutable std::uint64_t unavailable_requests_ = 0;
+
+  // Telemetry handles (null = off).
+  telemetry::Recorder* tel_ = nullptr;
+  telemetry::Counter* tel_migrations_completed_ = nullptr;
+  telemetry::Counter* tel_migrations_admit_rejected_ = nullptr;
+  telemetry::Counter* tel_rebuild_commits_ = nullptr;
 };
 
 }  // namespace edm::cluster

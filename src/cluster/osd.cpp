@@ -33,6 +33,10 @@ SimDuration Osd::write(ObjectId oid, std::uint32_t first_page,
   return total;
 }
 
+void Osd::attach_telemetry(telemetry::Recorder* recorder) {
+  ssd_.attach_telemetry(recorder, id_);
+}
+
 SimDuration Osd::populate_all() {
   SimDuration total = 0;
   store_.for_each_object([&](ObjectId oid) {

@@ -61,6 +61,10 @@ class Osd {
   ObjectStore& store() { return store_; }
   const ObjectStore& store() const { return store_; }
 
+  /// Forwards a run's telemetry recorder to the flash device (GC spans are
+  /// emitted on this OSD's trace track).  Null detaches.
+  void attach_telemetry(telemetry::Recorder* recorder);
+
  private:
   OsdId id_;
   flash::Ssd ssd_;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "telemetry/telemetry.h"
 
 namespace edm::cluster {
 
@@ -97,6 +98,7 @@ void Cluster::commit_object_rebuild(OsdId dead, ObjectId oid, OsdId dst) {
   remap_.set(oid, dst, default_home);
   remap_.count_update();
   if (osds_[dead].has_object(oid)) osds_[dead].remove_object(oid);
+  if (tel_rebuild_commits_ != nullptr) tel_rebuild_commits_->inc();
 }
 
 void Cluster::finish_rebuild(OsdId dead) {

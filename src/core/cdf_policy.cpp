@@ -12,7 +12,10 @@ MigrationPlan CdfPolicy::plan(const ClusterView& view, bool force) {
   MigrationPlan out;
   const WearMonitor monitor(cfg_.model, cfg_.lambda);
   const WearAssessment assess = monitor.assess(view.devices);
-  if (!force && !assess.imbalanced) return out;
+  if (!force && !assess.imbalanced) {
+    note_plan(assess.rsd, 0);
+    return out;
+  }
 
   std::vector<char> is_source(view.devices.size(), 0);
   std::vector<char> is_dest(view.devices.size(), 0);
@@ -92,6 +95,7 @@ MigrationPlan CdfPolicy::plan(const ClusterView& view, bool force) {
       }
     }
   }
+  note_plan(assess.rsd, out.actions.size());
   return out;
 }
 

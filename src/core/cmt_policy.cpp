@@ -25,8 +25,13 @@ MigrationPlan CmtPolicy::plan(const ClusterView& view, bool force) {
   }
   const util::Summary s = util::summarize(healthy_load);
   if (s.mean <= 0.0) return out;
-  const bool imbalanced = (s.max - s.mean) > s.mean * cfg_.cmt_theta;
-  if (!force && !imbalanced) return out;
+  // Trigger signal: relative overshoot of the hottest device's EWMA load.
+  const double signal = (s.max - s.mean) / s.mean;
+  const bool imbalanced = signal > cfg_.cmt_theta;
+  if (!force && !imbalanced) {
+    note_plan(signal, 0);
+    return out;
+  }
 
   std::unordered_set<ObjectId> planned;  // avoid double-moving one object
 
@@ -143,6 +148,7 @@ MigrationPlan CmtPolicy::plan(const ClusterView& view, bool force) {
       }
     }
   }
+  note_plan(signal, out.actions.size());
   return out;
 }
 

@@ -12,7 +12,10 @@ MigrationPlan HdfPolicy::plan(const ClusterView& view, bool force) {
   MigrationPlan out;
   const WearMonitor monitor(cfg_.model, cfg_.lambda);
   const WearAssessment assess = monitor.assess(view.devices);
-  if (!force && !assess.imbalanced) return out;
+  if (!force && !assess.imbalanced) {
+    note_plan(assess.rsd, 0);
+    return out;
+  }
 
   // Classification is cluster-wide (source: above mean by lambda; dest:
   // below mean), but movement amounts and triples are computed per group
@@ -94,6 +97,7 @@ MigrationPlan HdfPolicy::plan(const ClusterView& view, bool force) {
       }
     }
   }
+  note_plan(assess.rsd, out.actions.size());
   return out;
 }
 

@@ -5,8 +5,24 @@
 #include "core/cdf_policy.h"
 #include "core/cmt_policy.h"
 #include "core/hdf_policy.h"
+#include "telemetry/telemetry.h"
 
 namespace edm::core {
+
+void MigrationPolicy::note_plan(double signal, std::size_t actions) const {
+  if (recorder_ == nullptr) return;
+  if (auto* tracer = recorder_->tracer()) {
+    // One instant per plan() call on the shared policy track; the event
+    // name is the policy's own (stable string literal).
+    tracer->instant(telemetry::Category::kPolicy, name(),
+                    telemetry::track_policy(), recorder_->now(), "signal",
+                    signal, "actions", static_cast<double>(actions));
+  }
+  if (auto* metrics = recorder_->metrics()) {
+    metrics->counter("policy.plans")->inc();
+    metrics->counter("policy.planned_actions")->add(actions);
+  }
+}
 
 const char* to_string(PolicyKind kind) {
   switch (kind) {

@@ -15,6 +15,10 @@
 #include "core/view.h"
 #include "core/wear_model.h"
 
+namespace edm::telemetry {
+class Recorder;
+}  // namespace edm::telemetry
+
 namespace edm::core {
 
 struct PolicyConfig {
@@ -74,8 +78,17 @@ class MigrationPolicy {
   /// core::SigmaEstimator).  Takes effect on the next plan() call.
   void set_model(const WearModel& model) { cfg_.model = model; }
 
+  /// Hooks the policy into a run's telemetry: each plan() call emits one
+  /// policy-trigger instant event plus plan counters.  Null detaches.
+  void set_recorder(telemetry::Recorder* recorder) { recorder_ = recorder; }
+
  protected:
+  /// Emits the policy-trigger instant ("<name>.plan") with the trigger
+  /// signal and the number of planned actions; no-op without a recorder.
+  void note_plan(double signal, std::size_t actions) const;
+
   PolicyConfig cfg_;
+  telemetry::Recorder* recorder_ = nullptr;
 };
 
 enum class PolicyKind { kNone, kCmt, kHdf, kCdf };

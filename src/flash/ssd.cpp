@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "telemetry/telemetry.h"
 
 namespace edm::flash {
 
@@ -36,7 +39,29 @@ SimDuration Ssd::write(Lpn lpn) {
   assert(lpn < l2p_.size());
   SimDuration elapsed = 0;
   if (free_blocks_.size() < config_.gc_low_water) {
-    elapsed += collect_garbage();
+    const std::uint64_t moves_before = stats_.gc_page_moves;
+    const std::uint64_t erases_before = stats_.erase_count;
+    const SimDuration gc_us = collect_garbage();
+    elapsed += gc_us;
+    if (tel_ != nullptr && gc_us > 0) {
+      if (auto* tracer = tel_->tracer()) {
+        // The stall is charged to the host write at the recorder's current
+        // DES time; the span covers the device-time the GC consumed.
+        tracer->complete(telemetry::Category::kGc, "gc",
+                         telemetry::track_osd(tel_device_), tel_->now(),
+                         gc_us, "page_moves",
+                         static_cast<double>(stats_.gc_page_moves -
+                                             moves_before),
+                         "erases",
+                         static_cast<double>(stats_.erase_count -
+                                             erases_before));
+      }
+      if (tel_gc_runs_ != nullptr) {
+        tel_gc_runs_->inc();
+        tel_gc_page_moves_->add(stats_.gc_page_moves - moves_before);
+        tel_gc_stall_us_->add(gc_us);
+      }
+    }
   }
   invalidate(lpn);
   append_page(lpn);
@@ -241,6 +266,27 @@ void Ssd::invalidate(Lpn lpn) {
   --valid_pages_;
   if (victims_.contains(blk)) {
     victims_.update(blk, blocks_[blk].valid);
+  }
+}
+
+void Ssd::attach_telemetry(telemetry::Recorder* recorder,
+                           std::uint32_t device_id) {
+  tel_ = recorder;
+  tel_device_ = device_id;
+  tel_gc_runs_ = nullptr;
+  tel_gc_page_moves_ = nullptr;
+  tel_gc_stall_us_ = nullptr;
+  if (tel_ != nullptr) {
+    if (auto* metrics = tel_->metrics()) {
+      // Cluster-wide counters: every device of the run shares the handles.
+      tel_gc_runs_ = metrics->counter("flash.gc_runs");
+      tel_gc_page_moves_ = metrics->counter("flash.gc_page_moves");
+      tel_gc_stall_us_ = metrics->counter("flash.gc_stall_us");
+    }
+    if (auto* tracer = tel_->tracer()) {
+      tracer->name_track(telemetry::track_osd(device_id),
+                         "osd" + std::to_string(device_id));
+    }
   }
 }
 

@@ -25,6 +25,11 @@
 #include "flash/victim_queue.h"
 #include "util/types.h"
 
+namespace edm::telemetry {
+class Recorder;
+class Counter;
+}  // namespace edm::telemetry
+
 namespace edm::flash {
 
 class Ssd {
@@ -95,6 +100,12 @@ class Ssd {
   /// when consistent.
   bool check_invariants() const;
 
+  /// Hooks this device into a run's telemetry (GC spans on the device's
+  /// OSD track, cluster-wide GC counters).  The recorder supplies the DES
+  /// clock; this device is passive and has none.  Null detaches.
+  void attach_telemetry(telemetry::Recorder* recorder,
+                        std::uint32_t device_id);
+
  private:
   static constexpr Ppn kUnmapped = 0xFFFFFFFFu;
 
@@ -143,6 +154,13 @@ class Ssd {
   std::uint64_t write_clock_ = 0;  // host+GC pages programmed (age base)
   std::uint32_t scan_cursor_ = 0;  // cost-benefit stride-sampling cursor
   bool gc_active_ = false;  // re-entrancy guard: GC writes must not trigger GC
+
+  // Telemetry (null = off; the hot-path guard is one pointer test).
+  telemetry::Recorder* tel_ = nullptr;
+  std::uint32_t tel_device_ = 0;
+  telemetry::Counter* tel_gc_runs_ = nullptr;
+  telemetry::Counter* tel_gc_page_moves_ = nullptr;
+  telemetry::Counter* tel_gc_stall_us_ = nullptr;
 };
 
 }  // namespace edm::flash

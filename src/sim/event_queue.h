@@ -19,6 +19,7 @@ enum class EventKind : std::uint8_t {
   kFault = 3,          // scheduled FaultPlan event is due
   kRetryResume = 4,    // payload = retry-slot index (transient-error backoff)
   kRebuildResume = 5,  // payload = rebuild lane id | generation<<32
+  kTelemetrySample = 6,  // time-series sampler tick (payload unused)
 };
 
 struct Event {

@@ -64,8 +64,15 @@ RunResult run_cell(const ExperimentConfig& raw, const trace::Trace& trace) {
   if (cfg.policy == core::PolicyKind::kNone) {
     sim_cfg.trigger = MigrationTrigger::kNone;
   }
+  std::shared_ptr<telemetry::Recorder> recorder;
+  if (cfg.telemetry.any()) {
+    recorder = std::make_shared<telemetry::Recorder>(cfg.telemetry);
+    sim_cfg.recorder = recorder.get();
+  }
   Simulator simulator(sim_cfg, cluster, trace, policy.get());
-  return simulator.run();
+  RunResult result = simulator.run();
+  result.telemetry = std::move(recorder);
+  return result;
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "core/policy.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 #include "trace/profile.h"
 
 namespace edm::sim {
@@ -54,6 +55,11 @@ struct ExperimentConfig {
 
   /// Max post-population utilization (paper: ~70%).
   double target_max_utilization = 0.76;
+
+  /// Telemetry switches (all off by default).  When any are on, run_cell
+  /// creates one Recorder per cell -- thread-confined, so grid cells on a
+  /// pool never share state -- and hands it back on RunResult::telemetry.
+  telemetry::TelemetryConfig telemetry;
 };
 
 /// Runs one cell: generates the trace, builds + populates the cluster,

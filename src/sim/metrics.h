@@ -2,10 +2,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "flash/stats.h"
+#include "telemetry/telemetry.h"
 #include "util/histogram.h"
 #include "util/stats.h"
 #include "util/types.h"
@@ -104,6 +106,11 @@ struct RunResult {
   // --- failure injection (SIII.D experiments) ---
   DegradedMetrics degraded;
   FaultMetrics faults;
+
+  // --- telemetry (null when the run had none enabled) ---
+  // Shared so cheap RunResult copies in the bench/report layers don't
+  // duplicate a multi-megabyte event stream.
+  std::shared_ptr<telemetry::Recorder> telemetry;
 
   std::uint64_t total_objects = 0;
   double moved_object_fraction() const {

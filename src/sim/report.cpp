@@ -159,7 +159,7 @@ void write_report(const RunResult& r, std::ostream& os, bool per_osd,
 void write_json(const RunResult& r, std::ostream& os) {
   JsonWriter json(os);
   json.begin_object();
-  json.field("schema", std::string("edm-run-result/1"));
+  json.field("schema", std::string("edm-run-result/2"));
   json.field("trace", r.trace_name);
   json.field("policy", r.policy_name);
   json.field("num_osds", std::uint64_t{r.num_osds});
@@ -244,6 +244,68 @@ void write_json(const RunResult& r, std::ostream& os) {
     json.end_object();
   }
   json.end_array();
+
+  // Schema /2: always-present telemetry section.  A run without a recorder
+  // reports enabled=0 and empty maps, so consumers never branch on key
+  // presence.
+  const telemetry::Recorder* tel = r.telemetry.get();
+  json.key("telemetry");
+  json.begin_object();
+  json.field("enabled", std::uint64_t{tel != nullptr ? 1u : 0u});
+  json.field("sample_interval_us",
+             tel != nullptr ? tel->config().sample_interval_us
+                            : SimDuration{0});
+  const telemetry::Tracer* tracer =
+      tel != nullptr ? tel->tracer() : nullptr;
+  json.field("trace_events",
+             std::uint64_t{tracer != nullptr ? tracer->events().size() : 0});
+  json.field("trace_dropped",
+             std::uint64_t{tracer != nullptr ? tracer->dropped() : 0});
+  const telemetry::Sampler* sampler =
+      tel != nullptr ? tel->sampler() : nullptr;
+  json.field("samples",
+             std::uint64_t{sampler != nullptr ? sampler->rows().size() : 0});
+  json.key("counters");
+  json.begin_object();
+  if (const telemetry::Registry* metrics =
+          tel != nullptr ? tel->metrics() : nullptr) {
+    metrics->for_each_counter(
+        [&](const std::string& name, const telemetry::Counter& c) {
+          json.field(name.c_str(), c.value());
+        });
+  }
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  if (const telemetry::Registry* metrics =
+          tel != nullptr ? tel->metrics() : nullptr) {
+    metrics->for_each_gauge(
+        [&](const std::string& name, const telemetry::Gauge& g) {
+          json.field(name.c_str(), g.value());
+        });
+  }
+  json.end_object();
+  json.key("histograms");
+  json.begin_object();
+  if (const telemetry::Registry* metrics =
+          tel != nullptr ? tel->metrics() : nullptr) {
+    metrics->for_each_histogram(
+        [&](const std::string& name, const telemetry::Histogram& h) {
+          const util::LogHistogram& hist = h.snapshot();
+          json.key(name.c_str());
+          json.begin_object();
+          json.field("count", hist.count());
+          json.field("mean", hist.mean());
+          json.field("p50", hist.quantile(0.50));
+          json.field("p95", hist.quantile(0.95));
+          json.field("p99", hist.quantile(0.99));
+          json.field("max", hist.max());
+          json.end_object();
+        });
+  }
+  json.end_object();
+  json.end_object();
+
   json.end_object();
   os << '\n';
 }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
+#include "telemetry/telemetry.h"
 #include "util/log.h"
 
 namespace edm::sim {
@@ -78,6 +80,40 @@ Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
         policy_->config().model.sigma());
     wear_snapshots_.resize(cluster_.num_osds());
   }
+  setup_telemetry();
+}
+
+void Simulator::setup_telemetry() {
+  // Attach unconditionally: a null recorder detaches any handles a prior
+  // simulation left on a reused cluster or policy.
+  cluster_.attach_telemetry(cfg_.recorder);
+  if (policy_ != nullptr) policy_->set_recorder(cfg_.recorder);
+  tel_ = cfg_.recorder;
+  if (tel_ == nullptr) return;
+  tel_tracer_ = tel_->tracer();
+  tel_sampler_ = tel_->sampler();
+  if (auto* metrics = tel_->metrics()) {
+    tel_ops_completed_ = metrics->counter("sim.ops_completed");
+    tel_requests_retried_ = metrics->counter("sim.requests_retried");
+    tel_requests_abandoned_ = metrics->counter("sim.requests_abandoned");
+    tel_response_hist_ = metrics->histogram("sim.response_us");
+  }
+  if (tel_tracer_ != nullptr) {
+    for (std::uint32_t c = 0; c < clients_.size(); ++c) {
+      tel_tracer_->name_track(telemetry::track_client(c),
+                              "client" + std::to_string(c));
+    }
+    for (std::uint32_t l = 0; l < lanes_.size(); ++l) {
+      tel_tracer_->name_track(telemetry::track_mover(l),
+                              "mover" + std::to_string(l));
+    }
+    for (std::uint32_t l = 0; l < rebuild_lanes_.size(); ++l) {
+      tel_tracer_->name_track(telemetry::track_rebuild(l),
+                              "rebuild" + std::to_string(l));
+    }
+    tel_tracer_->name_track(telemetry::track_policy(), "policy");
+    tel_tracer_->name_track(telemetry::track_fault(), "fault");
+  }
 }
 
 double Simulator::current_sigma() const {
@@ -104,10 +140,16 @@ RunResult Simulator::run() {
     events_.push(cfg_.epoch_length_us, EventKind::kEpochTick, 0);
     epoch_tick_scheduled_ = true;
   }
+  if (tel_sampler_ != nullptr && (clients_active() || mover_active())) {
+    events_.push(tel_sampler_->interval_us(), EventKind::kTelemetrySample, 0);
+  }
   schedule_next_fault();
 
   while (!events_.empty()) {
     const Event e = events_.pop();
+    // The recorder's clock shadows the DES clock so passive layers (flash,
+    // cluster, policies) can timestamp without being handed `now`.
+    if (tel_ != nullptr) tel_->set_now(e.time);
     switch (e.kind) {
       case EventKind::kOsdComplete:
         on_osd_complete(static_cast<OsdId>(e.payload), e.time);
@@ -142,6 +184,9 @@ RunResult Simulator::run() {
         }
         break;
       }
+      case EventKind::kTelemetrySample:
+        on_telemetry_sample(e.time);
+        break;
     }
   }
   if (clients_active() || mover_active() || rebuild_running_) {
@@ -325,6 +370,9 @@ void Simulator::on_osd_complete(OsdId osd, SimTime now) {
           // Retries spent: the sub-request is abandoned (counted), but the
           // file operation still completes -- nothing hangs the client.
           ++faults_.abandoned_requests;
+          if (tel_requests_abandoned_ != nullptr) {
+            tel_requests_abandoned_->inc();
+          }
           complete_client_subrequest(req.owner, now);
           break;
         case SubRequest::Kind::kMover:
@@ -337,6 +385,7 @@ void Simulator::on_osd_complete(OsdId osd, SimTime now) {
       }
     } else {
       ++faults_.retried_requests;
+      if (tel_requests_retried_ != nullptr) tel_requests_retried_->inc();
       req.attempts = attempts;
       schedule_retry(std::move(req), now + cfg_.retry.backoff_us(attempts));
     }
@@ -364,6 +413,11 @@ void Simulator::complete_client_subrequest(std::uint32_t op_id, SimTime now) {
   if (--op.outstanding == 0) {
     ++completed_ops_;
     record_response(now, now - op.start);
+    if (tel_tracer_ != nullptr) {
+      tel_tracer_->complete(telemetry::Category::kRequest, "op",
+                            telemetry::track_client(op.client), op.start,
+                            now - op.start);
+    }
     Client& c = clients_[op.client];
     assert(c.in_flight > 0);
     --c.in_flight;
@@ -420,6 +474,11 @@ void Simulator::apply_fail(OsdId id, SimTime now) {
   if (cluster_.osd_failed(id)) return;
   cluster_.fail_osd(id);
   ++faults_.scheduled_failures;
+  if (tel_tracer_ != nullptr) {
+    tel_tracer_->instant(telemetry::Category::kFault, "osd_fail",
+                         telemetry::track_fault(), now, "osd",
+                         static_cast<double>(id));
+  }
   if (degraded_.failed_osd < 0) {
     degraded_.failed_osd = static_cast<std::int32_t>(id);
     degraded_.failed_at = now;
@@ -593,6 +652,7 @@ void Simulator::advance_lane(std::uint16_t lane_id, SimTime now) {
     lane.current.pages = cluster_.osd(action.source).object_pages(action.oid);
     lane.pages_done = 0;
     lane.writing = false;
+    lane.move_start = now;
     issue_mover_chunk(lane_id, now);
   }
   if (!mover_active() && migration_.started_at != 0) {
@@ -620,6 +680,11 @@ void Simulator::abort_lane_migration(std::uint16_t lane_id, SimTime now,
   const ObjectId oid = lane.current.oid;
   cluster_.abort_migration(oid);  // releases the destination reservation
   ++faults_.migrations_aborted;
+  if (tel_tracer_ != nullptr) {
+    tel_tracer_->instant(telemetry::Category::kMigration, "move_abort",
+                         telemetry::track_mover(lane_id), now, "pages_done",
+                         static_cast<double>(lane.pages_done));
+  }
   release_blocked(oid, now);
   ++lane.gen;  // in-flight chunks of the old incarnation become stale
   lane.active = false;
@@ -674,6 +739,12 @@ void Simulator::on_mover_chunk_complete(const SubRequest& req, SimTime now) {
   cluster_.complete_migration(oid);
   ++migration_.moved_objects;
   migration_.moved_pages += lane.current.pages;
+  if (tel_tracer_ != nullptr) {
+    tel_tracer_->complete(telemetry::Category::kMigration, "move",
+                          telemetry::track_mover(lane_id), lane.move_start,
+                          now - lane.move_start, "pages",
+                          static_cast<double>(lane.current.pages));
+  }
   release_blocked(oid, now);
   lane.active = false;
   advance_lane(lane_id, now);
@@ -708,6 +779,12 @@ void Simulator::start_rebuild(OsdId dead, SimTime now) {
     rebuild_queue_.push_back(oid);
   }
   if (faults_.rebuild_started_at == 0) faults_.rebuild_started_at = now;
+  if (tel_tracer_ != nullptr) {
+    tel_tracer_->instant(telemetry::Category::kFault, "rebuild_start",
+                         telemetry::track_fault(), now, "osd",
+                         static_cast<double>(dead), "objects",
+                         static_cast<double>(rebuild_queue_.size()));
+  }
   for (std::uint32_t lane = 0; lane < rebuild_lanes_.size(); ++lane) {
     advance_rebuild_lane(lane, now);
   }
@@ -735,6 +812,7 @@ void Simulator::advance_rebuild_lane(std::uint32_t lane_id, SimTime now) {
     lane.pages_done = 0;
     lane.writing = false;
     lane.reads_outstanding = 0;
+    lane.start = now;
     if (lane.pages == 0) {
       // Zero-length object: nothing to copy, commit the relocation as-is.
       cluster_.commit_object_rebuild(rebuild_target_, oid, dst);
@@ -825,6 +903,12 @@ void Simulator::on_rebuild_subrequest_complete(const SubRequest& req,
   }
   cluster_.commit_object_rebuild(rebuild_target_, lane.oid, lane.dst);
   ++faults_.rebuild_objects;
+  if (tel_tracer_ != nullptr) {
+    tel_tracer_->complete(telemetry::Category::kRebuild, "rebuild_object",
+                          telemetry::track_rebuild(lane_id), lane.start,
+                          now - lane.start, "pages",
+                          static_cast<double>(lane.pages));
+  }
   lane.active = false;
   advance_rebuild_lane(lane_id, now);
 }
@@ -854,6 +938,11 @@ void Simulator::maybe_finish_rebuild(SimTime now) {
   cluster_.finish_rebuild(rebuild_target_);
   faults_.rebuild_finished_at = now;
   rebuild_running_ = false;
+  if (tel_tracer_ != nullptr) {
+    tel_tracer_->instant(telemetry::Category::kFault, "rebuild_finish",
+                         telemetry::track_fault(), now, "osd",
+                         static_cast<double>(rebuild_target_));
+  }
   if (!pending_rebuilds_.empty()) {
     const OsdId next = pending_rebuilds_.front();
     pending_rebuilds_.pop_front();
@@ -872,6 +961,35 @@ bool Simulator::rebuild_lane_touches(const RebuildLane& lane,
     if (cluster_.locate(place.object_id(file, j)) == osd) return true;
   }
   return false;
+}
+
+// -------------------------------------------------------------- telemetry
+
+void Simulator::on_telemetry_sample(SimTime now) {
+  telemetry::SampleRow& row = tel_sampler_->add_row(now);
+  const std::uint64_t page_size = cluster_.config().flash.page_size;
+  for (const auto& lane : lanes_) {
+    if (!lane.active) continue;
+    row.inflight_migration_bytes +=
+        static_cast<std::uint64_t>(lane.current.pages - lane.pages_done) *
+        page_size;
+  }
+  row.osds.resize(servers_.size());
+  for (std::uint32_t i = 0; i < servers_.size(); ++i) {
+    const OsdServer& s = servers_[i];
+    telemetry::OsdSample& o = row.osds[i];
+    o.queue_depth =
+        static_cast<std::uint32_t>(s.queue.size()) + (s.busy ? 1u : 0u);
+    o.utilization = cluster_.osd(i).utilization();
+    o.load_ewma_us = s.load.value();
+    o.erases = cluster_.osd(i).flash_stats().erase_count;
+  }
+  // Keep ticking while any work remains; the tick that finds the cluster
+  // idle records the final row and lets the stream end.
+  if (clients_active() || mover_active() || rebuild_running_) {
+    events_.push(now + tel_sampler_->interval_us(),
+                 EventKind::kTelemetrySample, 0);
+  }
 }
 
 // ------------------------------------------------------------ bookkeeping
@@ -910,6 +1028,10 @@ void Simulator::record_response(SimTime now, SimDuration response_us) {
   last_completion_ = std::max(last_completion_, now);
   response_stats_.add(static_cast<double>(response_us));
   response_hist_.add(response_us);
+  if (tel_ops_completed_ != nullptr) {
+    tel_ops_completed_->inc();
+    tel_response_hist_->observe(static_cast<std::uint64_t>(response_us));
+  }
   const std::size_t window =
       static_cast<std::size_t>(now / cfg_.response_window_us);
   if (window >= window_count_.size()) {

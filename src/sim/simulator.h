@@ -40,6 +40,14 @@
 #include "util/ewma.h"
 #include "util/types.h"
 
+namespace edm::telemetry {
+class Recorder;
+class Tracer;
+class Sampler;
+class Counter;
+class Histogram;
+}  // namespace edm::telemetry
+
 namespace edm::sim {
 
 enum class MigrationTrigger {
@@ -123,6 +131,13 @@ struct SimConfig {
   /// Per-lane rebuild throughput cap in MB/s (0 = device-speed).
   double rebuild_lane_mbps = 32.0;
 
+  /// Per-run telemetry recorder (null = telemetry off; every hot-path
+  /// guard is then a single pointer test).  Owned by the caller -- one
+  /// recorder per simulation, never shared across threads -- and must
+  /// outlive run().  The simulator drives its DES clock and attaches it
+  /// to the cluster, flash devices and policy.
+  telemetry::Recorder* recorder = nullptr;
+
   /// Rejects invalid knob combinations (needs the cluster size to check
   /// FaultPlan device ids).  Called by the Simulator constructor.
   void validate(std::uint32_t num_osds) const;
@@ -190,6 +205,7 @@ class Simulator {
     std::uint32_t chunk_pages = 0;
     bool writing = false;
     std::uint32_t gen = 0;  // bumped on abort; stale chunks are dropped
+    SimTime move_start = 0;  // when the current move began (trace spans)
   };
 
   /// One online-rebuild stream: reconstructs one object at a time in
@@ -204,6 +220,7 @@ class Simulator {
     std::uint32_t reads_outstanding = 0;
     bool writing = false;
     std::uint32_t gen = 0;  // bumped on abort; stale chunks are dropped
+    SimTime start = 0;  // when the current object's copy began (trace spans)
   };
 
   // --- client side ---
@@ -260,6 +277,12 @@ class Simulator {
   /// source or the write destination).
   bool rebuild_lane_touches(const RebuildLane& lane, OsdId osd) const;
 
+  // --- telemetry ---
+  /// Resolves tracer/sampler/metric handles once and hooks the recorder
+  /// into the cluster, flash devices and policy.  No-op when disabled.
+  void setup_telemetry();
+  void on_telemetry_sample(SimTime now);
+
   // --- bookkeeping ---
   void on_epoch_tick(SimTime now);
   void record_response(SimTime now, SimDuration response_us);
@@ -314,6 +337,16 @@ class Simulator {
   std::unique_ptr<FaultInjector> injector_;
   std::vector<SubRequest> retry_slots_;  // requests waiting out a backoff
   std::vector<std::uint32_t> free_retry_slots_;
+
+  // Telemetry handles, resolved once by setup_telemetry() (all null when
+  // the run has no recorder; hot paths guard with one pointer test).
+  telemetry::Recorder* tel_ = nullptr;
+  telemetry::Tracer* tel_tracer_ = nullptr;
+  telemetry::Sampler* tel_sampler_ = nullptr;
+  telemetry::Counter* tel_ops_completed_ = nullptr;
+  telemetry::Counter* tel_requests_retried_ = nullptr;
+  telemetry::Counter* tel_requests_abandoned_ = nullptr;
+  telemetry::Histogram* tel_response_hist_ = nullptr;
 
   // Online-rebuild state (one target at a time; later rebuild events for
   // other devices queue behind it).

@@ -1,0 +1,17 @@
+#include "telemetry/metrics.h"
+
+namespace edm::telemetry {
+
+Counter* Registry::counter(const std::string& name) {
+  return get_or_create(counters_, counter_index_, name);
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  return get_or_create(gauges_, gauge_index_, name);
+}
+
+Histogram* Registry::histogram(const std::string& name) {
+  return get_or_create(histograms_, histogram_index_, name);
+}
+
+}  // namespace edm::telemetry

@@ -1,0 +1,104 @@
+// Metrics registry: named counters, gauges and latency histograms with
+// O(1) hot-path updates.
+//
+// Instrumentation sites resolve their handle once (at attach time) and
+// update through the pointer afterwards; a disabled run hands out no
+// registry at all, so the guard is a single null test.  Handles are
+// stable for the registry's lifetime (deque storage, no reallocation).
+// Iteration follows registration order, which the single-threaded
+// simulation makes deterministic -- exports are bit-identical across runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "util/histogram.h"
+
+namespace edm::telemetry {
+
+class Counter {
+ public:
+  void inc() { ++value_; }
+  void add(std::uint64_t n) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Latency histogram handle: log2-bucketed, microsecond samples.
+class Histogram {
+ public:
+  void observe(std::uint64_t us) { hist_.add(us); }
+  const util::LogHistogram& snapshot() const { return hist_; }
+
+ private:
+  util::LogHistogram hist_;
+};
+
+class Registry {
+ public:
+  /// Get-or-create by name; the returned pointer stays valid for the
+  /// registry's lifetime.  Repeated calls with one name share the handle.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Visits metrics in registration order (deterministic).
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+    for (const auto& e : counters_) fn(e.name, e.metric);
+  }
+  template <typename Fn>
+  void for_each_gauge(Fn&& fn) const {
+    for (const auto& e : gauges_) fn(e.name, e.metric);
+  }
+  template <typename Fn>
+  void for_each_histogram(Fn&& fn) const {
+    for (const auto& e : histograms_) fn(e.name, e.metric);
+  }
+
+ private:
+  template <typename M>
+  struct Named {
+    std::string name;
+    M metric;
+  };
+
+  template <typename M>
+  M* get_or_create(std::deque<Named<M>>& store,
+                   std::unordered_map<std::string, std::size_t>& index,
+                   const std::string& name) {
+    if (auto it = index.find(name); it != index.end()) {
+      return &store[it->second].metric;
+    }
+    index.emplace(name, store.size());
+    store.push_back(Named<M>{name, M{}});
+    return &store.back().metric;
+  }
+
+  std::deque<Named<Counter>> counters_;
+  std::deque<Named<Gauge>> gauges_;
+  std::deque<Named<Histogram>> histograms_;
+  std::unordered_map<std::string, std::size_t> counter_index_;
+  std::unordered_map<std::string, std::size_t> gauge_index_;
+  std::unordered_map<std::string, std::size_t> histogram_index_;
+};
+
+}  // namespace edm::telemetry

@@ -9,8 +9,9 @@ namespace edm::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global threshold; messages below it are dropped.  Not synchronised:
-/// set it once at startup, before spawning pool workers.
+/// Global threshold; messages below it are dropped.  Backed by an
+/// std::atomic (relaxed loads/stores): safe to change at any time, even
+/// while experiment-grid pool workers are logging concurrently.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

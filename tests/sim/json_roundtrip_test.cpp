@@ -1,0 +1,297 @@
+// Round-trip test for write_json: the emitted document must parse with a
+// strict (if minimal) JSON grammar, expose every schema field, and contain
+// only finite numbers.  Guards the "machine-readable output" contract that
+// downstream plotting scripts rely on.
+#include "sim/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace edm::sim {
+namespace {
+
+// ----------------------------------------------------------- mini parser
+// Just enough JSON for our own output: objects, arrays, strings (no
+// unicode escapes), numbers, true/false/null.  Throws on anything else.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v;
+  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  const JsonObject& object() const { return std::get<JsonObject>(v); }
+  const JsonArray& array() const { return std::get<JsonArray>(v); }
+  double number() const { return std::get<double>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::shared_ptr<JsonValue> parse() {
+    auto value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("json: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::shared_ptr<JsonValue> parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return make(parse_string());
+      case 't':
+        parse_literal("true");
+        return make(true);
+      case 'f':
+        parse_literal("false");
+        return make(false);
+      case 'n':
+        parse_literal("null");
+        return make(nullptr);
+      default:
+        return make(parse_number());
+    }
+  }
+
+  template <typename T>
+  std::shared_ptr<JsonValue> make(T&& value) {
+    auto v = std::make_shared<JsonValue>();
+    v->v = std::forward<T>(value);
+    return v;
+  }
+
+  void parse_literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad literal");
+      ++pos_;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: fail("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    std::size_t used = 0;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double value = std::stod(token, &used);
+    if (used != token.size()) fail("malformed number: " + token);
+    return value;
+  }
+
+  std::shared_ptr<JsonValue> parse_object() {
+    expect('{');
+    JsonObject out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return make(std::move(out));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      out[key] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return make(std::move(out));
+    }
+  }
+
+  std::shared_ptr<JsonValue> parse_array() {
+    expect('[');
+    JsonArray out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return make(std::move(out));
+    }
+    while (true) {
+      out.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return make(std::move(out));
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void check_all_numbers_finite(const JsonValue& v, const std::string& path) {
+  if (v.is_number()) {
+    EXPECT_TRUE(std::isfinite(v.number())) << path;
+  } else if (v.is_array()) {
+    for (std::size_t i = 0; i < v.array().size(); ++i) {
+      check_all_numbers_finite(*v.array()[i],
+                               path + "[" + std::to_string(i) + "]");
+    }
+  } else if (v.is_object()) {
+    for (const auto& [key, child] : v.object()) {
+      check_all_numbers_finite(*child, path + "." + key);
+    }
+  }
+}
+
+const JsonValue& field(const JsonValue& obj, const std::string& key) {
+  const auto it = obj.object().find(key);
+  EXPECT_NE(it, obj.object().end()) << "missing field: " << key;
+  if (it == obj.object().end()) {
+    throw std::runtime_error("missing field: " + key);
+  }
+  return *it->second;
+}
+
+// ------------------------------------------------------------- the tests
+
+std::shared_ptr<JsonValue> parsed_result(bool with_telemetry) {
+  ExperimentConfig cfg;
+  cfg.trace_name = "home02";
+  cfg.scale = 0.004;
+  cfg.num_osds = 8;
+  cfg.policy = core::PolicyKind::kHdf;
+  if (with_telemetry) {
+    cfg.telemetry.trace_enabled = true;
+    cfg.telemetry.metrics_enabled = true;
+    cfg.telemetry.sample_interval_us = 700'000;
+  }
+  const RunResult r = run_experiment(cfg);
+  std::ostringstream os;
+  write_json(r, os);
+  return JsonParser(os.str()).parse();
+}
+
+TEST(JsonRoundTrip, ParsesAndExposesSchemaFields) {
+  const auto doc = parsed_result(/*with_telemetry=*/false);
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(std::get<std::string>(field(*doc, "schema").v),
+            "edm-run-result/2");
+  const JsonValue& summary = field(*doc, "summary");
+  field(summary, "throughput_ops_per_sec");
+  field(summary, "completed_ops");
+  field(summary, "makespan_us");
+  field(summary, "erase_rsd");
+  const JsonValue& migration = field(*doc, "migration");
+  field(migration, "moved_objects");
+  EXPECT_TRUE(field(*doc, "per_osd").is_array());
+  EXPECT_EQ(field(*doc, "per_osd").array().size(), 8u);
+  EXPECT_TRUE(field(*doc, "timeline").is_array());
+  check_all_numbers_finite(*doc, "$");
+}
+
+TEST(JsonRoundTrip, TelemetrySectionAlwaysPresent) {
+  const auto doc = parsed_result(/*with_telemetry=*/false);
+  const JsonValue& tel = field(*doc, "telemetry");
+  EXPECT_EQ(field(tel, "enabled").number(), 0.0);
+  EXPECT_TRUE(field(tel, "counters").is_object());
+  EXPECT_TRUE(field(tel, "counters").object().empty());
+  EXPECT_TRUE(field(tel, "gauges").is_object());
+  EXPECT_TRUE(field(tel, "histograms").is_object());
+}
+
+TEST(JsonRoundTrip, TelemetrySectionCarriesMetrics) {
+  const auto doc = parsed_result(/*with_telemetry=*/true);
+  const JsonValue& tel = field(*doc, "telemetry");
+  EXPECT_EQ(field(tel, "enabled").number(), 1.0);
+  EXPECT_GT(field(tel, "trace_events").number(), 0.0);
+  EXPECT_GT(field(tel, "samples").number(), 0.0);
+  const JsonValue& counters = field(tel, "counters");
+  EXPECT_NE(counters.object().find("sim.ops_completed"),
+            counters.object().end());
+  const JsonValue& hists = field(tel, "histograms");
+  const auto it = hists.object().find("sim.response_us");
+  ASSERT_NE(it, hists.object().end());
+  const JsonValue& resp = *it->second;
+  field(resp, "count");
+  field(resp, "mean");
+  field(resp, "p50");
+  field(resp, "p95");
+  field(resp, "p99");
+  field(resp, "max");
+  check_all_numbers_finite(*doc, "$");
+}
+
+}  // namespace
+}  // namespace edm::sim

@@ -69,9 +69,10 @@ TEST(Report, JsonIsStructurallySound) {
 
   // Required fields present.
   for (const char* key :
-       {"\"schema\":\"edm-run-result/1\"", "\"summary\":", "\"migration\":",
+       {"\"schema\":\"edm-run-result/2\"", "\"summary\":", "\"migration\":",
         "\"per_osd\":", "\"timeline\":", "\"throughput_ops_per_sec\":",
-        "\"moved_objects\":", "\"erase_rsd\":"}) {
+        "\"moved_objects\":", "\"erase_rsd\":", "\"telemetry\":",
+        "\"counters\":", "\"histograms\":"}) {
     EXPECT_NE(out.find(key), std::string::npos) << key;
   }
   // No NaN/inf can appear in JSON.

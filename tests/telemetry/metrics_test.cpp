@@ -1,0 +1,71 @@
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace edm::telemetry {
+namespace {
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  Registry reg;
+  Counter* c = reg.counter("sim.ops");
+  c->inc();
+  c->add(4);
+  EXPECT_EQ(c->value(), 5u);
+
+  Gauge* g = reg.gauge("cluster.rsd");
+  g->set(0.15);
+  EXPECT_DOUBLE_EQ(g->value(), 0.15);
+
+  Histogram* h = reg.histogram("sim.response_us");
+  h->observe(100);
+  h->observe(200);
+  EXPECT_EQ(h->snapshot().count(), 2u);
+  EXPECT_EQ(h->snapshot().max(), 200u);
+}
+
+TEST(Metrics, GetOrCreateSharesHandles) {
+  Registry reg;
+  Counter* a = reg.counter("x");
+  Counter* b = reg.counter("x");
+  EXPECT_EQ(a, b);
+  a->inc();
+  EXPECT_EQ(b->value(), 1u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Metrics, SameNameDifferentKindsAreDistinct) {
+  Registry reg;
+  reg.counter("n");
+  reg.gauge("n");
+  reg.histogram("n");
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(Metrics, HandlesStableAcrossManyRegistrations) {
+  Registry reg;
+  Counter* first = reg.counter("c0");
+  first->inc();
+  // A vector would reallocate here; the registry must not.
+  for (int i = 1; i < 1000; ++i) {
+    reg.counter("c" + std::to_string(i));
+  }
+  EXPECT_EQ(first, reg.counter("c0"));
+  EXPECT_EQ(first->value(), 1u);
+}
+
+TEST(Metrics, IterationFollowsRegistrationOrder) {
+  Registry reg;
+  reg.counter("b");
+  reg.counter("a");
+  reg.counter("c");
+  std::vector<std::string> names;
+  reg.for_each_counter(
+      [&](const std::string& name, const Counter&) { names.push_back(name); });
+  EXPECT_EQ(names, (std::vector<std::string>{"b", "a", "c"}));
+}
+
+}  // namespace
+}  // namespace edm::telemetry

@@ -49,6 +49,70 @@ TEST(LogHistogram, ZeroValuesLandInFirstBucket) {
   EXPECT_LE(h.quantile(0.5), 1.0);
 }
 
+TEST(LogHistogram, EmptyQuantileZeroAtEveryQ) {
+  LogHistogram h;
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), 0.0) << q;
+  }
+}
+
+TEST(LogHistogram, QuantileArgumentClamped) {
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.add(50);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(LogHistogram, SingleSampleQuantilesStayInItsBucket) {
+  LogHistogram h;
+  h.add(100);  // bucket [64, 128)
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.quantile(q), 64.0) << q;
+    EXPECT_LE(h.quantile(q), 128.0) << q;
+  }
+}
+
+TEST(LogHistogram, SingleZeroSample) {
+  LogHistogram h;
+  h.add(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_LE(h.quantile(0.99), 2.0);  // first bucket spans [0, 2)
+}
+
+TEST(LogHistogram, MergeMatchesCombinedBuild) {
+  // Merging two halves must yield the same quantiles as one histogram
+  // built from the union (buckets are additive).
+  LogHistogram lo, hi, all;
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    lo.add(v);
+    all.add(v);
+  }
+  for (std::uint64_t v = 5000; v <= 9000; v += 10) {
+    hi.add(v);
+    all.add(v);
+  }
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), all.count());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(lo.quantile(q), all.quantile(q)) << q;
+  }
+}
+
+TEST(LogHistogram, MergeEmptyIntoPopulatedIsNoOp) {
+  LogHistogram a;
+  LogHistogram empty;
+  a.add(10);
+  a.add(1000);
+  const double p50 = a.quantile(0.5);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), p50);
+}
+
 TEST(LogHistogram, MergeCombinesCounts) {
   LogHistogram a;
   LogHistogram b;

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full pre-merge check: build + test the normal config, then the
-# asan-ubsan config (CMakePresets.json).  Any failure aborts.
+# asan-ubsan config, then the concurrency-sensitive tests (telemetry,
+# thread pool, logging) under ThreadSanitizer (CMakePresets.json).
+# Any failure aborts.
 #
-#   tools/check.sh [--fast]   # --fast skips the sanitizer config
+#   tools/check.sh [--fast]   # --fast skips the sanitizer configs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,5 +23,6 @@ run_preset() {
 run_preset default
 if [[ "${1:-}" != "--fast" ]]; then
   run_preset asan-ubsan
+  run_preset tsan
 fi
 echo "== all checks passed =="

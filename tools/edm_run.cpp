@@ -22,17 +22,24 @@
 //     --adaptive            online sigma calibration (monitor runs)
 //     --fail-osd=<id>       inject an OSD failure mid-replay
 //     --fail-at=<f>         failure point as a record fraction (default 0.5)
-//     --json                JSON output (schema edm-run-result/1)
+//     --trace-out=<path>    write a Chrome trace-event JSON (Perfetto)
+//     --timeseries-out=<p>  write a per-OSD time-series CSV
+//     --sample-interval=<s> sampling interval in simulated seconds
+//     --json                JSON output (schema edm-run-result/2)
 //     --quiet               summary only (no per-OSD table / timeline)
+#include <algorithm>
 #include <cstdlib>
-#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "sim/experiment.h"
 #include "sim/report.h"
+#include "telemetry/telemetry.h"
 #include "trace/io.h"
 #include "trace/text_io.h"
+#include "util/flags.h"
+#include "util/log.h"
 
 namespace {
 
@@ -51,76 +58,65 @@ struct Options {
   std::uint32_t channels = 1;
   bool separate_gc = false;
   bool adaptive = false;
-  int fail_osd = -1;
+  std::int32_t fail_osd = -1;
   double fail_at = 0.5;
+  std::string trace_out;
+  std::string timeseries_out;
+  double sample_interval_s = 1.0;
   bool json = false;
   bool quiet = false;
 };
 
-[[noreturn]] void usage(int code) {
-  std::cerr <<
-      "usage: edm_run [--trace=<name>|--trace-file=<path>] [--policy=<p>]\n"
-      "               [--scale=<f>] [--osds=<n>] [--groups=<m>]\n"
-      "               [--clients=<n>] [--trigger=midpoint|monitor|none]\n"
-      "               [--lambda=<f>] [--sigma=<f>] [--utilization=<f>]\n"
-      "               [--channels=<n>] [--separate-gc] [--adaptive]\n"
-      "               [--json] [--quiet]\n";
-  std::exit(code);
-}
-
-bool take(const std::string& arg, const char* key, std::string* out) {
-  const std::string prefix = std::string(key) + "=";
-  if (arg.rfind(prefix, 0) != 0) return false;
-  *out = arg.substr(prefix.size());
-  return true;
+edm::util::FlagParser make_parser(Options& opt) {
+  edm::util::FlagParser parser;
+  parser.add_string("--trace", &opt.trace, "workload profile name");
+  parser.add_string("--trace-file", &opt.trace_file,
+                    "replay a trace file instead (.bin or text)");
+  parser.add_string("--policy", &opt.policy, "baseline | cmt | hdf | cdf");
+  parser.add_double("--scale", &opt.scale, "profile scale (1.0 = paper-size)");
+  parser.add_uint32("--osds", &opt.osds, "cluster size");
+  parser.add_uint32("--groups", &opt.groups, "SSD groups");
+  parser.add_uint16("--clients", &opt.clients,
+                    "load generators (0 = osds/2)");
+  parser.add_string("--trigger", &opt.trigger, "midpoint | monitor | none");
+  parser.add_double("--lambda", &opt.lambda, "wear-imbalance threshold");
+  parser.add_double("--sigma", &opt.sigma, "wear-model impact factor");
+  parser.add_double("--utilization", &opt.utilization,
+                    "max post-population utilization");
+  parser.add_uint32("--channels", &opt.channels, "flash channels");
+  parser.add_bool("--separate-gc", &opt.separate_gc,
+                  "enable the hot/cold-separating GC stream");
+  parser.add_bool("--adaptive", &opt.adaptive,
+                  "online sigma calibration (monitor runs)");
+  parser.add_int32("--fail-osd", &opt.fail_osd,
+                   "inject an OSD failure mid-replay (-1 = off)");
+  parser.add_double("--fail-at", &opt.fail_at,
+                    "failure point as a record fraction");
+  parser.add_string("--trace-out", &opt.trace_out,
+                    "write Chrome trace-event JSON (Perfetto-loadable)");
+  parser.add_string("--timeseries-out", &opt.timeseries_out,
+                    "write per-OSD time-series CSV");
+  parser.add_double("--sample-interval", &opt.sample_interval_s,
+                    "time-series sampling interval in simulated seconds");
+  parser.add_bool("--json", &opt.json, "JSON output (schema edm-run-result/2)");
+  parser.add_bool("--quiet", &opt.quiet,
+                  "summary only (no per-OSD table / timeline)");
+  return parser;
 }
 
 Options parse(int argc, char** argv) {
   Options opt;
-  std::string value;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h") usage(0);
-    if (arg == "--json") {
-      opt.json = true;
-    } else if (arg == "--quiet") {
-      opt.quiet = true;
-    } else if (arg == "--separate-gc") {
-      opt.separate_gc = true;
-    } else if (arg == "--adaptive") {
-      opt.adaptive = true;
-    } else if (take(arg, "--trace", &value)) {
-      opt.trace = value;
-    } else if (take(arg, "--trace-file", &value)) {
-      opt.trace_file = value;
-    } else if (take(arg, "--policy", &value)) {
-      opt.policy = value;
-    } else if (take(arg, "--scale", &value)) {
-      opt.scale = std::atof(value.c_str());
-    } else if (take(arg, "--osds", &value)) {
-      opt.osds = static_cast<std::uint32_t>(std::atoi(value.c_str()));
-    } else if (take(arg, "--groups", &value)) {
-      opt.groups = static_cast<std::uint32_t>(std::atoi(value.c_str()));
-    } else if (take(arg, "--clients", &value)) {
-      opt.clients = static_cast<std::uint16_t>(std::atoi(value.c_str()));
-    } else if (take(arg, "--trigger", &value)) {
-      opt.trigger = value;
-    } else if (take(arg, "--lambda", &value)) {
-      opt.lambda = std::atof(value.c_str());
-    } else if (take(arg, "--sigma", &value)) {
-      opt.sigma = std::atof(value.c_str());
-    } else if (take(arg, "--utilization", &value)) {
-      opt.utilization = std::atof(value.c_str());
-    } else if (take(arg, "--channels", &value)) {
-      opt.channels = static_cast<std::uint32_t>(std::atoi(value.c_str()));
-    } else if (take(arg, "--fail-osd", &value)) {
-      opt.fail_osd = std::atoi(value.c_str());
-    } else if (take(arg, "--fail-at", &value)) {
-      opt.fail_at = std::atof(value.c_str());
-    } else {
-      std::cerr << "unknown option: " << arg << "\n";
-      usage(2);
-    }
+  edm::util::FlagParser parser = make_parser(opt);
+  switch (parser.parse(argc, argv)) {
+    case edm::util::FlagParser::Result::kOk:
+      break;
+    case edm::util::FlagParser::Result::kHelp:
+      parser.print_usage(std::cerr, argv[0]);
+      std::exit(0);
+    case edm::util::FlagParser::Result::kError:
+      std::cerr << parser.error() << "\n";
+      parser.print_usage(std::cerr, argv[0]);
+      std::exit(2);
   }
   return opt;
 }
@@ -131,6 +127,34 @@ edm::trace::Trace load_trace_any(const std::string& path) {
     return edm::trace::load_trace_file(path);
   } catch (const std::runtime_error&) {
     return edm::trace::load_text_trace_file(path);
+  }
+}
+
+void write_telemetry_files(const edm::sim::RunResult& result,
+                           const Options& opt) {
+  const auto& tel = result.telemetry;
+  if (tel == nullptr) return;
+  if (const auto* tracer = tel->tracer();
+      tracer != nullptr && !opt.trace_out.empty()) {
+    if (tracer->dropped() > 0) {
+      EDM_WARN << "trace dropped " << tracer->dropped() << " events (cap "
+               << tel->config().max_trace_events << ")";
+    }
+    std::ofstream os(opt.trace_out);
+    if (!os) {
+      EDM_WARN << "cannot write trace file " << opt.trace_out;
+    } else {
+      tracer->write_chrome_json(os);
+    }
+  }
+  if (const auto* sampler = tel->sampler();
+      sampler != nullptr && !opt.timeseries_out.empty()) {
+    std::ofstream os(opt.timeseries_out);
+    if (!os) {
+      EDM_WARN << "cannot write time-series file " << opt.timeseries_out;
+    } else {
+      sampler->write_csv(os);
+    }
   }
 }
 
@@ -155,6 +179,14 @@ int main(int argc, char** argv) {
     cfg.sim.adaptive_sigma = opt.adaptive;
     cfg.sim.fail_osd = opt.fail_osd;
     cfg.sim.fail_at_fraction = opt.fail_at;
+    if (!opt.trace_out.empty()) {
+      cfg.telemetry.trace_enabled = true;
+      cfg.telemetry.metrics_enabled = true;
+    }
+    if (!opt.timeseries_out.empty()) {
+      cfg.telemetry.sample_interval_us =
+          static_cast<edm::SimDuration>(opt.sample_interval_s * 1e6);
+    }
     if (opt.trigger == "monitor") {
       cfg.sim.trigger = edm::sim::MigrationTrigger::kMonitor;
       // The paper's 1-minute epoch assumes hours-long runs; scale it so a
@@ -179,6 +211,7 @@ int main(int argc, char** argv) {
       result = edm::sim::run_experiment(cfg);
     }
 
+    write_telemetry_files(result, opt);
     if (opt.json) {
       edm::sim::write_json(result, std::cout);
     } else {
