@@ -7,7 +7,7 @@
 // cluster-level endurance model assumes the FTL levels wear internally,
 // this quantifies how much that assumption asks of the device.
 //
-//   ./build/bench/ablation_gc_policy [--csv]
+//   ./build/bench/ablation_gc_policy [--csv] [--jobs=N]
 #include "bench/common.h"
 #include "flash/ssd.h"
 #include "util/rng.h"
@@ -48,29 +48,43 @@ int main(int argc, char** argv) {
   auto args = edm::bench::parse_args(argc, argv);
   using edm::util::Table;
 
-  Table table({"workload", "policy", "WA", "measured_ur", "erases",
-               "block_wear_rsd", "max/mean block erases"});
+  struct Cell {
+    double bias;
+    edm::flash::FlashConfig::GcPolicy policy;
+    Outcome o;
+  };
+  std::vector<Cell> cells;
   for (double bias : {0.0, 0.5, 0.9}) {
     for (auto policy : {edm::flash::FlashConfig::GcPolicy::kGreedy,
                         edm::flash::FlashConfig::GcPolicy::kCostBenefit}) {
-      const Outcome o = churn(policy, bias);
-      table.add_row({
-          bias == 0.0 ? "uniform" : (bias == 0.5 ? "mild hot-spot"
-                                                 : "90/10 hot-spot"),
-          policy == edm::flash::FlashConfig::GcPolicy::kGreedy
-              ? "greedy"
-              : "cost-benefit",
-          Table::num(o.wa, 3),
-          Table::num(o.measured_ur, 3),
-          Table::num(o.erases),
-          Table::num(o.wear.rsd, 3),
-          Table::num(o.wear.mean_erases > 0
-                         ? static_cast<double>(o.wear.max_erases) /
-                               o.wear.mean_erases
-                         : 0.0,
-                     1),
-      });
+      cells.push_back({bias, policy, {}});
     }
+  }
+  edm::runner::parallel_for_each(
+      cells.size(),
+      [&](std::size_t i) { cells[i].o = churn(cells[i].policy, cells[i].bias); },
+      edm::bench::sweep_options(args, "ablation_gc_policy"));
+
+  Table table({"workload", "policy", "WA", "measured_ur", "erases",
+               "block_wear_rsd", "max/mean block erases"});
+  for (const auto& c : cells) {
+    const Outcome& o = c.o;
+    table.add_row({
+        c.bias == 0.0 ? "uniform" : (c.bias == 0.5 ? "mild hot-spot"
+                                                   : "90/10 hot-spot"),
+        c.policy == edm::flash::FlashConfig::GcPolicy::kGreedy
+            ? "greedy"
+            : "cost-benefit",
+        Table::num(o.wa, 3),
+        Table::num(o.measured_ur, 3),
+        Table::num(o.erases),
+        Table::num(o.wear.rsd, 3),
+        Table::num(o.wear.mean_erases > 0
+                       ? static_cast<double>(o.wear.max_erases) /
+                             o.wear.mean_erases
+                       : 0.0,
+                   1),
+    });
   }
   edm::bench::emit(
       table, args, "Ablation: GC victim policy (single device, u = 0.70)",

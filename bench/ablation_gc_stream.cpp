@@ -7,7 +7,7 @@
 // wear problem disappears before any *cluster-level* policy runs -- and
 // how much does EDM-HDF still add on top?
 //
-//   ./build/bench/ablation_gc_stream [--scale=0.1] [--csv]
+//   ./build/bench/ablation_gc_stream [--scale=0.1] [--csv] [--jobs=N]
 #include "bench/common.h"
 #include "sim/wear_probe.h"
 
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
       cells.push_back(cfg);
     }
   }
-  const auto results = edm::bench::run_cells(cells, args);
+  const auto results = edm::bench::run_cells(cells, args, "ablation_gc_stream");
   Table cluster_table({"FTL", "system", "throughput(ops/s)",
                        "aggregate_erases", "erase_RSD"});
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -6,7 +6,7 @@
 // unconstrained migration.  This quantifies the balance cost of the
 // reliability constraint.
 //
-//   ./build/bench/ablation_groups [--scale=0.1] [--csv]
+//   ./build/bench/ablation_groups [--scale=0.1] [--csv] [--jobs=N]
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
       cells.push_back(cfg);
     }
   }
-  const auto results = edm::bench::run_cells(cells, args);
+  const auto results = edm::bench::run_cells(cells, args, "ablation_groups");
 
   Table table({"groups(m)", "group_size", "system", "throughput(ops/s)",
                "erase_RSD", "aggregate_erases", "moved_objects"});

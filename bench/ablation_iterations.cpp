@@ -5,7 +5,7 @@
 // iteration count -- and the measured end-to-end effect of a starved
 // iteration budget on EDM-HDF.
 //
-//   ./build/bench/ablation_iterations [--scale=0.1] [--csv]
+//   ./build/bench/ablation_iterations [--scale=0.1] [--csv] [--jobs=N]
 #include <algorithm>
 
 #include "bench/common.h"
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     cfg.policy_config.balance.iterations = budget;
     cells.push_back(cfg);
   }
-  const auto results = edm::bench::run_cells(cells, args);
+  const auto results = edm::bench::run_cells(cells, args, "ablation_iterations");
   Table e2e({"iterations", "throughput(ops/s)", "erase_RSD", "moved_objects"});
   for (std::size_t i = 0; i < results.size(); ++i) {
     e2e.add_row({

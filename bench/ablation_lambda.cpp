@@ -6,7 +6,7 @@
 // migrates eagerly (more moved objects, more migration wear), large lambda
 // barely ever triggers and converges to the baseline.
 //
-//   ./build/bench/ablation_lambda [--scale=0.1] [--csv]
+//   ./build/bench/ablation_lambda [--scale=0.1] [--csv] [--jobs=N]
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   // Baseline reference.
   cells.push_back(
       edm::bench::cell("lair62", edm::core::PolicyKind::kNone, 16, args.scale));
-  const auto results = edm::bench::run_cells(cells, args);
+  const auto results = edm::bench::run_cells(cells, args, "ablation_lambda");
 
   Table table({"lambda", "triggers", "moved_objects", "moved_pages",
                "aggregate_erases", "erase_RSD", "throughput(ops/s)"});

@@ -6,7 +6,7 @@
 // sweep quantifies that dependence -- the simulator analogue of running
 // the paper's cluster with more or fewer client threads.
 //
-//   ./build/bench/ablation_queue_depth [--scale=0.1] [--csv]
+//   ./build/bench/ablation_queue_depth [--scale=0.1] [--csv] [--jobs=N]
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
       cells.push_back(cfg);
     }
   }
-  const auto results = edm::bench::run_cells(cells, args);
+  const auto results = edm::bench::run_cells(cells, args, "ablation_queue_depth");
 
   Table table({"queue_depth", "baseline(ops/s)", "HDF(ops/s)", "HDF_gain",
                "baseline_rt(ms)", "HDF_rt(ms)"});

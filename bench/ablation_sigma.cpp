@@ -9,7 +9,7 @@
 // model and report aggregate erases + erase RSD, showing how sensitive the
 // policy outcome is to the model constant.
 //
-//   ./build/bench/ablation_sigma [--scale=0.1] [--csv]
+//   ./build/bench/ablation_sigma [--scale=0.1] [--csv] [--jobs=N]
 #include <cmath>
 
 #include "bench/common.h"
@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
     cfg.policy_config.model = edm::core::WearModel(32, sigma);
     cells.push_back(cfg);
   }
-  const auto results = edm::bench::run_cells(cells, args);
+  const auto results = edm::bench::run_cells(cells, args, "ablation_sigma");
   Table plan({"sigma", "aggregate_erases", "erase_RSD", "moved_objects",
               "throughput(ops/s)"});
   for (std::size_t s = 0; s < sigmas.size(); ++s) {

@@ -1,26 +1,30 @@
 // Shared plumbing for the figure-regeneration benches: flag parsing and
 // the standard experiment grid shapes used by the paper's evaluation.
+// Execution goes through the deterministic sweep runner (src/runner):
+// grid cells run on --jobs workers and aggregate in declared grid order,
+// so a bench's output is byte-identical at any job count.
 //
 // Every bench accepts:
 //   --scale=<f>            linear trace scale (default 0.1; 1.0 = paper-size)
 //   --csv                  emit CSV instead of the aligned table
-//   --trace-out=<path>     write a Chrome trace-event JSON per cell
-//   --timeseries-out=<path> write a DES-clock time-series CSV per cell
+//   --jobs=<n>             sweep workers (0 = one per hardware thread,
+//                          1 = serial; default 0)
+//   --no-progress          suppress the stderr progress/ETA line
+//   --trace-out=<path>     write a Chrome trace-event JSON per run
+//   --timeseries-out=<path> write a DES-clock time-series CSV per run
 //   --sample-interval=<s>  sampling interval in simulated seconds (default 1)
 //
 // With several grid cells, telemetry output paths get "-<cell index>"
 // appended before the extension so every cell lands in its own file.
 #pragma once
 
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "runner/sweep.h"
 #include "sim/experiment.h"
-#include "telemetry/telemetry.h"
 #include "util/flags.h"
-#include "util/log.h"
 #include "util/table.h"
 
 namespace edm::bench {
@@ -28,6 +32,10 @@ namespace edm::bench {
 struct BenchArgs {
   double scale = 0.1;
   bool csv = false;
+
+  // Sweep execution (runner::SweepOptions).
+  std::uint32_t jobs = 0;  // 0 = one worker per hardware thread
+  bool no_progress = false;
 
   // Telemetry outputs ("" = off).
   std::string trace_out;
@@ -42,6 +50,10 @@ inline util::FlagParser make_flag_parser(BenchArgs& args) {
   parser.add_double("--scale", &args.scale,
                     "linear trace scale (1.0 = paper-size counts)");
   parser.add_bool("--csv", &args.csv, "emit CSV instead of a table");
+  parser.add_uint32("--jobs", &args.jobs,
+                    "sweep workers (0 = hardware threads, 1 = serial)");
+  parser.add_bool("--no-progress", &args.no_progress,
+                  "suppress the stderr progress/ETA line");
   parser.add_string("--trace-out", &args.trace_out,
                     "write Chrome trace-event JSON (Perfetto-loadable)");
   parser.add_string("--timeseries-out", &args.timeseries_out,
@@ -68,75 +80,51 @@ inline BenchArgs parse_args(int argc, char** argv) {
   return args;
 }
 
+/// The telemetry sink settings a bench's flags selected.
+inline runner::TelemetrySinks sinks_from(const BenchArgs& args) {
+  runner::TelemetrySinks sinks;
+  sinks.trace_out = args.trace_out;
+  sinks.timeseries_out = args.timeseries_out;
+  sinks.sample_interval_s = args.sample_interval_s;
+  return sinks;
+}
+
+/// The sweep options a bench's flags selected; `label` prefixes the
+/// stderr progress line (use the bench name, e.g. "fig7").
+inline runner::SweepOptions sweep_options(const BenchArgs& args,
+                                          const std::string& label) {
+  runner::SweepOptions opt;
+  opt.jobs = args.jobs;
+  opt.label = label;
+  opt.progress = args.no_progress ? nullptr : &std::cerr;
+  opt.sinks = sinks_from(args);
+  return opt;
+}
+
 /// Maps the telemetry flags onto one cell's TelemetryConfig.
 inline void apply_telemetry(sim::ExperimentConfig& cfg,
                             const BenchArgs& args) {
-  if (!args.trace_out.empty()) {
-    cfg.telemetry.trace_enabled = true;
-    cfg.telemetry.metrics_enabled = true;
-  }
-  if (!args.timeseries_out.empty()) {
-    cfg.telemetry.sample_interval_us =
-        static_cast<SimDuration>(args.sample_interval_s * 1e6);
-  }
+  runner::apply_telemetry(cfg, sinks_from(args));
 }
 
 /// "out.json" -> "out-3.json" (multi-cell grids write one file per cell).
 inline std::string indexed_path(const std::string& path, std::size_t index,
                                 std::size_t total) {
-  if (total <= 1) return path;
-  const std::size_t dot = path.rfind('.');
-  const std::size_t slash = path.rfind('/');
-  const std::string suffix = "-" + std::to_string(index);
-  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
-    return path + suffix;
-  }
-  return path.substr(0, dot) + suffix + path.substr(dot);
+  return runner::indexed_path(path, index, total);
 }
 
 inline void write_telemetry_outputs(const std::vector<sim::RunResult>& results,
                                     const BenchArgs& args) {
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& tel = results[i].telemetry;
-    if (tel == nullptr) continue;
-    if (const auto* tracer = tel->tracer(); tracer != nullptr &&
-                                            !args.trace_out.empty()) {
-      if (tracer->dropped() > 0) {
-        EDM_WARN << "trace for cell " << i << " dropped "
-                 << tracer->dropped() << " events (cap "
-                 << tel->config().max_trace_events << ")";
-      }
-      const std::string path =
-          indexed_path(args.trace_out, i, results.size());
-      std::ofstream os(path);
-      if (!os) {
-        EDM_WARN << "cannot write trace file " << path;
-        continue;
-      }
-      tracer->write_chrome_json(os);
-    }
-    if (const auto* sampler = tel->sampler();
-        sampler != nullptr && !args.timeseries_out.empty()) {
-      const std::string path =
-          indexed_path(args.timeseries_out, i, results.size());
-      std::ofstream os(path);
-      if (!os) {
-        EDM_WARN << "cannot write time-series file " << path;
-        continue;
-      }
-      sampler->write_csv(os);
-    }
-  }
+  runner::write_sweep_outputs(results, sinks_from(args));
 }
 
-/// Standard bench runner: applies the telemetry flags to every cell, runs
-/// the grid, writes any requested telemetry files, returns the results.
+/// Standard bench runner: executes the grid on the sweep runner (telemetry
+/// sinks applied per cell, per-run output files written in grid order) and
+/// returns the results in declared grid order.
 inline std::vector<sim::RunResult> run_cells(
-    std::vector<sim::ExperimentConfig> cells, const BenchArgs& args) {
-  for (auto& cfg : cells) apply_telemetry(cfg, args);
-  auto results = sim::run_grid(cells);
-  write_telemetry_outputs(results, args);
-  return results;
+    std::vector<sim::ExperimentConfig> cells, const BenchArgs& args,
+    const std::string& label = "sweep") {
+  return runner::run_sweep(std::move(cells), sweep_options(args, label));
 }
 
 inline void emit(const util::Table& table, const BenchArgs& args,

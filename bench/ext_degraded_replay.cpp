@@ -7,7 +7,7 @@
 // Complements bench/ext_reliability, which measures the same mechanics
 // outside the event loop.
 //
-//   ./build/bench/ext_degraded_replay [--scale=0.1] [--csv]
+//   ./build/bench/ext_degraded_replay [--scale=0.1] [--csv] [--jobs=N]
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
       cfg.sim.fail_at_fraction = 0.5;
       cells.push_back(cfg);
     }
-    const auto results = edm::bench::run_cells(cells, args);
+    const auto results = edm::bench::run_cells(cells, args, "ext_degraded_replay");
     const double healthy = results[0].throughput_ops_per_sec();
     for (std::size_t i = 0; i < results.size(); ++i) {
       const auto& r = results[i];

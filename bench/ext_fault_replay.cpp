@@ -12,7 +12,7 @@
 // unavailable fraction must stay zero, and the p99 delta isolates the cost
 // of reconstruction traffic competing with the foreground.
 //
-//   ./build/bench/ext_fault_replay [--scale=0.1] [--csv]
+//   ./build/bench/ext_fault_replay [--scale=0.1] [--csv] [--jobs=N]
 #include "bench/common.h"
 #include "trace/generator.h"
 
@@ -61,16 +61,22 @@ int main(int argc, char** argv) {
         {"+ transient errors 0.1%", fail_rebuild_errors},
     };
 
+    // The fault modes replay independently over the shared trace, so they
+    // run as one sweep (the healthy result is already in hand).
+    const auto mode_results = edm::runner::parallel_map<edm::sim::RunResult>(
+        modes.size(),
+        [&](std::size_t i) {
+          if (modes[i].faults.empty()) return healthy;
+          auto cfg = base;
+          cfg.sim.faults = modes[i].faults;
+          return edm::sim::run_experiment(cfg, trace);
+        },
+        edm::bench::sweep_options(args, "ext_fault_replay"));
+
     const double healthy_p99 = healthy.response_histogram.quantile(0.99);
-    for (const auto& mode : modes) {
-      edm::sim::RunResult r;
-      if (mode.faults.empty()) {
-        r = healthy;
-      } else {
-        auto cfg = base;
-        cfg.sim.faults = mode.faults;
-        r = edm::sim::run_experiment(cfg, trace);
-      }
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      const auto& mode = modes[i];
+      const edm::sim::RunResult& r = mode_results[i];
       all_results.push_back(r);
       const double p99 = r.response_histogram.quantile(0.99);
       const double unavail =

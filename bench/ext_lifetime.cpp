@@ -9,7 +9,7 @@
 // between the first and second wear-outs (the SIII.D de-synchronisation
 // concern).
 //
-//   ./build/bench/ext_lifetime [--scale=0.1] [--csv]
+//   ./build/bench/ext_lifetime [--scale=0.1] [--csv] [--jobs=N]
 #include "bench/common.h"
 #include "core/lifetime.h"
 
@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
       cells.push_back(edm::bench::cell(trace, policy, 16, args.scale));
     }
   }
-  const auto results = edm::bench::run_cells(cells, args);
+  const auto results = edm::bench::run_cells(cells, args, "ext_lifetime");
 
   Table table({"trace", "system", "cluster_lifetime", "vs_baseline",
                "balance_efficiency", "first_to_second_gap"});

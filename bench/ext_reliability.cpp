@@ -8,7 +8,7 @@
 // Measured both before and after an EDM-HDF shuffle to show migration does
 // not erode the invariant.
 //
-//   ./build/bench/ext_reliability [--scale=0.05] [--csv]
+//   ./build/bench/ext_reliability [--scale=0.05] [--csv] [--jobs=N]
 #include "bench/common.h"
 #include "cluster/cluster.h"
 #include "core/policy.h"

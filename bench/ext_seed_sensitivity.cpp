@@ -5,7 +5,7 @@
 // This bench re-runs baseline vs EDM-HDF over several generator seeds and
 // reports the spread of the throughput gain and erase delta.
 //
-//   ./build/bench/ext_seed_sensitivity [--scale=0.1] [--csv]
+//   ./build/bench/ext_seed_sensitivity [--scale=0.1] [--csv] [--jobs=N]
 #include "bench/common.h"
 #include "util/stats.h"
 
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const auto results = edm::bench::run_cells(cells, args);
+  const auto results = edm::bench::run_cells(cells, args, "ext_seed_sensitivity");
 
   Table table({"trace", "seed", "HDF_throughput_gain", "HDF_erase_delta",
                "baseline_erase_RSD"});

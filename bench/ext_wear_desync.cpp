@@ -12,7 +12,7 @@
 // and reports per-group wear rates plus the projected gap between the first
 // wear-out times of different groups.
 //
-//   ./build/bench/ext_wear_desync [--scale=0.1] [--csv]
+//   ./build/bench/ext_wear_desync [--scale=0.1] [--csv] [--jobs=N]
 #include <algorithm>
 
 #include "bench/common.h"
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     cfg.group_sizes = v.sizes;
     cells.push_back(cfg);
   }
-  const auto results = edm::bench::run_cells(cells, args);
+  const auto results = edm::bench::run_cells(cells, args, "ext_wear_desync");
 
   Table per_group({"variant", "group", "ssds", "mean_erases_per_ssd",
                    "projected_group_wearout(days)"});

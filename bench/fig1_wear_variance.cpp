@@ -6,7 +6,7 @@
 // written pages tend to erase more "but not exclusively" (utilization also
 // matters -- look for OSD pairs with similar writes but different erases).
 //
-//   ./build/bench/fig1_wear_variance [--scale=0.1] [--csv]
+//   ./build/bench/fig1_wear_variance [--scale=0.1] [--csv] [--jobs=N]
 #include "bench/common.h"
 #include "util/stats.h"
 
@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
     cells.push_back(
         edm::bench::cell(t, edm::core::PolicyKind::kNone, 16, args.scale));
   }
-  const auto results = edm::bench::run_cells(cells, args);
+  const auto results = edm::bench::run_cells(cells, args, "fig1");
 
   Table table({"trace", "osd", "erase_count", "write_pages", "gc_moves",
                "utilization", "measured_ur"});

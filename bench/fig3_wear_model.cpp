@@ -6,18 +6,16 @@
 // curve; the skewed real-world workloads sit well below it, and Eq. 3 with
 // sigma = 0.28 fits them up to roughly u = 85%.
 //
-//   ./build/bench/fig3_wear_model [--csv]
-#include <cstring>
-#include <iostream>
+//   ./build/bench/fig3_wear_model [--csv] [--jobs=N]
+#include <string>
 #include <vector>
 
+#include "bench/common.h"
 #include "sim/wear_probe.h"
 #include "trace/profile.h"
-#include "util/table.h"
-#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
+  auto args = edm::bench::parse_args(argc, argv);
   const std::vector<std::string> workloads = {"home02", "deasna", "lair62",
                                               "random"};
   const std::vector<double> utilizations = {0.30, 0.40, 0.50, 0.60,
@@ -33,14 +31,16 @@ int main(int argc, char** argv) {
     for (double u : utilizations) cells.push_back({w, u, {}});
   }
 
-  edm::util::ThreadPool pool;
-  pool.parallel_for(cells.size(), [&](std::size_t i) {
-    edm::sim::WearProbeConfig cfg;
-    cfg.flash.num_blocks = 2048;  // 256 MB device: fast yet GC-realistic
-    cfg.utilization = cells[i].u;
-    cells[i].r = edm::sim::run_wear_probe(
-        edm::trace::profile_by_name(cells[i].workload), cfg);
-  });
+  edm::runner::parallel_for_each(
+      cells.size(),
+      [&](std::size_t i) {
+        edm::sim::WearProbeConfig cfg;
+        cfg.flash.num_blocks = 2048;  // 256 MB device: fast yet GC-realistic
+        cfg.utilization = cells[i].u;
+        cells[i].r = edm::sim::run_wear_probe(
+            edm::trace::profile_by_name(cells[i].workload), cfg);
+      },
+      edm::bench::sweep_options(args, "fig3"));
 
   edm::util::Table table({"workload", "u", "measured_ur", "eq2_ur(sigma=0)",
                           "eq3_ur(sigma=0.28)", "erases", "WA"});
@@ -55,13 +55,10 @@ int main(int argc, char** argv) {
         edm::util::Table::num(c.r.write_amplification, 2),
     });
   }
-  if (csv) {
-    table.write_csv(std::cout);
-  } else {
-    std::cout << "Fig. 3 -- measured vs estimated u_r (victim valid ratio)\n";
-    table.print(std::cout);
-    std::cout << "\nShape check: 'random' should track eq2_ur; the skewed "
-                 "workloads should fall below eq2_ur toward eq3_ur.\n";
-  }
+  edm::bench::emit(
+      table, args,
+      "Fig. 3 -- measured vs estimated u_r (victim valid ratio)",
+      "Shape check: 'random' should track eq2_ur; the skewed workloads "
+      "should fall below eq2_ur toward eq3_ur.");
   return 0;
 }

@@ -7,7 +7,7 @@
 // both sit a little above CDF in most cases; home traces run at higher
 // absolute throughput (higher read ratio).
 //
-//   ./build/bench/fig5_throughput [--scale=0.1] [--csv]
+//   ./build/bench/fig5_throughput [--scale=0.1] [--csv] [--jobs=N]
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const auto results = edm::bench::run_cells(cells, args);
+  const auto results = edm::bench::run_cells(cells, args, "fig5");
 
   Table table({"osds", "trace", "system", "throughput(ops/s)",
                "vs_baseline", "mean_rt(ms)"});

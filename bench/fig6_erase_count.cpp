@@ -8,7 +8,7 @@
 // read/write awareness -- so HDF beats CMT by a wide margin (paper: up to
 // 40%).
 //
-//   ./build/bench/fig6_erase_count [--scale=0.1] [--csv]
+//   ./build/bench/fig6_erase_count [--scale=0.1] [--csv] [--jobs=N]
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const auto results = edm::bench::run_cells(cells, args);
+  const auto results = edm::bench::run_cells(cells, args, "fig6");
 
   Table table({"osds", "trace", "system", "aggregate_erases", "vs_baseline",
                "vs_CMT", "erase_RSD", "migration_pages"});

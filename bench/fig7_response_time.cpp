@@ -7,7 +7,7 @@
 // level; CDF shows only a small perturbation (bandwidth competition only);
 // baseline stays flat.
 //
-//   ./build/bench/fig7_response_time [--scale=0.1] [--csv]
+//   ./build/bench/fig7_response_time [--scale=0.1] [--csv] [--jobs=N]
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
       cells.push_back(cfg);
     }
   }
-  const auto results = edm::bench::run_cells(cells, args);
+  const auto results = edm::bench::run_cells(cells, args, "fig7");
 
   Table table({"trace", "system", "window_start(s)", "ops", "mean_rt(ms)",
                "phase"});

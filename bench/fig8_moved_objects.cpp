@@ -6,7 +6,7 @@
 // storage usage and does not differentiate reads from writes), then CDF,
 // then HDF; all percentages are small (paper: at most ~1%).
 //
-//   ./build/bench/fig8_moved_objects [--scale=0.1] [--csv]
+//   ./build/bench/fig8_moved_objects [--scale=0.1] [--csv] [--jobs=N]
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
       cells.push_back(edm::bench::cell(trace, policy, 16, args.scale));
     }
   }
-  const auto results = edm::bench::run_cells(cells, args);
+  const auto results = edm::bench::run_cells(cells, args, "fig8");
 
   Table table({"trace", "system", "moved_objects", "moved(%)", "moved_pages",
                "remap_entries"});

@@ -1,0 +1,95 @@
+// Scaling-efficiency microbench for the sweep runner: replays one fixed
+// experiment grid at several --jobs settings and reports wall-clock
+// speedup and per-worker efficiency, plus a byte-identity check of the
+// aggregated JSON across job counts (the runner's determinism contract).
+//
+// On an N-core host the grid should approach N-fold speedup until runs
+// outnumber cores; efficiency falls off once jobs > cores or jobs > cells.
+//
+//   ./build/bench/micro_sweep [--scale=0.02] [--csv] [--jobs-list=1,2,4,8]
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "runner/aggregate.h"
+
+namespace {
+
+std::vector<std::size_t> parse_jobs_list(const std::string& spec) {
+  std::vector<std::size_t> jobs;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const unsigned long v = std::stoul(item);
+    if (v > 0) jobs.push_back(v);
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  edm::bench::BenchArgs args;
+  args.scale = 0.02;  // the interesting signal is scaling, not trace volume
+  std::string jobs_list = "1,2,4,8";
+  auto parser = edm::bench::make_flag_parser(args);
+  parser.add_string("--jobs-list", &jobs_list,
+                    "comma-separated --jobs values to measure");
+  switch (parser.parse(argc, argv)) {
+    case edm::util::FlagParser::Result::kOk:
+      break;
+    case edm::util::FlagParser::Result::kHelp:
+      parser.print_usage(std::cerr, argv[0]);
+      return 0;
+    case edm::util::FlagParser::Result::kError:
+      std::cerr << parser.error() << "\n";
+      parser.print_usage(std::cerr, argv[0]);
+      return 2;
+  }
+
+  // A fig5-shaped grid: 4 traces x 2 systems = 8 independent runs.
+  std::vector<edm::sim::ExperimentConfig> cells;
+  for (const char* trace : {"home02", "deasna", "lair62", "home03"}) {
+    for (auto policy :
+         {edm::core::PolicyKind::kNone, edm::core::PolicyKind::kHdf}) {
+      cells.push_back(edm::bench::cell(trace, policy, 16, args.scale));
+    }
+  }
+
+  using edm::util::Table;
+  Table table({"jobs", "wall(s)", "speedup", "efficiency", "identical_output"});
+  double serial_wall = 0.0;
+  std::string reference_json;
+  for (std::size_t jobs : parse_jobs_list(jobs_list)) {
+    auto opt = edm::bench::sweep_options(
+        args, "micro_sweep(jobs=" + std::to_string(jobs) + ")");
+    opt.jobs = jobs;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = edm::runner::run_sweep(cells, opt);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::ostringstream json;
+    edm::runner::write_sweep_json(results, json);
+    if (reference_json.empty()) {
+      reference_json = json.str();
+      serial_wall = wall;
+    }
+    const double speedup = wall > 0 ? serial_wall / wall : 0.0;
+    table.add_row({
+        Table::num(std::uint64_t{jobs}),
+        Table::num(wall, 2),
+        Table::num(speedup, 2),
+        Table::num(speedup / static_cast<double>(jobs), 2),
+        json.str() == reference_json ? "yes" : "NO -- DETERMINISM BUG",
+    });
+  }
+  edm::bench::emit(
+      table, args, "Microbench: sweep-runner scaling (8-cell fig5-style grid)",
+      "speedup = wall(first jobs value) / wall(jobs); identical_output "
+      "compares aggregated JSON bytes against the first jobs value -- the "
+      "runner's ordered aggregation must make every row 'yes'.");
+  return 0;
+}

@@ -2,12 +2,11 @@
 // paper's published statistics.  Counts are exact by construction; mean
 // request sizes are sampled and should land within a few percent.
 //
-//   ./build/bench/table1_workloads [--scale=1.0] [--csv]
+//   ./build/bench/table1_workloads [--scale=1.0] [--csv] [--jobs=N]
 #include "bench/common.h"
 #include "trace/analysis.h"
 #include "trace/generator.h"
 #include "trace/profile.h"
-#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   auto args = edm::bench::parse_args(argc, argv);
@@ -29,13 +28,16 @@ int main(int argc, char** argv) {
                     0});
   }
 
-  edm::util::ThreadPool pool;
-  pool.parallel_for(rows.size(), [&](std::size_t i) {
-    const auto trace = edm::trace::TraceGenerator(rows[i].target, 8).generate();
-    rows[i].got = edm::trace::characterize(trace);
-    rows[i].skew = edm::trace::analyze_skew(trace);
-    rows[i].total_bytes = trace.total_file_bytes();
-  });
+  edm::runner::parallel_for_each(
+      rows.size(),
+      [&](std::size_t i) {
+        const auto trace =
+            edm::trace::TraceGenerator(rows[i].target, 8).generate();
+        rows[i].got = edm::trace::characterize(trace);
+        rows[i].skew = edm::trace::analyze_skew(trace);
+        rows[i].total_bytes = trace.total_file_bytes();
+      },
+      edm::bench::sweep_options(args, "table1"));
 
   Table table({"workload", "file_cnt", "write_cnt", "avg_write_size(B)",
                "read_cnt", "avg_read_size(B)", "dataset(MiB)"});

@@ -1,0 +1,50 @@
+#include "runner/aggregate.h"
+
+#include <ostream>
+
+#include "sim/report.h"
+#include "util/table.h"
+
+namespace edm::runner {
+
+void write_sweep_json(const std::vector<sim::RunResult>& results,
+                      std::ostream& os) {
+  os << "{\"schema\":\"edm-sweep-result/1\",\"num_runs\":" << results.size()
+     << ",\"runs\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) os << ',';
+    sim::write_json(results[i], os);
+  }
+  os << "]}\n";
+}
+
+void write_sweep_csv(const std::vector<sim::RunResult>& results,
+                     std::ostream& os) {
+  using util::Table;
+  Table table({"run", "trace", "policy", "num_osds", "completed_ops",
+               "makespan_us", "throughput_ops_per_sec", "mean_response_us",
+               "p99_response_us", "aggregate_erases", "erase_rsd",
+               "moved_objects", "moved_fraction", "remap_entries"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({
+        Table::num(std::uint64_t{i}),
+        r.trace_name,
+        r.policy_name,
+        Table::num(std::uint64_t{r.num_osds}),
+        Table::num(r.completed_ops),
+        Table::num(std::uint64_t{r.makespan_us}),
+        Table::num(r.throughput_ops_per_sec(), 3),
+        Table::num(r.mean_response_us, 3),
+        Table::num(r.response_histogram.quantile(0.99), 3),
+        Table::num(r.aggregate_erases()),
+        Table::num(r.erase_rsd(), 6),
+        Table::num(r.migration.moved_objects),
+        Table::num(r.moved_object_fraction(), 6),
+        Table::num(std::uint64_t{r.migration.remap_table_size}),
+    });
+  }
+  table.write_csv(os);
+}
+
+}  // namespace edm::runner

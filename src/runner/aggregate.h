@@ -1,0 +1,33 @@
+// Sweep-level aggregated exports: one JSON document / one CSV table for a
+// whole grid of runs, in declared grid order.
+//
+// These writers exist so downstream tooling (plotting, regression
+// tracking) can consume a sweep without globbing per-run files, and so
+// the determinism contract is testable at the byte level: the output
+// depends only on the results vector, whose order the sweep runner fixes
+// to the declared grid order -- never on worker scheduling.
+//
+// Thread-safety: plain functions over immutable inputs; call from one
+// thread after the sweep completes.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "sim/metrics.h"
+
+namespace edm::runner {
+
+/// {"schema":"edm-sweep-result/1","runs":[<edm-run-result/2>, ...]} --
+/// each element is exactly what sim::write_json emits for that run.
+void write_sweep_json(const std::vector<sim::RunResult>& results,
+                      std::ostream& os);
+
+/// Headline-metrics CSV, one row per run in grid order.  Columns:
+/// run,trace,policy,num_osds,completed_ops,makespan_us,
+/// throughput_ops_per_sec,mean_response_us,p99_response_us,
+/// aggregate_erases,erase_rsd,moved_objects,moved_fraction,remap_entries
+void write_sweep_csv(const std::vector<sim::RunResult>& results,
+                     std::ostream& os);
+
+}  // namespace edm::runner

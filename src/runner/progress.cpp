@@ -1,0 +1,61 @@
+#include "runner/progress.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace edm::runner {
+
+namespace {
+
+std::string fmt_seconds(double s) {
+  std::ostringstream os;
+  if (s >= 120.0) {
+    os << static_cast<long>(s / 60.0) << "m"
+       << static_cast<long>(s) % 60 << "s";
+  } else {
+    os << std::fixed << std::setprecision(1) << s << "s";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Progress::Progress(std::ostream* os, std::string label, std::size_t total)
+    : os_(os),
+      label_(std::move(label)),
+      total_(total),
+      start_(std::chrono::steady_clock::now()) {}
+
+void Progress::note_done() {
+  if (os_ == nullptr) return;
+  std::lock_guard lock(mutex_);
+  ++done_;
+  render(done_);
+}
+
+void Progress::finish() {
+  if (os_ == nullptr) return;
+  std::lock_guard lock(mutex_);
+  render(total_);
+  *os_ << "\n";
+  os_->flush();
+}
+
+void Progress::render(std::size_t done) {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  // \r-overwrite; trailing spaces clear a previously longer line.
+  *os_ << "\r" << label_ << ": " << done << "/" << total_ << " runs  elapsed "
+       << fmt_seconds(elapsed);
+  if (done > 0 && done < total_) {
+    const double eta = elapsed / static_cast<double>(done) *
+                       static_cast<double>(total_ - done);
+    *os_ << "  eta " << fmt_seconds(eta);
+  }
+  *os_ << "    ";
+  os_->flush();
+}
+
+}  // namespace edm::runner

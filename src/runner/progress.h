@@ -1,0 +1,45 @@
+// Progress/ETA reporting for sweep execution.
+//
+// Renders a single self-overwriting line on a caller-supplied stream
+// (normally stderr): "<label>: 3/12 runs  elapsed 4.1s  eta 12.3s".
+// Progress is presentation only -- it reads the wall clock, which is why
+// it lives here and never anywhere near the simulation: results and
+// output files must stay bit-deterministic, a status line need not.
+//
+// Thread-safety: note_done() may be called concurrently from any pool
+// worker; rendering is serialized behind an internal mutex.
+#pragma once
+
+#include <cstddef>
+#include <chrono>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace edm::runner {
+
+class Progress {
+ public:
+  /// `os` may be null, which turns every method into a no-op -- callers
+  /// pass null instead of branching at each site.  `total` is the number
+  /// of runs the sweep will execute.
+  Progress(std::ostream* os, std::string label, std::size_t total);
+
+  /// Marks one run complete and re-renders the status line.
+  void note_done();
+
+  /// Renders the final "N/N" line and terminates it with a newline.
+  void finish();
+
+ private:
+  void render(std::size_t done);
+
+  std::ostream* os_;
+  std::string label_;
+  std::size_t total_;
+  std::size_t done_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mutex_;
+};
+
+}  // namespace edm::runner

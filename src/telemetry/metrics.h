@@ -7,6 +7,10 @@
 // stable for the registry's lifetime (deque storage, no reallocation).
 // Iteration follows registration order, which the single-threaded
 // simulation makes deterministic -- exports are bit-identical across runs.
+//
+// Thread-safety: none -- a Registry and all handles it vends are confined
+// to the one thread driving the owning simulation (see telemetry.h);
+// unsynchronised counters are exactly what keeps updates O(1).
 #pragma once
 
 #include <cstdint>

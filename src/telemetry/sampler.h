@@ -6,6 +6,10 @@
 // EWMA load, cumulative erases).  Rows are appended by the simulator's
 // kTelemetrySample event handler, so the stream is deterministic for a
 // fixed seed + config.
+//
+// Thread-safety: none -- one Sampler per Recorder per simulation thread
+// (see telemetry.h); the CSV/JSON writers may run on another thread once
+// the run has finished.
 #pragma once
 
 #include <cstdint>

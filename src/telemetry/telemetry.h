@@ -58,6 +58,11 @@ struct TelemetryConfig {
 /// sampler (each only when its half of the config enables it) and carries
 /// the DES clock for instrumentation sites that have no `now` of their own
 /// (the flash layer, cluster bookkeeping, policies).
+///
+/// Thread-safety: none by design -- a Recorder is confined to the one
+/// thread driving its simulation.  The sweep runner (src/runner) gives
+/// every run its own Recorder; results may be *read* from another thread
+/// once the run has finished (happens-before via the pool's future).
 class Recorder {
  public:
   explicit Recorder(TelemetryConfig config);

@@ -6,6 +6,10 @@
 // deterministic DES, is itself deterministic -- and kept in a flat vector.
 // Names and argument keys must be string literals (or otherwise outlive
 // the tracer); nothing is copied on the hot path.
+//
+// Thread-safety: none -- a Tracer belongs to one Recorder, which belongs
+// to one simulation thread (see telemetry.h).  write_chrome_json may run
+// on a different thread after the run completes.
 #pragma once
 
 #include <cstdint>

@@ -10,6 +10,14 @@
 //   --name=<value>   string / double / integer flags
 //   --name           boolean presence flags
 //   --help, -h       recognised automatically (Result::kHelp)
+//
+// Registration order is presentation order in print_usage().  Unknown
+// options and malformed values yield Result::kError with error() set;
+// targets already parsed by then keep their new values, so callers should
+// treat a kError parse as fatal (every binary here exits 2).
+//
+// Thread-safety: none -- a FlagParser is built, used and dropped on one
+// thread during startup.  Target pointers must outlive parse().
 #pragma once
 
 #include <cstdint>

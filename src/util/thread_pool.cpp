@@ -47,7 +47,20 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(submit([&fn, i] { fn(i); }));
   }
-  for (auto& f : futures) f.get();
+  // Drain every future before rethrowing anything.  Returning early on the
+  // first exception would leave still-queued tasks holding a dangling
+  // reference to `fn`, and would make "first" depend on completion order;
+  // draining keeps every invocation alive and makes the propagated
+  // exception the lowest-index one -- deterministic at any pool size.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first == nullptr) first = std::current_exception();
+    }
+  }
+  if (first != nullptr) std::rethrow_exception(first);
 }
 
 }  // namespace edm::util

@@ -3,6 +3,11 @@
 // is single-threaded per cell -- event order is the correctness invariant --
 // so this pool is the only cross-thread machinery in the repository and it
 // is deliberately simple: one mutex, one condition variable, FIFO queue.
+//
+// Thread-safety: submit() and parallel_for() may be called from any thread,
+// including concurrently; tasks run on pool workers.  Construction and
+// destruction must happen on one thread, and destruction drains the queue
+// before joining (pending tasks run, they are not discarded).
 #pragma once
 
 #include <condition_variable>
@@ -28,7 +33,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a callable; the returned future yields its result.
+  /// Enqueues a callable; the returned future yields its result, or
+  /// rethrows the exception the callable exited with (nothing is ever
+  /// swallowed -- an unobserved future simply carries the exception away).
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -43,8 +50,12 @@ class ThreadPool {
     return result;
   }
 
-  /// Runs fn(i) for i in [0, n) across the pool and blocks until all
-  /// complete.  Exceptions from any invocation propagate (first one wins).
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until ALL
+  /// invocations complete -- even when some throw.  If any invocation
+  /// threw, rethrows the exception of the lowest failed index (so the
+  /// propagated error is deterministic regardless of completion order);
+  /// the other exceptions are discarded.  fn must be safe to invoke
+  /// concurrently for distinct indices.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   std::size_t size() const { return workers_.size(); }

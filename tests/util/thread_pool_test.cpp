@@ -63,6 +63,39 @@ TEST(ThreadPool, ExceptionPropagatesThroughParallelFor) {
                std::logic_error);
 }
 
+TEST(ThreadPool, ParallelForRunsEveryTaskDespiteException) {
+  // Regression: parallel_for must drain every future before rethrowing.
+  // Bailing on the first exception would destroy the callable while queued
+  // tasks still reference it, and would leave work silently unrun.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 10) throw std::runtime_error("x");
+                                   ++ran;
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 99);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException) {
+  // Two tasks throw; the slower, lower-index one must win so the surfaced
+  // error does not depend on scheduling.
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(10, [](std::size_t i) {
+      if (i == 3) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        throw std::runtime_error("3");
+      }
+      if (i == 7) throw std::runtime_error("7");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "3");
+  }
+}
+
 TEST(ThreadPool, ActuallyRunsConcurrently) {
   ThreadPool pool(4);
   std::atomic<int> inside{0};

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build + test the normal config, then the
-# asan-ubsan config, then the concurrency-sensitive tests (telemetry,
-# thread pool, logging) under ThreadSanitizer (CMakePresets.json).
-# Any failure aborts.
+# Full pre-merge check: documentation consistency (tools/check_docs.sh),
+# then build + test the normal config, then the asan-ubsan config, then
+# the concurrency-sensitive tests (telemetry, thread pool, sweep runner,
+# logging) under ThreadSanitizer (CMakePresets.json).  Any failure aborts.
 #
 #   tools/check.sh [--fast]   # --fast skips the sanitizer configs
 set -euo pipefail
@@ -19,6 +19,9 @@ run_preset() {
   echo "== test ($preset) =="
   ctest --preset "$preset"
 }
+
+echo "== docs =="
+tools/check_docs.sh
 
 run_preset default
 if [[ "${1:-}" != "--fast" ]]; then

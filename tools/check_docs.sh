@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Documentation consistency gate (part of tools/check.sh):
+#
+#  1. every src/<subsystem> has a docs/internals page,
+#  2. every --flag registered in bench/, tools/, src/util, src/runner is
+#     documented in docs/MANUAL.md,
+#  3. every intra-repo markdown link in *.md resolves to a real file.
+#
+#   tools/check_docs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+  echo "check_docs: $1" >&2
+  fail=1
+}
+
+# -- 1. one internals page per src subsystem ------------------------------
+# src/core is the paper's policy layer and is documented as policy.md.
+page_for() {
+  case "$1" in
+    core) echo policy ;;
+    *) echo "$1" ;;
+  esac
+}
+for dir in src/*/; do
+  sub=$(basename "$dir")
+  page="docs/internals/$(page_for "$sub").md"
+  [[ -f "$page" ]] || err "src/$sub has no internals page ($page missing)"
+done
+# The fault model lives inside src/sim but is a documented subsystem of
+# its own.
+[[ -f docs/internals/fault.md ]] || err "docs/internals/fault.md missing"
+
+# -- 2. every registered flag is documented in the manual -----------------
+flags=$(grep -rhoE '"--[a-z0-9-]+"' bench tools src/util src/runner 2>/dev/null |
+  tr -d '"' | sort -u)
+for flag in $flags; do
+  [[ "$flag" == "--help" ]] && continue  # synthesised by FlagParser
+  grep -q -- "\`$flag" docs/MANUAL.md ||
+    err "flag $flag is not documented in docs/MANUAL.md"
+done
+
+# -- 3. intra-repo markdown links resolve ---------------------------------
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  # extract link targets: [text](target)
+  while IFS= read -r target; do
+    # skip external links, pure anchors, and mail links
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target=${target%%#*}  # strip anchor
+    [[ -z "$target" ]] && continue
+    [[ -e "$dir/$target" ]] || err "$md links to missing file: $target"
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed 's/^](//; s/)$//')
+done < <(find . -name '*.md' -not -path './build*' -not -path './.git/*')
+
+if [[ $fail -ne 0 ]]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: all documentation checks passed"

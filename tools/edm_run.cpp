@@ -1,8 +1,10 @@
 // edm_run -- the command-line front end to the simulation stack.
 //
-// Runs one experiment cell and prints a report (text or JSON).  Supports
-// the built-in Table I workload profiles or a user-supplied trace file
-// (binary or text; see trace/text_io.h for the format).
+// Runs one experiment cell -- or, with --seeds=N, a deterministic sweep of
+// N seed-derived replicas of it on --jobs workers -- and prints a report
+// (text or JSON).  Supports the built-in Table I workload profiles or a
+// user-supplied trace file (binary or text; see trace/text_io.h for the
+// format).
 //
 // Usage:
 //   edm_run [options]
@@ -25,21 +27,25 @@
 //     --trace-out=<path>    write a Chrome trace-event JSON (Perfetto)
 //     --timeseries-out=<p>  write a per-OSD time-series CSV
 //     --sample-interval=<s> sampling interval in simulated seconds
-//     --json                JSON output (schema edm-run-result/2)
+//     --seeds=<n>           run n seed-derived replicas as one sweep
+//     --base-seed=<s>       base seed for the per-replica derivation
+//     --jobs=<n>            sweep workers (0 = hardware threads, 1 = serial)
+//     --json                JSON output (schema edm-run-result/2; with
+//                           --seeds>1, edm-sweep-result/1)
 //     --quiet               summary only (no per-OSD table / timeline)
 #include <algorithm>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "runner/aggregate.h"
+#include "runner/seed.h"
+#include "runner/sweep.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
-#include "telemetry/telemetry.h"
 #include "trace/io.h"
 #include "trace/text_io.h"
 #include "util/flags.h"
-#include "util/log.h"
 
 namespace {
 
@@ -63,6 +69,9 @@ struct Options {
   std::string trace_out;
   std::string timeseries_out;
   double sample_interval_s = 1.0;
+  std::uint32_t seeds = 1;
+  std::uint32_t base_seed = 0;
+  std::uint32_t jobs = 0;
   bool json = false;
   bool quiet = false;
 };
@@ -98,6 +107,12 @@ edm::util::FlagParser make_parser(Options& opt) {
                     "write per-OSD time-series CSV");
   parser.add_double("--sample-interval", &opt.sample_interval_s,
                     "time-series sampling interval in simulated seconds");
+  parser.add_uint32("--seeds", &opt.seeds,
+                    "run this many seed-derived replicas as one sweep");
+  parser.add_uint32("--base-seed", &opt.base_seed,
+                    "base seed for the per-replica derivation");
+  parser.add_uint32("--jobs", &opt.jobs,
+                    "sweep workers (0 = hardware threads, 1 = serial)");
   parser.add_bool("--json", &opt.json, "JSON output (schema edm-run-result/2)");
   parser.add_bool("--quiet", &opt.quiet,
                   "summary only (no per-OSD table / timeline)");
@@ -130,32 +145,12 @@ edm::trace::Trace load_trace_any(const std::string& path) {
   }
 }
 
-void write_telemetry_files(const edm::sim::RunResult& result,
-                           const Options& opt) {
-  const auto& tel = result.telemetry;
-  if (tel == nullptr) return;
-  if (const auto* tracer = tel->tracer();
-      tracer != nullptr && !opt.trace_out.empty()) {
-    if (tracer->dropped() > 0) {
-      EDM_WARN << "trace dropped " << tracer->dropped() << " events (cap "
-               << tel->config().max_trace_events << ")";
-    }
-    std::ofstream os(opt.trace_out);
-    if (!os) {
-      EDM_WARN << "cannot write trace file " << opt.trace_out;
-    } else {
-      tracer->write_chrome_json(os);
-    }
-  }
-  if (const auto* sampler = tel->sampler();
-      sampler != nullptr && !opt.timeseries_out.empty()) {
-    std::ofstream os(opt.timeseries_out);
-    if (!os) {
-      EDM_WARN << "cannot write time-series file " << opt.timeseries_out;
-    } else {
-      sampler->write_csv(os);
-    }
-  }
+edm::runner::TelemetrySinks sinks_from(const Options& opt) {
+  edm::runner::TelemetrySinks sinks;
+  sinks.trace_out = opt.trace_out;
+  sinks.timeseries_out = opt.timeseries_out;
+  sinks.sample_interval_s = opt.sample_interval_s;
+  return sinks;
 }
 
 }  // namespace
@@ -179,14 +174,7 @@ int main(int argc, char** argv) {
     cfg.sim.adaptive_sigma = opt.adaptive;
     cfg.sim.fail_osd = opt.fail_osd;
     cfg.sim.fail_at_fraction = opt.fail_at;
-    if (!opt.trace_out.empty()) {
-      cfg.telemetry.trace_enabled = true;
-      cfg.telemetry.metrics_enabled = true;
-    }
-    if (!opt.timeseries_out.empty()) {
-      cfg.telemetry.sample_interval_us =
-          static_cast<edm::SimDuration>(opt.sample_interval_s * 1e6);
-    }
+    edm::runner::apply_telemetry(cfg, sinks_from(opt));
     if (opt.trigger == "monitor") {
       cfg.sim.trigger = edm::sim::MigrationTrigger::kMonitor;
       // The paper's 1-minute epoch assumes hours-long runs; scale it so a
@@ -202,6 +190,36 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    if (opt.seeds > 1) {
+      // Sweep mode: N seed-derived replicas of the cell, one run per
+      // worker, aggregated in replica order (deterministic at any --jobs).
+      if (!opt.trace_file.empty()) {
+        std::cerr << "edm_run: --seeds requires a generated workload "
+                     "(--trace), not --trace-file\n";
+        return 2;
+      }
+      edm::runner::SweepOptions sweep;
+      sweep.jobs = opt.jobs;
+      sweep.derive_seeds = true;
+      sweep.base_seed = opt.base_seed;
+      sweep.label = "edm_run";
+      sweep.progress = opt.quiet ? nullptr : &std::cerr;
+      sweep.sinks = sinks_from(opt);
+      const auto results = edm::runner::run_sweep(
+          std::vector<edm::sim::ExperimentConfig>(opt.seeds, cfg), sweep);
+      if (opt.json) {
+        edm::runner::write_sweep_json(results, std::cout);
+      } else {
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          std::cout << "== replica " << i << " (seed "
+                    << edm::runner::derive_seed(opt.base_seed, i) << ") ==\n";
+          edm::sim::write_report(results[i], std::cout, false, false);
+        }
+        edm::runner::write_sweep_csv(results, std::cout);
+      }
+      return 0;
+    }
+
     edm::sim::RunResult result;
     if (!opt.trace_file.empty()) {
       const auto trace = load_trace_any(opt.trace_file);
@@ -211,7 +229,7 @@ int main(int argc, char** argv) {
       result = edm::sim::run_experiment(cfg);
     }
 
-    write_telemetry_files(result, opt);
+    edm::runner::write_run_outputs(result, sinks_from(opt), 0, 1);
     if (opt.json) {
       edm::sim::write_json(result, std::cout);
     } else {
