@@ -1,0 +1,245 @@
+// Continuous-benchmark baseline: wall-clock event-loop throughput of the
+// simulator on fixed Fig. 5 / Table I style workloads.
+//
+// Unlike the figure benches this measures the *simulator*, not the modelled
+// cluster: events/sec is DES events popped per wall-clock second of
+// Simulator::run(), and sim-ops/sec is completed file operations per
+// wall-clock second.  Both exclude setup (trace generation, populate, GC
+// warm-up), which is reported separately, so the numbers isolate the replay
+// hot path that the performance work targets (docs/PERFORMANCE.md).
+//
+// Timing methodology:
+//   * every cell runs serially (no sweep workers competing for cores);
+//   * each cell runs --repeat times and the FASTEST replay is kept --
+//     best-of-N discards scheduler noise, which only ever slows a run down;
+//   * the trace for each workload is generated once and shared across
+//     policies and repeats, exactly as run_experiment() would generate it;
+//   * events_processed is deterministic and identical across repeats, so a
+//     changed count between two builds means behaviour changed, not speed.
+//
+//   ./build/bench/perf_baseline [--scale=0.1] [--repeat=3] [--quick]
+//                               [--out=BENCH_baseline.json]
+//
+// --quick shrinks the grid (one trace, two policies) and the scale for a
+// seconds-long smoke run used by tools/check.sh; its numbers are not
+// comparable with full-grid baselines.  --out writes machine-readable JSON
+// (schema edm-bench-result/1, see docs/PERFORMANCE.md) for the committed
+// BENCH_baseline.json at the repo root.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "sim/experiment.h"
+#include "trace/generator.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace {
+
+struct Args {
+  double scale = 0.1;
+  std::uint32_t repeat = 3;
+  bool quick = false;
+  bool csv = false;
+  std::string out;
+};
+
+struct CellResult {
+  std::string trace;
+  std::string policy;
+  std::uint32_t num_osds = 0;
+  std::uint64_t events_processed = 0;  // deterministic
+  std::uint64_t completed_ops = 0;     // deterministic
+  double replay_wall_s = 0.0;          // best of --repeat
+  double setup_wall_s = 0.0;           // best of --repeat
+  double events_per_sec() const {
+    return replay_wall_s > 0.0
+               ? static_cast<double>(events_processed) / replay_wall_s
+               : 0.0;
+  }
+  double sim_ops_per_sec() const {
+    return replay_wall_s > 0.0
+               ? static_cast<double>(completed_ops) / replay_wall_s
+               : 0.0;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  edm::util::FlagParser parser;
+  parser.add_double("--scale", &args.scale,
+                    "linear trace scale (1.0 = paper-size counts)");
+  parser.add_uint32("--repeat", &args.repeat,
+                    "timed repeats per cell; the fastest replay is kept");
+  parser.add_bool("--quick", &args.quick,
+                  "seconds-long smoke grid (one trace, two policies)");
+  parser.add_bool("--csv", &args.csv, "emit CSV instead of a table");
+  parser.add_string("--out", &args.out,
+                    "write edm-bench-result/1 JSON to this path");
+  switch (parser.parse(argc, argv)) {
+    case edm::util::FlagParser::Result::kOk:
+      break;
+    case edm::util::FlagParser::Result::kHelp:
+      parser.print_usage(std::cerr, argv[0]);
+      std::exit(0);
+    case edm::util::FlagParser::Result::kError:
+      std::cerr << parser.error() << "\n";
+      parser.print_usage(std::cerr, argv[0]);
+      std::exit(2);
+  }
+  if (args.repeat == 0) args.repeat = 1;
+  return args;
+}
+
+/// Generates the trace exactly as run_experiment(config) would, so a cell
+/// timed here replays byte-identically to the figure benches.
+edm::trace::Trace make_trace(const edm::sim::ExperimentConfig& config) {
+  const edm::sim::ExperimentConfig cfg = edm::sim::finalize(config);
+  edm::trace::WorkloadProfile profile =
+      edm::trace::profile_by_name(cfg.trace_name).scaled(cfg.scale);
+  profile.seed ^= cfg.trace_seed_offset;
+  return edm::trace::TraceGenerator(profile, cfg.num_clients).generate();
+}
+
+CellResult time_cell(const edm::sim::ExperimentConfig& cfg,
+                     const edm::trace::Trace& trace, std::uint32_t repeat) {
+  CellResult out;
+  for (std::uint32_t i = 0; i < repeat; ++i) {
+    const edm::sim::RunResult r = edm::sim::run_experiment(cfg, trace);
+    if (i == 0) {
+      out.trace = r.trace_name;
+      out.policy = r.policy_name;
+      out.num_osds = r.num_osds;
+      out.events_processed = r.perf.events_processed;
+      out.completed_ops = r.completed_ops;
+      out.replay_wall_s = r.perf.replay_wall_s;
+      out.setup_wall_s = r.perf.setup_wall_s;
+      continue;
+    }
+    if (r.perf.events_processed != out.events_processed) {
+      std::cerr << "nondeterministic replay: " << out.trace << "/"
+                << out.policy << " processed " << r.perf.events_processed
+                << " events vs " << out.events_processed << " on repeat 0\n";
+      std::exit(1);
+    }
+    out.replay_wall_s = std::min(out.replay_wall_s, r.perf.replay_wall_s);
+    out.setup_wall_s = std::min(out.setup_wall_s, r.perf.setup_wall_s);
+  }
+  return out;
+}
+
+void write_json(const std::vector<CellResult>& cells, const Args& args,
+                std::ostream& os) {
+  os << "{\n";
+  os << "  \"schema\": \"edm-bench-result/1\",\n";
+  os << "  \"scale\": " << args.scale << ",\n";
+  os << "  \"repeat\": " << args.repeat << ",\n";
+  os << "  \"quick\": " << (args.quick ? "true" : "false") << ",\n";
+  std::uint64_t total_events = 0;
+  double total_replay = 0.0;
+  os << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    total_events += c.events_processed;
+    total_replay += c.replay_wall_s;
+    os << "    {\"trace\": \"" << c.trace << "\", \"policy\": \"" << c.policy
+       << "\", \"num_osds\": " << c.num_osds
+       << ", \"events_processed\": " << c.events_processed
+       << ", \"completed_ops\": " << c.completed_ops
+       << ", \"replay_wall_s\": " << c.replay_wall_s
+       << ", \"setup_wall_s\": " << c.setup_wall_s
+       << ", \"events_per_sec\": " << c.events_per_sec()
+       << ", \"sim_ops_per_sec\": " << c.sim_ops_per_sec() << "}"
+       << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"summary\": {\"total_events\": " << total_events
+     << ", \"total_replay_wall_s\": " << total_replay
+     << ", \"events_per_sec\": "
+     << (total_replay > 0.0 ? static_cast<double>(total_events) / total_replay
+                            : 0.0)
+     << "}\n";
+  os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  using edm::util::Table;
+
+  // Fixed grid: three workloads spanning the paper's read/write mix
+  // (home02 read-heavy, deasna mixed, lair62 write-skewed) x all four
+  // systems at the Fig. 5(a) cluster size.  --quick cuts this to the two
+  // extremes on one trace.
+  const std::vector<std::string> traces =
+      args.quick ? std::vector<std::string>{"home02"}
+                 : std::vector<std::string>{"home02", "deasna", "lair62"};
+  const std::vector<edm::core::PolicyKind> systems =
+      args.quick ? std::vector<edm::core::PolicyKind>{
+                       edm::core::PolicyKind::kNone,
+                       edm::core::PolicyKind::kHdf}
+                 : std::vector<edm::core::PolicyKind>{
+                       edm::core::PolicyKind::kNone,
+                       edm::core::PolicyKind::kCmt,
+                       edm::core::PolicyKind::kHdf,
+                       edm::core::PolicyKind::kCdf};
+  const double scale = args.quick ? std::min(args.scale, 0.02) : args.scale;
+  const std::uint32_t repeat = args.quick ? 1 : args.repeat;
+
+  std::vector<CellResult> results;
+  for (const std::string& trace_name : traces) {
+    edm::sim::ExperimentConfig proto;
+    proto.trace_name = trace_name;
+    proto.num_osds = 16;
+    proto.scale = scale;
+    const edm::trace::Trace trace = make_trace(proto);
+    for (edm::core::PolicyKind policy : systems) {
+      edm::sim::ExperimentConfig cfg = proto;
+      cfg.policy = policy;
+      results.push_back(time_cell(cfg, trace, repeat));
+      std::cerr << "perf_baseline: " << results.back().trace << "/"
+                << results.back().policy << " "
+                << static_cast<std::uint64_t>(results.back().events_per_sec())
+                << " events/s\n";
+    }
+  }
+
+  Table table({"trace", "system", "events", "replay(s)", "events/s",
+               "sim-ops/s", "setup(s)"});
+  for (const CellResult& c : results) {
+    table.add_row({
+        c.trace,
+        c.policy,
+        std::to_string(c.events_processed),
+        Table::num(c.replay_wall_s, 3),
+        Table::num(c.events_per_sec(), 0),
+        Table::num(c.sim_ops_per_sec(), 0),
+        Table::num(c.setup_wall_s, 3),
+    });
+  }
+  if (args.csv) {
+    table.write_csv(std::cout);
+  } else {
+    std::cout << "perf baseline -- replay hot-path throughput (scale="
+              << scale << ", best of " << repeat << ")\n";
+    table.print(std::cout);
+    std::cout << "\nWall-clock numbers are machine-dependent; compare only "
+                 "against a baseline\nfrom the same machine "
+                 "(docs/PERFORMANCE.md).\n";
+  }
+
+  if (!args.out.empty()) {
+    std::ofstream os(args.out);
+    if (!os.is_open()) {
+      std::cerr << "cannot write " << args.out << "\n";
+      return 1;
+    }
+    write_json(results, args, os);
+  }
+  return 0;
+}

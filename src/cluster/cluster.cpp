@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <bit>
 #include <string>
 
 #include "telemetry/telemetry.h"
@@ -86,7 +87,11 @@ Cluster::Cluster(ClusterConfig config, std::span<const trace::FileSpec> files)
     osds_.emplace_back(id, sized);
   }
 
-  // Create every object at its hash home.
+  // Create every object at its hash home, caching the home per dense oid
+  // so locate() never re-derives the placement hash on the hot path.
+  default_home_.resize(file_bytes_.size() * placement_.objects_per_file());
+  fast_.resize(default_home_.size());
+  std::vector<Extent> extents;
   for (FileId f = 0; f < file_bytes_.size(); ++f) {
     const std::uint64_t obj_bytes = layout_.object_bytes(file_bytes_[f]);
     const auto obj_pages =
@@ -94,21 +99,24 @@ Cluster::Cluster(ClusterConfig config, std::span<const trace::FileSpec> files)
     for (std::uint32_t j = 0; j < placement_.objects_per_file(); ++j) {
       const ObjectId oid = placement_.object_id(f, j);
       const OsdId home = placement_.default_osd(f, j);
+      default_home_[oid] = home;
       if (!osds_[home].add_object(oid, obj_pages)) {
         throw std::runtime_error(
             "Cluster: OSD out of space during creation (capacity sizing bug)");
       }
+      // Freshly created objects are contiguous; seed the device-I/O fast
+      // path with the extent (zero-page objects stay on the slow path,
+      // which already handles them as no-ops).
+      osds_[home].store().map_range(oid, 0, obj_pages, extents);
+      if (extents.size() == 1) {
+        fast_[oid] = FastExtent{home, extents[0].first, extents[0].pages};
+      }
     }
   }
-}
 
-OsdId Cluster::locate(ObjectId oid) const {
-  if (auto it = in_flight_.find(oid); it != in_flight_.end()) {
-    return it->second.src;
+  if ((page_size & (page_size - 1)) == 0) {
+    page_shift_ = std::countr_zero(page_size);
   }
-  if (auto remapped = remap_.lookup(oid)) return *remapped;
-  return placement_.default_osd(placement_.file_of(oid),
-                                placement_.index_of(oid));
 }
 
 std::uint32_t Cluster::object_pages(ObjectId oid) const {
@@ -136,19 +144,28 @@ void Cluster::map_request(const trace::Record& record,
   }
 
   const std::uint32_t page_size = config_.flash.page_size;
+  const int page_shift = page_shift_;
+  // Healthy cluster (the overwhelming case): no per-io failed-bit load.
+  const bool degraded = any_failed();
   for (const ObjectIo& io : scratch) {
     const ObjectId oid = placement_.object_id(record.file, io.object_index);
     OsdIo out_io;
     out_io.osd = locate(oid);
     out_io.oid = oid;
-    out_io.first_page = static_cast<std::uint32_t>(io.offset / page_size);
     const std::uint64_t last_byte = io.offset + io.length - 1;
-    out_io.pages =
-        static_cast<std::uint32_t>(last_byte / page_size) - out_io.first_page + 1;
+    if (page_shift >= 0) {
+      out_io.first_page = static_cast<std::uint32_t>(io.offset >> page_shift);
+      out_io.pages = static_cast<std::uint32_t>(last_byte >> page_shift) -
+                     out_io.first_page + 1;
+    } else {
+      out_io.first_page = static_cast<std::uint32_t>(io.offset / page_size);
+      out_io.pages = static_cast<std::uint32_t>(last_byte / page_size) -
+                     out_io.first_page + 1;
+    }
     out_io.is_write = io.is_write;
     out_io.is_parity = io.is_parity;
 
-    if (!osds_[out_io.osd].failed()) {
+    if (!degraded || !osds_[out_io.osd].failed()) {
       out.push_back(out_io);
       continue;
     }
@@ -281,9 +298,8 @@ void Cluster::complete_migration(ObjectId oid) {
   const Move move = it->second;
   in_flight_.erase(it);
   osds_[move.src].remove_object(oid);
-  const OsdId default_home = placement_.default_osd(
-      placement_.file_of(oid), placement_.index_of(oid));
-  remap_.set(oid, move.dst, default_home);
+  drop_fast_extent(oid);  // home copy gone; the entry must never be reused
+  remap_.set(oid, move.dst, default_home_[oid]);
   remap_.count_update();
   ++migrations_completed_;
   if (tel_migrations_completed_ != nullptr) tel_migrations_completed_->inc();

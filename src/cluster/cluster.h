@@ -86,10 +86,42 @@ class Cluster {
 
   // --- Object location ---
   /// Current OSD of an object (in-flight migrations still resolve to the
-  /// source until completed).
-  OsdId locate(ObjectId oid) const;
+  /// source until completed).  Inline: it runs once per sub-request the
+  /// simulator dispatches (plus once per RAID peer under degraded mode).
+  /// Both override tables are empty for entire runs under the no-migration
+  /// policies, so test the cheap empty() before paying for a hash probe;
+  /// the common case is a single load from the precomputed home table.
+  OsdId locate(ObjectId oid) const {
+    if (!in_flight_.empty()) {
+      if (auto it = in_flight_.find(oid); it != in_flight_.end()) {
+        return it->second.src;
+      }
+    }
+    if (!remap_.empty()) {
+      if (auto remapped = remap_.lookup(oid)) return *remapped;
+    }
+    return default_home_[oid];
+  }
   RemapTable& remap() { return remap_; }
   const RemapTable& remap() const { return remap_; }
+
+  /// Direct-mapped device-I/O fast path.  An object that still sits as a
+  /// single extent at its construction-time home has its (osd, lpn, pages)
+  /// cached here, indexed by dense object id -- the simulator's execute()
+  /// resolves such I/O with one array load instead of a hash probe into the
+  /// per-OSD extent store.  pages == 0 means "no fast path, ask the store".
+  ///
+  /// Safety rule: an entry is only honoured when the request targets
+  /// fe.osd, and every path that removes the home copy (migration
+  /// completion, rebuild commit/teardown) clears the entry, so a stale
+  /// entry can never be consulted for a device that no longer holds the
+  /// data.
+  struct FastExtent {
+    OsdId osd = 0;
+    Lpn first = 0;
+    std::uint32_t pages = 0;  // 0 => fall back to the extent store
+  };
+  const FastExtent& fast_extent(ObjectId oid) const { return fast_[oid]; }
 
   std::uint32_t object_pages(ObjectId oid) const;
 
@@ -176,9 +208,18 @@ class Cluster {
   /// Marks an OSD failed: its data becomes inaccessible.  Reads of its
   /// objects are transparently reconstructed from RAID-5 peers by
   /// map_request (k-1 sibling reads); writes to it are lost until rebuild.
-  void fail_osd(OsdId id) { osds_[id].set_failed(true); }
+  void fail_osd(OsdId id) {
+    if (!osds_[id].failed()) {
+      osds_[id].set_failed(true);
+      ++num_failed_;
+    }
+  }
   bool osd_failed(OsdId id) const { return osds_[id].failed(); }
-  std::uint32_t failed_count() const;
+  /// True while at least one OSD is failed.  Hot paths (map_request, the
+  /// dispatch loop) test this O(1) flag before paying a per-request load
+  /// of the target Osd's failed bit -- healthy runs never touch it.
+  bool any_failed() const { return num_failed_ != 0; }
+  std::uint32_t failed_count() const { return num_failed_; }
 
   /// Files with two or more objects on failed OSDs are unreconstructable
   /// (RAID-5 tolerates one lost member per stripe).  With intra-group
@@ -270,9 +311,25 @@ class Cluster {
   Raid5Layout layout_;
   std::vector<Osd> osds_;
   std::vector<std::uint64_t> file_bytes_;
+  // Object ids are dense (file * k + index with dense file ids), so the
+  // default placement is precomputed once: locate() on the hot dispatch
+  // path becomes one array load instead of three integer divisions
+  // (file_of, index_of, and the placement hash).
+  std::vector<OsdId> default_home_;
+  // Fast-path table (see fast_extent()).  Entries are dropped -- never
+  // re-established -- once an object's home copy moves or fragments;
+  // migrated objects are a small fraction of the population, so the replay
+  // hot path keeps the O(1) resolution for nearly all I/O.
+  std::vector<FastExtent> fast_;
+  void drop_fast_extent(ObjectId oid) { fast_[oid].pages = 0; }
+  // log2(page_size) when the page size is a power of two (every stock
+  // config), letting map_request turn byte->page divisions into shifts;
+  // -1 falls back to division.
+  int page_shift_ = -1;
   RemapTable remap_;
   std::unordered_map<ObjectId, Move> in_flight_;
   std::uint64_t migrations_completed_ = 0;
+  std::uint32_t num_failed_ = 0;  // maintained by fail_osd/finish_rebuild
 
   // Degraded-mode counters; mutable because map_request is logically const
   // (placement does not change) but must account reconstruction traffic.

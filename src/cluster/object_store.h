@@ -4,11 +4,13 @@
 // (migration churn fragments the log over long runs).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "util/flat_map.h"
 #include "util/types.h"
 
 namespace edm::cluster {
@@ -22,6 +24,13 @@ class ObjectStore {
  public:
   explicit ObjectStore(std::uint64_t logical_pages);
 
+  // Copies rebuild the lookup index (it holds pointers into objects_'s
+  // nodes); moves keep it (node-based maps keep their nodes when moved).
+  ObjectStore(const ObjectStore& other);
+  ObjectStore& operator=(const ObjectStore& other);
+  ObjectStore(ObjectStore&&) = default;
+  ObjectStore& operator=(ObjectStore&&) = default;
+
   /// Allocates `pages` for `oid`.  Returns false (no state change) when the
   /// device lacks space or the object already exists.
   bool create(ObjectId oid, std::uint32_t pages);
@@ -30,7 +39,7 @@ class ObjectStore {
   /// can trim the underlying flash pages.  Empty when unknown.
   std::vector<Extent> remove(ObjectId oid);
 
-  bool contains(ObjectId oid) const { return objects_.count(oid) != 0; }
+  bool contains(ObjectId oid) const { return index_.contains(oid); }
 
   /// Size in pages; 0 for unknown objects.
   std::uint32_t object_pages(ObjectId oid) const;
@@ -41,6 +50,27 @@ class ObjectStore {
   /// Clamps to the object end; returns the mapped extents in order.
   std::vector<Extent> map_range(ObjectId oid, std::uint32_t first_page,
                                 std::uint32_t pages) const;
+
+  /// Allocation-free variant for hot paths: clears `out` and fills it with
+  /// the mapped extents, reusing its capacity across calls.  Defined inline
+  /// -- it runs once per sub-request the simulator dispatches and the
+  /// single-extent fast path folds into the caller.
+  void map_range(ObjectId oid, std::uint32_t first_page, std::uint32_t pages,
+                 std::vector<Extent>& out) const {
+    out.clear();
+    const LookupEntry* ent = index_.find(oid);
+    if (ent == nullptr || pages == 0) return;
+    if (ent->single.pages != 0) {
+      // Single-extent object (the common case): pure arithmetic, no second
+      // memory indirection.
+      const Extent& e = ent->single;
+      if (first_page >= e.pages) return;  // clamped: starts past the end
+      out.push_back({e.first + first_page,
+                     std::min(pages, e.pages - first_page)});
+      return;
+    }
+    map_range_slow(*ent, first_page, pages, out);
+  }
 
   std::uint64_t allocated_pages() const { return allocated_pages_; }
   std::uint64_t capacity_pages() const { return capacity_pages_; }
@@ -68,10 +98,32 @@ class ObjectStore {
   bool check_invariants() const;
 
  private:
+  /// Flat-index entry: the single-extent case (all but churn-fragmented
+  /// objects) is inlined so map_range() resolves without dereferencing
+  /// the extents vector.  `single.pages != 0` marks the inline case
+  /// (extents are never empty); `all` always points at the full list.
+  struct LookupEntry {
+    Extent single{};
+    const std::vector<Extent>* all = nullptr;
+  };
+
+  void rebuild_index();
+  void map_range_slow(const LookupEntry& ent, std::uint32_t first_page,
+                      std::uint32_t pages, std::vector<Extent>& out) const;
+
   std::uint64_t capacity_pages_;
   std::uint64_t allocated_pages_ = 0;
   std::vector<Extent> free_list_;  // sorted by first page, coalesced
+
+  // objects_ stays a node-based unordered_map: populate_all() and the
+  // warm-up replay iterate it, and their (hash-order) visit sequence is
+  // pinned by the digest fixtures -- do not change the container.  Point
+  // lookups instead go through index_, a flat open-addressing mirror,
+  // because map_range() runs once per sub-request the simulator
+  // dispatches.  Node pointers are stable across rehash and map move, so
+  // the two structures only change together in create()/remove().
   std::unordered_map<ObjectId, std::vector<Extent>> objects_;
+  util::FlatMap64<LookupEntry> index_;
 };
 
 }  // namespace edm::cluster

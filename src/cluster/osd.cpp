@@ -18,7 +18,8 @@ void Osd::remove_object(ObjectId oid) {
 SimDuration Osd::read(ObjectId oid, std::uint32_t first_page,
                       std::uint32_t pages) {
   SimDuration total = 0;
-  for (const Extent& e : store_.map_range(oid, first_page, pages)) {
+  store_.map_range(oid, first_page, pages, extent_scratch_);
+  for (const Extent& e : extent_scratch_) {
     total += ssd_.read_range(e.first, e.pages);
   }
   return total;
@@ -27,7 +28,8 @@ SimDuration Osd::read(ObjectId oid, std::uint32_t first_page,
 SimDuration Osd::write(ObjectId oid, std::uint32_t first_page,
                        std::uint32_t pages) {
   SimDuration total = 0;
-  for (const Extent& e : store_.map_range(oid, first_page, pages)) {
+  store_.map_range(oid, first_page, pages, extent_scratch_);
+  for (const Extent& e : extent_scratch_) {
     total += ssd_.write_range(e.first, e.pages);
   }
   return total;

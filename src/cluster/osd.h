@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "cluster/object_store.h"
 #include "flash/config.h"
@@ -70,6 +71,10 @@ class Osd {
   flash::Ssd ssd_;
   ObjectStore store_;
   bool failed_ = false;
+  // map_range output reused across read()/write() calls (per-I/O hot path;
+  // nearly always 1 extent, but the vector would otherwise allocate each
+  // call).  Safe because the device serves one request at a time.
+  std::vector<Extent> extent_scratch_;
 };
 
 }  // namespace edm::cluster

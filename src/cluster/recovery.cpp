@@ -23,12 +23,6 @@
 
 namespace edm::cluster {
 
-std::uint32_t Cluster::failed_count() const {
-  std::uint32_t count = 0;
-  for (const auto& osd : osds_) count += osd.failed() ? 1 : 0;
-  return count;
-}
-
 std::uint64_t Cluster::count_unavailable_files() const {
   std::uint64_t unavailable = 0;
   for (FileId f = 0; f < file_bytes_.size(); ++f) {
@@ -98,6 +92,7 @@ void Cluster::commit_object_rebuild(OsdId dead, ObjectId oid, OsdId dst) {
   remap_.set(oid, dst, default_home);
   remap_.count_update();
   if (osds_[dead].has_object(oid)) osds_[dead].remove_object(oid);
+  drop_fast_extent(oid);  // the surviving copy is the rebuilt one on dst
   if (tel_rebuild_commits_ != nullptr) tel_rebuild_commits_->inc();
 }
 
@@ -107,8 +102,13 @@ void Cluster::finish_rebuild(OsdId dead) {
   Osd& device = osds_[dead];
   for (const ObjectId oid : failed_objects(dead)) {
     device.remove_object(oid);
+    drop_fast_extent(oid);  // lost objects must not fast-path to the
+                            // wiped device once it rejoins healthy
   }
-  device.set_failed(false);
+  if (device.failed()) {
+    device.set_failed(false);
+    --num_failed_;
+  }
 }
 
 Cluster::RebuildStats Cluster::rebuild_osd(OsdId dead) {

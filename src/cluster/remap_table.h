@@ -6,8 +6,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 
+#include "util/flat_map.h"
 #include "util/types.h"
 
 namespace edm::cluster {
@@ -16,12 +17,12 @@ class RemapTable {
  public:
   /// Current location override for `oid`, if remapped.
   std::optional<OsdId> lookup(ObjectId oid) const {
-    auto it = table_.find(oid);
-    if (it == table_.end()) return std::nullopt;
-    return it->second;
+    const OsdId* osd = table_.find(oid);
+    if (osd == nullptr) return std::nullopt;
+    return *osd;
   }
 
-  bool contains(ObjectId oid) const { return table_.count(oid) != 0; }
+  bool contains(ObjectId oid) const { return table_.contains(oid); }
 
   /// Points `oid` at `osd`.  When `osd` equals the object's default home
   /// the entry is dropped instead (the object is back where the hash says).
@@ -34,18 +35,22 @@ class RemapTable {
   }
 
   std::size_t size() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
 
   /// Lifetime count of entry insert/update operations (growth-rate metric).
   std::uint64_t updates() const { return updates_; }
   void count_update() { ++updates_; }
 
+  /// Visits entries in unspecified (hash) order; callers sort if they care.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [oid, osd] : table_) fn(oid, osd);
+    table_.for_each(std::forward<Fn>(fn));
   }
 
  private:
-  std::unordered_map<ObjectId, OsdId> table_;
+  // Flat open-addressing map: lookup() sits on Cluster::locate, which runs
+  // for every sub-request the simulator dispatches.
+  util::FlatMap64<OsdId> table_;
   std::uint64_t updates_ = 0;
 };
 

@@ -1,7 +1,6 @@
 #include "core/temperature.h"
 
 #include <algorithm>
-#include <vector>
 
 namespace edm::core {
 
@@ -15,39 +14,33 @@ void TemperatureTracker::record(ObjectId oid, double amount) {
 }
 
 double TemperatureTracker::temperature(ObjectId oid) const {
-  auto it = map_.find(oid);
-  if (it == map_.end()) return 0.0;
-  return decayed(it->second, epoch_);
+  const Entry* e = map_.find(oid);
+  if (e == nullptr) return 0.0;
+  return decayed(*e, epoch_);
 }
 
 void TemperatureTracker::enforce_capacity(std::size_t max_entries) {
   if (max_entries == 0 || map_.size() <= max_entries) return;
   // Select the temperature threshold that keeps max_entries entries.
-  std::vector<double> temps;
-  temps.reserve(map_.size());
-  for (const auto& [oid, e] : map_) temps.push_back(decayed(e, epoch_));
+  temps_scratch_.clear();
+  temps_scratch_.reserve(map_.size());
+  map_.for_each([&](std::uint64_t, const Entry& e) {
+    temps_scratch_.push_back(decayed(e, epoch_));
+  });
   const std::size_t keep = max_entries;
-  std::nth_element(temps.begin(), temps.end() - keep, temps.end());
-  const double threshold = *(temps.end() - keep);
+  std::nth_element(temps_scratch_.begin(), temps_scratch_.end() - keep,
+                   temps_scratch_.end());
+  const double threshold = *(temps_scratch_.end() - keep);
   // Evict strictly-colder entries; ties survive (slight overshoot is fine,
   // the next epoch will shed them once they decay).
-  for (auto it = map_.begin(); it != map_.end();) {
-    if (decayed(it->second, epoch_) < threshold) {
-      it = map_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  map_.erase_if([&](std::uint64_t, const Entry& e) {
+    return decayed(e, epoch_) < threshold;
+  });
 }
 
 void TemperatureTracker::evict_below(double floor) {
-  for (auto it = map_.begin(); it != map_.end();) {
-    if (decayed(it->second, epoch_) < floor) {
-      it = map_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  map_.erase_if(
+      [&](std::uint64_t, const Entry& e) { return decayed(e, epoch_) < floor; });
 }
 
 }  // namespace edm::core

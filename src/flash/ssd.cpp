@@ -35,34 +35,36 @@ SimDuration Ssd::read(Lpn lpn) {
   return config_.page_read_us;
 }
 
-SimDuration Ssd::write(Lpn lpn) {
-  assert(lpn < l2p_.size());
-  SimDuration elapsed = 0;
-  if (free_blocks_.size() < config_.gc_low_water) {
-    const std::uint64_t moves_before = stats_.gc_page_moves;
-    const std::uint64_t erases_before = stats_.erase_count;
-    const SimDuration gc_us = collect_garbage();
-    elapsed += gc_us;
-    if (tel_ != nullptr && gc_us > 0) {
-      if (auto* tracer = tel_->tracer()) {
-        // The stall is charged to the host write at the recorder's current
-        // DES time; the span covers the device-time the GC consumed.
-        tracer->complete(telemetry::Category::kGc, "gc",
-                         telemetry::track_osd(tel_device_), tel_->now(),
-                         gc_us, "page_moves",
-                         static_cast<double>(stats_.gc_page_moves -
-                                             moves_before),
-                         "erases",
-                         static_cast<double>(stats_.erase_count -
-                                             erases_before));
-      }
-      if (tel_gc_runs_ != nullptr) {
-        tel_gc_runs_->inc();
-        tel_gc_page_moves_->add(stats_.gc_page_moves - moves_before);
-        tel_gc_stall_us_->add(gc_us);
-      }
+SimDuration Ssd::maybe_collect_for_write() {
+  if (free_blocks_.size() >= config_.gc_low_water) return 0;
+  const std::uint64_t moves_before = stats_.gc_page_moves;
+  const std::uint64_t erases_before = stats_.erase_count;
+  const SimDuration gc_us = collect_garbage();
+  if (tel_ != nullptr && gc_us > 0) {
+    if (auto* tracer = tel_->tracer()) {
+      // The stall is charged to the host write at the recorder's current
+      // DES time; the span covers the device-time the GC consumed.
+      tracer->complete(telemetry::Category::kGc, "gc",
+                       telemetry::track_osd(tel_device_), tel_->now(),
+                       gc_us, "page_moves",
+                       static_cast<double>(stats_.gc_page_moves -
+                                           moves_before),
+                       "erases",
+                       static_cast<double>(stats_.erase_count -
+                                           erases_before));
+    }
+    if (tel_gc_runs_ != nullptr) {
+      tel_gc_runs_->inc();
+      tel_gc_page_moves_->add(stats_.gc_page_moves - moves_before);
+      tel_gc_stall_us_->add(gc_us);
     }
   }
+  return gc_us;
+}
+
+SimDuration Ssd::write(Lpn lpn) {
+  assert(lpn < l2p_.size());
+  SimDuration elapsed = maybe_collect_for_write();
   invalidate(lpn);
   append_page(lpn);
   ++stats_.host_page_writes;
@@ -81,15 +83,59 @@ SimDuration Ssd::trim(Lpn lpn) {
 }
 
 SimDuration Ssd::read_range(Lpn first, std::uint32_t pages) {
-  SimDuration total = 0;
-  for (std::uint32_t i = 0; i < pages; ++i) total += read(first + i);
+  // Reads never mutate the mapping, so the per-page loop folds into pure
+  // arithmetic: `pages` reads cost exactly pages * page_read_us of device
+  // time regardless of mapping state.
+  assert(pages == 0 || static_cast<std::size_t>(first) + pages <= l2p_.size());
+  stats_.host_page_reads += pages;
+  const SimDuration total =
+      static_cast<SimDuration>(config_.page_read_us) * pages;
+  stats_.busy_time_us += total;
   return channel_adjusted(total, pages, config_.page_read_us);
 }
 
 SimDuration Ssd::write_range(Lpn first, std::uint32_t pages) {
-  SimDuration total = 0;
-  for (std::uint32_t i = 0; i < pages; ++i) total += write(first + i);
-  return channel_adjusted(total, pages, config_.page_write_us);
+  assert(pages == 0 || static_cast<std::size_t>(first) + pages <= l2p_.size());
+  // Equivalent to `pages` calls of write(), with two loop-level savings:
+  // the GC low-water check is hoisted over stretches the free pool provably
+  // covers, and the service-time/stat accumulation happens once per range.
+  // GC trigger points -- and therefore every victim choice, relocation and
+  // telemetry span -- are identical to the per-page path: a stretch is only
+  // entered when the pool cannot cross the low-water mark inside it.
+  SimDuration gc_total = 0;
+  std::uint32_t done = 0;
+  while (done < pages) {
+    const std::size_t pool = free_blocks_.size();
+    const std::size_t spare =
+        pool > config_.gc_low_water ? pool - config_.gc_low_water : 0;
+    // k appends pop at most floor(k / pages_per_block) + 1 free blocks, so
+    // spare * pages_per_block - 1 pages cannot drain the pool below the
+    // low-water mark.
+    const std::uint64_t safe =
+        spare > 0 ? spare * static_cast<std::uint64_t>(
+                                config_.pages_per_block) -
+                        1
+                  : 0;
+    if (safe == 0) {
+      gc_total += maybe_collect_for_write();
+      invalidate(first + done);
+      append_page(first + done);
+      ++done;
+      continue;
+    }
+    const std::uint32_t stretch = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(safe, pages - done));
+    for (std::uint32_t i = 0; i < stretch; ++i) {
+      invalidate(first + done + i);
+      append_page(first + done + i);
+    }
+    done += stretch;
+  }
+  stats_.host_page_writes += pages;
+  const SimDuration write_us =
+      static_cast<SimDuration>(config_.page_write_us) * pages;
+  stats_.busy_time_us += write_us;
+  return channel_adjusted(gc_total + write_us, pages, config_.page_write_us);
 }
 
 SimDuration Ssd::channel_adjusted(SimDuration serial_total,
@@ -106,9 +152,17 @@ SimDuration Ssd::channel_adjusted(SimDuration serial_total,
 }
 
 SimDuration Ssd::trim_range(Lpn first, std::uint32_t pages) {
-  SimDuration total = 0;
-  for (std::uint32_t i = 0; i < pages; ++i) total += trim(first + i);
-  return total;
+  assert(pages == 0 || static_cast<std::size_t>(first) + pages <= l2p_.size());
+  std::uint64_t trimmed = 0;
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    const Lpn lpn = first + i;
+    if (l2p_[lpn] != kUnmapped) {
+      invalidate(lpn);
+      ++trimmed;
+    }
+  }
+  stats_.trimmed_pages += trimmed;
+  return 0;
 }
 
 double Ssd::physical_utilization() const {

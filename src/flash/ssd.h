@@ -15,6 +15,9 @@
 //
 // All operations return their service time so a discrete-event layer can
 // queue them; the device itself is passive (no internal clock).
+//
+// Thread-safety: none -- each Ssd belongs to one Osd and is driven by one
+// Simulator thread; concurrent runs get disjoint devices.
 #pragma once
 
 #include <cstdint>
@@ -48,7 +51,13 @@ class Ssd {
   /// operation (zero device time), like an ATA TRIM.
   SimDuration trim(Lpn lpn);
 
-  /// Range helpers; durations accumulate per page.
+  /// Range fast paths, behaviourally identical to calling the per-page
+  /// operation `pages` times (same GC trigger points, same mapping state,
+  /// same stats) but with the bookkeeping batched: reads fold into pure
+  /// arithmetic, and writes hoist the GC low-water check over stretches the
+  /// free pool provably covers (docs/internals/flash.md).  Multi-channel
+  /// configs overlap the transfer component across channels; GC stalls stay
+  /// serial.
   SimDuration read_range(Lpn first, std::uint32_t pages);
   SimDuration write_range(Lpn first, std::uint32_t pages);
   SimDuration trim_range(Lpn first, std::uint32_t pages);
@@ -126,6 +135,10 @@ class Ssd {
   /// Runs GC until the free pool is back above the low-water mark.
   /// Returns the time spent (valid-page relocations + erases).
   SimDuration collect_garbage();
+
+  /// The low-water check + GC + GC telemetry that precedes a host write.
+  /// Returns the stall charged to that write (0 when the pool is fine).
+  SimDuration maybe_collect_for_write();
 
   /// Victim choice under the configured policy; -1 when no candidate.
   std::int64_t pick_victim();

@@ -1,6 +1,7 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "cluster/cluster.h"
@@ -43,6 +44,7 @@ namespace {
 
 RunResult run_cell(const ExperimentConfig& raw, const trace::Trace& trace) {
   const ExperimentConfig cfg = finalize(raw);
+  const auto setup_start = std::chrono::steady_clock::now();
 
   cluster::ClusterConfig ccfg;
   ccfg.num_osds = cfg.num_osds;
@@ -70,7 +72,13 @@ RunResult run_cell(const ExperimentConfig& raw, const trace::Trace& trace) {
     sim_cfg.recorder = recorder.get();
   }
   Simulator simulator(sim_cfg, cluster, trace, policy.get());
+  const auto replay_start = std::chrono::steady_clock::now();
   RunResult result = simulator.run();
+  const auto replay_end = std::chrono::steady_clock::now();
+  result.perf.setup_wall_s =
+      std::chrono::duration<double>(replay_start - setup_start).count();
+  result.perf.replay_wall_s =
+      std::chrono::duration<double>(replay_end - replay_start).count();
   result.telemetry = std::move(recorder);
   return result;
 }

@@ -74,6 +74,17 @@ struct FaultMetrics {
   SimTime rebuild_finished_at = 0;
 };
 
+/// Event-loop and wall-clock measurements for the continuous-benchmark
+/// harness (bench/perf_baseline, docs/PERFORMANCE.md).  events_processed
+/// is deterministic (it counts DES events popped); the wall-clock fields
+/// are not, so none of this is ever serialised by write_json /
+/// write_sweep_json -- report bytes stay machine-independent.
+struct PerfMetrics {
+  std::uint64_t events_processed = 0;
+  double setup_wall_s = 0.0;   // cluster build + populate + GC warm-up
+  double replay_wall_s = 0.0;  // Simulator::run() wall time
+};
+
 struct RunResult {
   std::string trace_name;
   std::string policy_name;
@@ -106,6 +117,9 @@ struct RunResult {
   // --- failure injection (SIII.D experiments) ---
   DegradedMetrics degraded;
   FaultMetrics faults;
+
+  // --- benchmark-harness measurements (never serialised) ---
+  PerfMetrics perf;
 
   // --- telemetry (null when the run had none enabled) ---
   // Shared so cheap RunResult copies in the bench/report layers don't

@@ -57,6 +57,10 @@ Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
       policy_(policy),
       tracker_(config.temperature_cache_entries) {
   cfg_.validate(cluster_.num_osds());
+  // Object ids are dense; pre-size the temperature table so the replay
+  // loop never grows it.
+  tracker_.reserve_dense(cluster_.object_count());
+  window_end_ = cfg_.response_window_us;
   if (!cfg_.faults.empty()) {
     injector_ =
         std::make_unique<FaultInjector>(cfg_.faults, cluster_.num_osds());
@@ -71,7 +75,8 @@ Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
   // evenly assigned to each client").
   clients_.resize(cfg_.num_clients);
   for (std::uint32_t r = 0; r < trace_.records.size(); ++r) {
-    clients_[trace_.records[r].client % cfg_.num_clients].records.push_back(r);
+    clients_[trace_.records[r].client % cfg_.num_clients].records.push_back(
+        trace_.records[r]);
   }
   lanes_.resize(cfg_.mover_concurrency);
   if (cfg_.adaptive_sigma && policy_ != nullptr) {
@@ -145,12 +150,14 @@ RunResult Simulator::run() {
   }
   schedule_next_fault();
 
+  std::uint64_t events_processed = 0;
   while (!events_.empty()) {
     const Event e = events_.pop();
+    ++events_processed;
     // The recorder's clock shadows the DES clock so passive layers (flash,
     // cluster, policies) can timestamp without being handed `now`.
     if (tel_ != nullptr) tel_->set_now(e.time);
-    switch (e.kind) {
+    switch (e.kind()) {
       case EventKind::kOsdComplete:
         on_osd_complete(static_cast<OsdId>(e.payload), e.time);
         break;
@@ -201,6 +208,7 @@ RunResult Simulator::run() {
   out.num_osds = cluster_.num_osds();
   out.completed_ops = completed_ops_;
   out.makespan_us = last_completion_;
+  out.perf.events_processed = events_processed;
   out.total_objects = cluster_.object_count();
 
   out.per_osd.resize(servers_.size());
@@ -259,11 +267,15 @@ void Simulator::fill_client_window(std::uint16_t client_id, SimTime now) {
   Client& c = clients_[client_id];
   while (c.in_flight < cfg_.client_queue_depth &&
          c.cursor < c.records.size()) {
-    const trace::Record& rec = trace_.records[c.records[c.cursor]];
+    const trace::Record& rec = c.records[c.cursor];
     ++c.cursor;
     ++issued_records_;
-    maybe_trigger_midpoint(now);
-    maybe_inject_failure(now);
+    // Guard the one-shot hooks at the call site: both are no-ops for the
+    // whole run in most configurations, and this loop runs per record.
+    if (cfg_.trigger == MigrationTrigger::kForcedMidpoint && !midpoint_fired_) {
+      maybe_trigger_midpoint(now);
+    }
+    if (cfg_.fail_osd >= 0 && !failure_injected_) maybe_inject_failure(now);
 
     io_scratch_.clear();
     cluster_.map_request(rec, io_scratch_);
@@ -291,7 +303,19 @@ void Simulator::fill_client_window(std::uint16_t client_id, SimTime now) {
 
 void Simulator::enqueue(SubRequest req, SimTime now) {
   const OsdId osd = req.io.osd;
-  servers_[osd].queue.push_back(std::move(req));
+  OsdServer& s = servers_[osd];
+  if (!s.busy && s.queue.empty()) {
+    // Idle server, empty queue: dispatch() would pop this request right
+    // back off, so skip the queue round-trip.  process_one applies the
+    // exact same park/redirect/degraded checks either way.
+    process_one(std::move(req), osd, now);
+    if (s.busy || s.queue.empty()) return;
+    // process_one left the server idle but something landed on its queue
+    // (reentrant enqueue): fall through and drain, as dispatch() always
+    // did when enqueue unconditionally routed through it.
+  } else {
+    s.queue.push_back(std::move(req));
+  }
   dispatch(osd, now);
 }
 
@@ -300,48 +324,73 @@ void Simulator::dispatch(OsdId osd, SimTime now) {
   while (!s.busy && !s.queue.empty()) {
     SubRequest req = std::move(s.queue.front());
     s.queue.pop_front();
-    if (stale(req)) continue;  // lane aborted while the chunk was queued
-    if (req.kind == SubRequest::Kind::kClient &&
-        blocked_.count(req.io.oid) != 0) {
-      // Foreground access to an object being moved by a blocking policy:
-      // park until the move completes (paper SV.D).
-      parked_[req.io.oid].push_back(std::move(req));
-      continue;
-    }
-    // Mover chunks deliberately address the migration endpoints and
-    // rebuild writes the reserved destination, so only client traffic and
-    // rebuild peer *reads* follow an object that moved while queued.
-    const bool follows_object =
-        req.kind == SubRequest::Kind::kClient ||
-        (req.kind == SubRequest::Kind::kRebuild && !req.io.is_write);
-    if (follows_object) {
-      // The object may have migrated while this request sat in the queue
-      // (non-blocking CDF moves).  The MDS redirects it to the object's
-      // current OSD rather than dropping it on the floor.
-      const OsdId current = cluster_.locate(req.io.oid);
-      if (current != osd) {
-        req.io.osd = current;
-        servers_[current].queue.push_back(std::move(req));
-        dispatch(current, now);
-        continue;
-      }
-    }
-    if (req.kind == SubRequest::Kind::kClient && cluster_.osd_failed(osd)) {
-      // The device died while this request waited (or a retry/redirect
-      // landed on it after the failure): resolve through the degraded
-      // path instead of silently dropping it.
-      resolve_degraded_client(std::move(req), now);
-      continue;
-    }
-    const SimDuration service = cfg_.request_overhead_us + execute(req.io);
-    s.busy = true;
-    s.busy_us += service;
-    s.current = std::move(req);
-    events_.push(now + service, EventKind::kOsdComplete, osd);
+    process_one(std::move(req), osd, now);
   }
 }
 
+/// One request at the head of `osd`'s line: parked, redirected, resolved
+/// degraded, dropped stale, or put into service (sets busy).  Shared by
+/// dispatch() and enqueue()'s idle-server fast path -- the checks must be
+/// identical on both routes.
+void Simulator::process_one(SubRequest req, OsdId osd, SimTime now) {
+  OsdServer& s = servers_[osd];
+  if (stale(req)) return;  // lane aborted while the chunk was queued
+  // blocked_ is non-empty only while a blocking-mode policy has a move
+  // in flight; skip the per-request hash probe the rest of the time.
+  if (req.kind == SubRequest::Kind::kClient && !blocked_.empty() &&
+      blocked_.count(req.io.oid) != 0) {
+    // Foreground access to an object being moved by a blocking policy:
+    // park until the move completes (paper SV.D).
+    parked_[req.io.oid].push_back(std::move(req));
+    return;
+  }
+  // Mover chunks deliberately address the migration endpoints and
+  // rebuild writes the reserved destination, so only client traffic and
+  // rebuild peer *reads* follow an object that moved while queued.
+  const bool follows_object =
+      req.kind == SubRequest::Kind::kClient ||
+      (req.kind == SubRequest::Kind::kRebuild && !req.io.is_write);
+  if (follows_object) {
+    // The object may have migrated while this request sat in the queue
+    // (non-blocking CDF moves).  The MDS redirects it to the object's
+    // current OSD rather than dropping it on the floor.
+    const OsdId current = cluster_.locate(req.io.oid);
+    if (current != osd) {
+      req.io.osd = current;
+      enqueue(std::move(req), now);
+      return;
+    }
+  }
+  if (req.kind == SubRequest::Kind::kClient && cluster_.any_failed() &&
+      cluster_.osd_failed(osd)) {
+    // The device died while this request waited (or a retry/redirect
+    // landed on it after the failure): resolve through the degraded
+    // path instead of silently dropping it.
+    resolve_degraded_client(std::move(req), now);
+    return;
+  }
+  const SimDuration service = cfg_.request_overhead_us + execute(req.io);
+  s.busy = true;
+  s.busy_us += service;
+  s.current = std::move(req);
+  events_.push(now + service, EventKind::kOsdComplete, osd);
+}
+
 SimDuration Simulator::execute(const cluster::OsdIo& io) {
+  // Fast path: the object still sits as one extent at its original home
+  // and this I/O targets that device -- resolve the lpn range with a
+  // single table load instead of probing the OSD's extent store.  The
+  // osd-match guard makes stale entries harmless: migration/rebuild I/O
+  // addressed at other replicas simply falls through to the store, which
+  // is the ground truth.  Clamping mirrors ObjectStore::map_range.
+  const cluster::Cluster::FastExtent& fe = cluster_.fast_extent(io.oid);
+  if (fe.pages != 0 && fe.osd == io.osd) {
+    if (io.first_page >= fe.pages || io.pages == 0) return 0;
+    const std::uint32_t n = std::min(io.pages, fe.pages - io.first_page);
+    flash::Ssd& ssd = cluster_.osd(io.osd).ssd();
+    return io.is_write ? ssd.write_range(fe.first + io.first_page, n)
+                       : ssd.read_range(fe.first + io.first_page, n);
+  }
   cluster::Osd& osd = cluster_.osd(io.osd);
   return io.is_write ? osd.write(io.oid, io.first_page, io.pages)
                      : osd.read(io.oid, io.first_page, io.pages);
@@ -487,8 +536,12 @@ void Simulator::apply_fail(OsdId id, SimTime now) {
   // requests re-resolve through the degraded path, mover/rebuild chunks
   // die with their lane (aborted below, which makes them stale).
   OsdServer& s = servers_[id];
-  std::deque<SubRequest> drained;
-  drained.swap(s.queue);
+  std::vector<SubRequest> drained;
+  drained.reserve(s.queue.size());
+  while (!s.queue.empty()) {
+    drained.push_back(std::move(s.queue.front()));
+    s.queue.pop_front();
+  }
   for (SubRequest& req : drained) {
     if (req.kind == SubRequest::Kind::kClient) {
       ++faults_.requeued_on_failure;
@@ -1032,8 +1085,21 @@ void Simulator::record_response(SimTime now, SimDuration response_us) {
     tel_ops_completed_->inc();
     tel_response_hist_->observe(static_cast<std::uint64_t>(response_us));
   }
-  const std::size_t window =
-      static_cast<std::size_t>(now / cfg_.response_window_us);
+  // Completions arrive in event-time order, so the window index advances
+  // incrementally -- no per-op division.  The rare non-monotonic caller
+  // (none today) would fall back to the exact division.
+  std::size_t window;
+  if (now >= window_end_) {
+    do {
+      ++cur_window_;
+      window_end_ += cfg_.response_window_us;
+    } while (now >= window_end_);
+    window = cur_window_;
+  } else if (now + cfg_.response_window_us >= window_end_) {
+    window = cur_window_;
+  } else {
+    window = static_cast<std::size_t>(now / cfg_.response_window_us);
+  }
   if (window >= window_count_.size()) {
     window_count_.resize(window + 1, 0);
     window_sum_us_.resize(window + 1, 0.0);

@@ -38,6 +38,7 @@
 #include "sim/retry_policy.h"
 #include "trace/record.h"
 #include "util/ewma.h"
+#include "util/ring_queue.h"
 #include "util/types.h"
 
 namespace edm::telemetry {
@@ -181,7 +182,9 @@ class Simulator {
   };
 
   struct OsdServer {
-    std::deque<SubRequest> queue;
+    // Ring, not deque: this queue breathes on every dispatch, and deque
+    // chunk churn was measurable in the replay profile.
+    util::RingQueue<SubRequest> queue;
     bool busy = false;
     SubRequest current;
     util::Ewma load;
@@ -191,7 +194,12 @@ class Simulator {
   };
 
   struct Client {
-    std::vector<std::uint32_t> records;  // indices into trace records
+    // This lane's records, copied contiguously at construction: the replay
+    // loop walks them sequentially, and chasing indices back into the
+    // client-interleaved global trace array would cost a cache miss per
+    // record (Record is 24 bytes; the interleave stride is ~num_clients
+    // lines apart).
+    std::vector<trace::Record> records;
     std::size_t cursor = 0;
     std::uint32_t in_flight = 0;  // ops currently outstanding
     bool done = false;
@@ -234,6 +242,7 @@ class Simulator {
   // --- OSD service ---
   void enqueue(SubRequest req, SimTime now);
   void dispatch(OsdId osd, SimTime now);
+  void process_one(SubRequest req, OsdId osd, SimTime now);
   void on_osd_complete(OsdId osd, SimTime now);
   SimDuration execute(const cluster::OsdIo& io);
   /// True when a mover/rebuild sub-request belongs to an aborted lane
@@ -325,6 +334,11 @@ class Simulator {
   // response-time accounting
   std::vector<std::uint64_t> window_count_;
   std::vector<double> window_sum_us_;
+  // Incremental response-window cursor (completions arrive in event-time
+  // order, so record_response never divides).  window_end_ is the
+  // exclusive end of cur_window_; set from cfg_ at construction.
+  std::size_t cur_window_ = 0;
+  SimTime window_end_ = 0;
   util::StreamingStats response_stats_;
   util::LogHistogram response_hist_;
 

@@ -1,0 +1,178 @@
+// Open-addressing hash map from 64-bit keys to small trivially-movable
+// values, used on simulator hot paths (object temperatures, the remap
+// table) where std::unordered_map's node-per-entry layout costs a cache
+// miss per lookup.
+//
+// Design: linear probing over a power-of-two slot array, splitmix64
+// finalizer as the hash (object ids are dense small integers; the
+// finalizer scatters them), growth at 7/8 load, and backward-shift
+// deletion so probe chains stay gap-free without tombstones.
+//
+// Iteration order is the probe-table order -- it changes across inserts,
+// erases and rehashes, and differs from std::unordered_map.  Callers must
+// be order-independent (the replay-determinism rule: anything that feeds
+// flash writes or report output must sort first).  erase_if collects keys
+// before erasing because a backward shift can move a not-yet-visited
+// entry into an already-scanned slot.
+//
+// Thread-safety: none -- confine each map to one thread, like the
+// simulator state it belongs to.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace edm::util {
+
+template <typename Value>
+class FlatMap64 {
+ public:
+  FlatMap64() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Drops all entries but keeps the allocated capacity.
+  void clear() {
+    for (Slot& s : slots_) s.used = 0;
+    size_ = 0;
+  }
+
+  /// Grows the table so `n` entries fit without rehashing.
+  void reserve(std::size_t n) {
+    std::size_t cap = slots_.empty() ? kMinCapacity : slots_.size();
+    while (cap * 7 < n * 8) cap *= 2;
+    if (cap != slots_.size()) rehash(cap);
+  }
+
+  /// Returns the value for `key`, default-constructing it if absent.
+  Value& operator[](std::uint64_t key) {
+    if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7) {
+      rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    std::size_t i = index_of(key);
+    while (slots_[i].used) {
+      if (slots_[i].key == key) return slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    slots_[i].used = 1;
+    slots_[i].key = key;
+    slots_[i].value = Value{};
+    ++size_;
+    return slots_[i].value;
+  }
+
+  Value* find(std::uint64_t key) {
+    const std::size_t i = find_slot(key);
+    return i == kNoSlot ? nullptr : &slots_[i].value;
+  }
+  const Value* find(std::uint64_t key) const {
+    const std::size_t i = find_slot(key);
+    return i == kNoSlot ? nullptr : &slots_[i].value;
+  }
+  bool contains(std::uint64_t key) const { return find_slot(key) != kNoSlot; }
+
+  /// Removes `key` if present (backward-shift deletion).  Returns whether
+  /// an entry was removed.
+  bool erase(std::uint64_t key) {
+    std::size_t hole = find_slot(key);
+    if (hole == kNoSlot) return false;
+    // Shift successors back over the hole whenever the hole still lies on
+    // their probe path, so later lookups never hit a spurious empty slot.
+    std::size_t i = (hole + 1) & mask_;
+    while (slots_[i].used) {
+      const std::size_t ideal = index_of(slots_[i].key);
+      if (((i - ideal) & mask_) >= ((i - hole) & mask_)) {
+        slots_[hole] = std::move(slots_[i]);
+        hole = i;
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[hole] = Slot{};
+    --size_;
+    return true;
+  }
+
+  /// Visits every entry as fn(key, const Value&), in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.used) fn(s.key, s.value);
+    }
+  }
+
+  /// Mutable visit: fn(key, Value&).  Values may be modified in place;
+  /// keys and occupancy may not (use erase/erase_if for removal).
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Slot& s : slots_) {
+      if (s.used) fn(s.key, s.value);
+    }
+  }
+
+  /// Erases every entry for which pred(key, const Value&) is true.
+  /// Returns the number erased.
+  template <typename Pred>
+  std::size_t erase_if(Pred&& pred) {
+    doomed_.clear();
+    for (const Slot& s : slots_) {
+      if (s.used && pred(s.key, s.value)) doomed_.push_back(s.key);
+    }
+    for (const std::uint64_t key : doomed_) erase(key);
+    return doomed_.size();
+  }
+
+ private:
+  // The occupancy flag lives inside the slot (not a parallel byte array)
+  // so a lookup touches exactly one cache line in the common case.
+  struct Slot {
+    std::uint64_t key = 0;
+    Value value{};
+    std::uint8_t used = 0;
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  // splitmix64 finalizer: enough avalanche that sequential object ids do
+  // not form probe chains.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::size_t index_of(std::uint64_t key) const {
+    return static_cast<std::size_t>(mix(key)) & mask_;
+  }
+
+  std::size_t find_slot(std::uint64_t key) const {
+    if (slots_.empty()) return kNoSlot;
+    std::size_t i = index_of(key);
+    while (slots_[i].used) {
+      if (slots_[i].key == key) return i;
+      i = (i + 1) & mask_;
+    }
+    return kNoSlot;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old_slots = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (Slot& s : old_slots) {
+      if (s.used) (*this)[s.key] = std::move(s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;  // slots_.size() - 1 once allocated
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> doomed_;  // erase_if scratch, reused
+};
+
+}  // namespace edm::util

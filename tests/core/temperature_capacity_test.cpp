@@ -51,10 +51,10 @@ TEST(TemperatureCapacity, AccessTrackerEnforcesAtEpochBoundary) {
   for (ObjectId oid = 0; oid < 200; ++oid) {
     tracker.on_access(oid, static_cast<std::uint32_t>(oid + 1), true);
   }
-  EXPECT_EQ(tracker.write_tracker().tracked_objects(), 200u);  // amortised
+  EXPECT_EQ(tracker.tracked_write_objects(), 200u);  // amortised
   tracker.advance_epoch();
-  EXPECT_LE(tracker.write_tracker().tracked_objects(), 17u);
-  EXPECT_LE(tracker.total_tracker().tracked_objects(), 17u);
+  EXPECT_LE(tracker.tracked_write_objects(), 17u);
+  EXPECT_LE(tracker.tracked_total_objects(), 17u);
   // The hottest survive.
   EXPECT_GT(tracker.write_temperature(199), 0.0);
   EXPECT_EQ(tracker.write_temperature(3), 0.0);
@@ -64,7 +64,7 @@ TEST(TemperatureCapacity, UnboundedTrackerKeepsEverything) {
   AccessTracker tracker;  // default: unbounded
   for (ObjectId oid = 0; oid < 500; ++oid) tracker.on_access(oid, 1, false);
   tracker.advance_epoch();
-  EXPECT_EQ(tracker.total_tracker().tracked_objects(), 500u);
+  EXPECT_EQ(tracker.tracked_total_objects(), 500u);
 }
 
 }  // namespace

@@ -1,0 +1,111 @@
+#include "util/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace edm::util {
+namespace {
+
+TEST(FlatMap64, EmptyInitially) {
+  FlatMap64<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(42), nullptr);
+  EXPECT_FALSE(m.contains(42));
+  EXPECT_FALSE(m.erase(42));
+}
+
+TEST(FlatMap64, InsertFindErase) {
+  FlatMap64<int> m;
+  m[7] = 70;
+  m[9] = 90;
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 70);
+  m[7] = 71;  // overwrite, not a new entry
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(*m.find(7), 71);
+  EXPECT_TRUE(m.erase(7));
+  EXPECT_FALSE(m.contains(7));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.find(9), 90);
+}
+
+TEST(FlatMap64, GrowsPastInitialCapacityAndClears) {
+  FlatMap64<std::uint64_t> m;
+  for (std::uint64_t k = 0; k < 10'000; ++k) m[k] = k * 3;
+  EXPECT_EQ(m.size(), 10'000u);
+  for (std::uint64_t k = 0; k < 10'000; ++k) {
+    ASSERT_NE(m.find(k), nullptr) << k;
+    ASSERT_EQ(*m.find(k), k * 3) << k;
+  }
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(5), nullptr);
+}
+
+TEST(FlatMap64, ForEachVisitsEveryEntryOnce) {
+  FlatMap64<std::uint64_t> m;
+  for (std::uint64_t k = 100; k < 200; ++k) m[k] = k + 1;
+  std::unordered_map<std::uint64_t, std::uint64_t> seen;
+  m.for_each([&](std::uint64_t k, const std::uint64_t& v) { seen[k] = v; });
+  EXPECT_EQ(seen.size(), 100u);
+  for (std::uint64_t k = 100; k < 200; ++k) EXPECT_EQ(seen[k], k + 1);
+}
+
+TEST(FlatMap64, EraseIfRemovesExactlyMatches) {
+  FlatMap64<int> m;
+  for (std::uint64_t k = 0; k < 1000; ++k) m[k] = static_cast<int>(k % 5);
+  const std::size_t removed =
+      m.erase_if([](std::uint64_t, const int& v) { return v < 2; });
+  EXPECT_EQ(removed, 400u);
+  EXPECT_EQ(m.size(), 600u);
+  m.for_each([](std::uint64_t, const int& v) { EXPECT_GE(v, 2); });
+}
+
+// Differential test against std::unordered_map: random insert / overwrite /
+// erase / lookup mix.  Erase-heavy on purpose -- backward-shift deletion is
+// the delicate part, and clustered keys (small dense ids, exactly what
+// object ids look like) maximise probe-chain interaction.
+TEST(FlatMap64, MatchesUnorderedMapOnRandomWorkload) {
+  FlatMap64<std::uint64_t> m;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Xoshiro256 rng(0xF1A7);
+  for (int op = 0; op < 200'000; ++op) {
+    const std::uint64_t key = rng.next_below(512);  // dense: forces collisions
+    const double action = rng.next_double();
+    if (action < 0.45) {
+      const std::uint64_t value = rng.next_below(1u << 20);
+      m[key] = value;
+      ref[key] = value;
+    } else if (action < 0.75) {
+      ASSERT_EQ(m.erase(key), ref.erase(key) != 0) << "op " << op;
+    } else {
+      const auto it = ref.find(key);
+      const std::uint64_t* p = m.find(key);
+      if (it == ref.end()) {
+        ASSERT_EQ(p, nullptr) << "op " << op << " key " << key;
+      } else {
+        ASSERT_NE(p, nullptr) << "op " << op << " key " << key;
+        ASSERT_EQ(*p, it->second) << "op " << op << " key " << key;
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size()) << "op " << op;
+  }
+  // Full-content sweep at the end.
+  std::size_t visited = 0;
+  m.for_each([&](std::uint64_t k, const std::uint64_t& v) {
+    ++visited;
+    const auto it = ref.find(k);
+    ASSERT_NE(it, ref.end()) << k;
+    ASSERT_EQ(v, it->second) << k;
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+}  // namespace
+}  // namespace edm::util

@@ -1,0 +1,72 @@
+#include "util/ring_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+
+#include "util/rng.h"
+
+namespace edm::util {
+namespace {
+
+TEST(RingQueue, EmptyInitially) {
+  RingQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RingQueue, FifoOrder) {
+  RingQueue<int> q;
+  for (int i = 0; i < 100; ++i) q.push_back(i);
+  EXPECT_EQ(q.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, ClearKeepsWorking) {
+  RingQueue<int> q;
+  q.push_back(1);
+  q.push_back(2);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push_back(7);
+  EXPECT_EQ(q.front(), 7);
+}
+
+// Differential test against std::deque: the wrap-around and growth-while-
+// wrapped cases are the delicate parts, so the workload keeps the queue
+// short and breathing (push bursts, drain bursts) to force many wraps.
+TEST(RingQueue, MatchesDequeOnRandomWorkload) {
+  RingQueue<std::uint64_t> q;
+  std::deque<std::uint64_t> ref;
+  Xoshiro256 rng(0xB0BB1E);
+  std::uint64_t next = 0;
+  for (int op = 0; op < 200'000; ++op) {
+    if (ref.empty() || rng.next_double() < 0.52) {
+      const std::uint64_t burst = 1 + rng.next_below(6);
+      for (std::uint64_t i = 0; i < burst; ++i) {
+        q.push_back(next);
+        ref.push_back(next);
+        ++next;
+      }
+    } else {
+      ASSERT_EQ(q.front(), ref.front()) << "op " << op;
+      q.pop_front();
+      ref.pop_front();
+    }
+    ASSERT_EQ(q.size(), ref.size()) << "op " << op;
+  }
+  while (!ref.empty()) {
+    ASSERT_EQ(q.front(), ref.front());
+    q.pop_front();
+    ref.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace edm::util

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds the default preset and runs bench/perf_baseline on the standard
+# grid, writing the machine-readable result to BENCH_baseline.json at the
+# repo root (the file performance PRs refresh and commit; see
+# docs/PERFORMANCE.md for the methodology and comparison rules).
+#
+#   tools/bench_baseline.sh [perf_baseline flags...]
+#
+# Flags are passed straight through, so e.g.
+#   tools/bench_baseline.sh --quick            # smoke run (don't commit)
+#   tools/bench_baseline.sh --scale=1 --repeat=7
+#   tools/bench_baseline.sh --out=/tmp/b.json  # redirect the JSON
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs" --target perf_baseline >/dev/null
+
+# Default output lands at the repo root unless the caller overrode --out.
+out_args=()
+case " $* " in
+  *" --out="*) ;;
+  *) out_args=(--out=BENCH_baseline.json) ;;
+esac
+
+# Give the machine a moment to go quiet after the build: timing right
+# after compilation is one of the noise sources the methodology bans.
+sleep 3
+exec ./build/bench/perf_baseline --scale=0.5 --repeat=5 "${out_args[@]}" "$@"

@@ -1,14 +1,45 @@
 #!/usr/bin/env bash
 # Full pre-merge check: documentation consistency (tools/check_docs.sh),
-# then build + test the normal config, then the asan-ubsan config, then
-# the concurrency-sensitive tests (telemetry, thread pool, sweep runner,
-# logging) under ThreadSanitizer (CMakePresets.json).  Any failure aborts.
+# then build + test the normal config (plus a perf_baseline smoke run that
+# validates the edm-bench-result/1 JSON shape), then the asan-ubsan
+# config, then the concurrency-sensitive tests (telemetry, thread pool,
+# sweep runner, logging) under ThreadSanitizer (CMakePresets.json).  Any
+# failure aborts.
 #
 #   tools/check.sh [--fast]   # --fast skips the sanitizer configs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 2)
+
+# Smoke the throughput baseline: a --quick run must succeed and emit
+# schema-valid JSON (docs/PERFORMANCE.md).  Catches bit-rot in the bench
+# binary and its output contract without paying for a full grid.
+bench_smoke() {
+  echo "== bench smoke (perf_baseline --quick) =="
+  local out
+  out=$(mktemp)
+  ./build/bench/perf_baseline --quick --out="$out" >/dev/null
+  python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d.get("schema") == "edm-bench-result/1", d.get("schema")
+assert d["cells"], "no cells"
+cell_keys = {"trace", "policy", "num_osds", "events_processed",
+             "completed_ops", "replay_wall_s", "setup_wall_s",
+             "events_per_sec", "sim_ops_per_sec"}
+for c in d["cells"]:
+    missing = cell_keys - c.keys()
+    assert not missing, f"cell missing {missing}"
+    assert c["events_processed"] > 0, "empty replay"
+s = d["summary"]
+assert s["total_events"] == sum(c["events_processed"] for c in d["cells"])
+print(f"bench smoke: {len(d['cells'])} cells, "
+      f"{s['total_events']} events, JSON shape ok")
+EOF
+  rm -f "$out"
+}
 
 run_preset() {
   local preset="$1"
@@ -24,6 +55,7 @@ echo "== docs =="
 tools/check_docs.sh
 
 run_preset default
+bench_smoke
 if [[ "${1:-}" != "--fast" ]]; then
   run_preset asan-ubsan
   run_preset tsan

@@ -33,6 +33,15 @@ done
 # its own.
 [[ -f docs/internals/fault.md ]] || err "docs/internals/fault.md missing"
 
+# The performance methodology page must exist and be reachable from the
+# entry-point docs (its intra-repo links are checked with every other
+# markdown file in step 3).
+[[ -f docs/PERFORMANCE.md ]] || err "docs/PERFORMANCE.md missing"
+grep -q "PERFORMANCE.md" README.md ||
+  err "README.md does not link docs/PERFORMANCE.md"
+grep -q "PERFORMANCE.md" docs/MANUAL.md ||
+  err "docs/MANUAL.md does not link PERFORMANCE.md"
+
 # -- 2. every registered flag is documented in the manual -----------------
 flags=$(grep -rhoE '"--[a-z0-9-]+"' bench tools src/util src/runner 2>/dev/null |
   tr -d '"' | sort -u)
