@@ -24,6 +24,10 @@ void FlashConfig::validate() const {
   };
   if (page_size == 0) fail("page_size must be > 0");
   if (pages_per_block == 0) fail("pages_per_block must be > 0");
+  if (pages_per_block > 65535) {
+    // Per-block valid/write-ptr counters are 16-bit (SoA layout in Ssd).
+    fail("pages_per_block must be <= 65535");
+  }
   if (num_blocks == 0) fail("num_blocks must be > 0");
   if (op_ratio < 0.0 || op_ratio >= 1.0) fail("op_ratio must be in [0, 1)");
   if (gc_low_water < 2) fail("gc_low_water must be >= 2");

@@ -12,9 +12,21 @@ namespace edm::flash {
 
 Ssd::Ssd(FlashConfig config)
     : config_(config),
-      l2p_(config.logical_pages(), kUnmapped),
-      p2l_(config.physical_pages(), kUnmapped),
-      blocks_(config.num_blocks),
+      // L2P entries are wide enough to hold any PPN plus the all-ones
+      // unmapped sentinel; P2L entries hold any LPN and start zeroed --
+      // they are only ever read for pages the validity bitmap marks live.
+      l2p_(config.logical_pages(),
+           util::PackedIntVector::bits_for(config.physical_pages()),
+           util::PackedIntVector::max_for(
+               util::PackedIntVector::bits_for(config.physical_pages()))),
+      p2l_(config.physical_pages(),
+           util::PackedIntVector::bits_for(config.logical_pages()),
+           /*fill=*/0),
+      valid_bits_(config.physical_pages()),
+      block_valid_(config.num_blocks, 0),
+      block_write_ptr_(config.num_blocks, 0),
+      block_sealed_at_(config.num_blocks, 0),
+      block_open_(config.num_blocks),
       victims_(config.num_blocks, config.pages_per_block),
       block_erases_(config.num_blocks, 0) {
   config_.validate();
@@ -25,7 +37,7 @@ Ssd::Ssd(FlashConfig config)
     free_blocks_.push_back(b);
   }
   open_block_ = 0;
-  blocks_[0].open = true;
+  block_open_.set(0);
 }
 
 SimDuration Ssd::read(Lpn lpn) {
@@ -75,7 +87,7 @@ SimDuration Ssd::write(Lpn lpn) {
 
 SimDuration Ssd::trim(Lpn lpn) {
   assert(lpn < l2p_.size());
-  if (l2p_[lpn] != kUnmapped) {
+  if (l2p_.get(lpn) != l2p_.max_value()) {
     invalidate(lpn);
     ++stats_.trimmed_pages;
   }
@@ -156,7 +168,7 @@ SimDuration Ssd::trim_range(Lpn first, std::uint32_t pages) {
   std::uint64_t trimmed = 0;
   for (std::uint32_t i = 0; i < pages; ++i) {
     const Lpn lpn = first + i;
-    if (l2p_[lpn] != kUnmapped) {
+    if (l2p_.get(lpn) != l2p_.max_value()) {
       invalidate(lpn);
       ++trimmed;
     }
@@ -193,26 +205,27 @@ Ppn Ssd::append_page(Lpn lpn, bool gc_stream) {
     }
     const std::uint32_t block = free_blocks_.back();
     free_blocks_.pop_back();
-    blocks_[block].open = true;
+    block_open_.set(block);
     return block;
   };
 
   if (*head_id == kNoBlock) {
     *head_id = pop_free();  // GC stream opens lazily on first relocation
-  } else if (blocks_[*head_id].write_ptr == config_.pages_per_block) {
+  } else if (block_write_ptr_[*head_id] == config_.pages_per_block) {
     // Retire the full log head into the GC candidate set.
-    blocks_[*head_id].open = false;
-    blocks_[*head_id].sealed_at = write_clock_;
-    victims_.insert(*head_id, blocks_[*head_id].valid);
+    block_open_.clear(*head_id);
+    block_sealed_at_[*head_id] = write_clock_;
+    victims_.insert(*head_id, block_valid_[*head_id]);
     *head_id = pop_free();
   }
-  Block& head = blocks_[*head_id];
-  const Ppn ppn = *head_id * config_.pages_per_block + head.write_ptr;
-  ++head.write_ptr;
-  ++head.valid;
+  const std::uint32_t head = *head_id;
+  const Ppn ppn = head * config_.pages_per_block + block_write_ptr_[head];
+  ++block_write_ptr_[head];
+  ++block_valid_[head];
   ++write_clock_;
-  p2l_[ppn] = lpn;
-  l2p_[lpn] = ppn;
+  p2l_.set(ppn, lpn);
+  l2p_.set(lpn, ppn);
+  valid_bits_.set(ppn);
   ++valid_pages_;
   return ppn;
 }
@@ -234,12 +247,11 @@ std::int64_t Ssd::pick_victim() {
     scan_cursor_ = (scan_cursor_ + 1) % total;
     if (!victims_.contains(b)) continue;
     ++examined;
-    const Block& block = blocks_[b];
-    if (block.valid == 0) return b;  // nothing to relocate
-    const double u = static_cast<double>(block.valid) /
+    if (block_valid_[b] == 0) return b;  // nothing to relocate
+    const double u = static_cast<double>(block_valid_[b]) /
                      static_cast<double>(config_.pages_per_block);
     const double age =
-        static_cast<double>(write_clock_ - block.sealed_at) + 1.0;
+        static_cast<double>(write_clock_ - block_sealed_at_[b]) + 1.0;
     const double score = age * (1.0 - u) / (2.0 * u);
     if (score > best_score) {
       best_score = score;
@@ -259,18 +271,19 @@ SimDuration Ssd::collect_garbage() {
     if (victim < 0) break;  // Nothing reclaimable (tiny-device corner).
     const auto vb = static_cast<std::uint32_t>(victim);
     victims_.remove(vb);
-    const std::uint32_t victim_valid = blocks_[vb].valid;
+    const std::uint32_t victim_valid = block_valid_[vb];
     stats_.victim_valid_pages += victim_valid;
 
-    // Relocate surviving pages to the log head.
+    // Relocate surviving pages to the log head.  Validity comes from the
+    // bitmap: P2L entries for invalidated pages are stale, never cleared.
     const Ppn base = vb * config_.pages_per_block;
     for (std::uint32_t i = 0;
-         i < config_.pages_per_block && blocks_[vb].valid > 0; ++i) {
+         i < config_.pages_per_block && block_valid_[vb] > 0; ++i) {
       const Ppn ppn = base + i;
-      const Lpn lpn = p2l_[ppn];
-      if (lpn == kUnmapped) continue;
-      p2l_[ppn] = kUnmapped;
-      --blocks_[vb].valid;
+      if (!valid_bits_.test(ppn)) continue;
+      const Lpn lpn = static_cast<Lpn>(p2l_.get(ppn));
+      valid_bits_.clear(ppn);
+      --block_valid_[vb];
       --valid_pages_;
       append_page(lpn, /*gc_stream=*/true);
       ++stats_.gc_page_moves;
@@ -278,7 +291,10 @@ SimDuration Ssd::collect_garbage() {
     }
 
     // Erase and return to the free pool.
-    blocks_[vb] = Block{};
+    block_valid_[vb] = 0;
+    block_write_ptr_[vb] = 0;
+    block_sealed_at_[vb] = 0;
+    block_open_.clear(vb);
     free_blocks_.push_back(vb);
     ++stats_.erase_count;
     ++block_erases_[vb];
@@ -295,9 +311,9 @@ Ssd::BlockWear Ssd::block_wear() const {
   out.min_erases = block_erases_[0];
   double sum = 0.0;
   double sq = 0.0;
-  for (const std::uint64_t e : block_erases_) {
-    out.max_erases = std::max(out.max_erases, e);
-    out.min_erases = std::min(out.min_erases, e);
+  for (const std::uint32_t e : block_erases_) {
+    out.max_erases = std::max<std::uint64_t>(out.max_erases, e);
+    out.min_erases = std::min<std::uint64_t>(out.min_erases, e);
     sum += static_cast<double>(e);
     sq += static_cast<double>(e) * static_cast<double>(e);
   }
@@ -311,15 +327,16 @@ Ssd::BlockWear Ssd::block_wear() const {
 }
 
 void Ssd::invalidate(Lpn lpn) {
-  const Ppn ppn = l2p_[lpn];
-  if (ppn == kUnmapped) return;
-  l2p_[lpn] = kUnmapped;
-  p2l_[ppn] = kUnmapped;
+  const std::uint64_t mapped = l2p_.get(lpn);
+  if (mapped == l2p_.max_value()) return;
+  const auto ppn = static_cast<Ppn>(mapped);
+  l2p_.set(lpn, l2p_.max_value());
+  valid_bits_.clear(ppn);  // P2L entry goes stale; the bitmap is the truth
   const std::uint32_t blk = block_of(ppn);
-  --blocks_[blk].valid;
+  --block_valid_[blk];
   --valid_pages_;
   if (victims_.contains(blk)) {
-    victims_.update(blk, blocks_[blk].valid);
+    victims_.update(blk, block_valid_[blk]);
   }
 }
 
@@ -344,31 +361,48 @@ void Ssd::attach_telemetry(telemetry::Recorder* recorder,
   }
 }
 
+std::size_t Ssd::metadata_bytes() const {
+  return l2p_.backing_bytes() + p2l_.backing_bytes() +
+         valid_bits_.backing_bytes() + block_open_.backing_bytes() +
+         block_valid_.capacity() * sizeof(std::uint16_t) +
+         block_write_ptr_.capacity() * sizeof(std::uint16_t) +
+         block_sealed_at_.capacity() * sizeof(std::uint64_t) +
+         block_erases_.capacity() * sizeof(std::uint32_t) +
+         free_blocks_.capacity() * sizeof(std::uint32_t);
+}
+
 bool Ssd::check_invariants() const {
   std::vector<std::uint32_t> valid_by_block(config_.num_blocks, 0);
   std::uint64_t total_valid = 0;
   for (Lpn lpn = 0; lpn < l2p_.size(); ++lpn) {
-    const Ppn ppn = l2p_[lpn];
-    if (ppn == kUnmapped) continue;
-    if (ppn >= p2l_.size() || p2l_[ppn] != lpn) return false;
+    const std::uint64_t mapped = l2p_.get(lpn);
+    if (mapped == l2p_.max_value()) continue;
+    const auto ppn = static_cast<Ppn>(mapped);
+    if (ppn >= p2l_.size() || p2l_.get(ppn) != lpn) return false;
+    if (!valid_bits_.test(ppn)) return false;
     ++valid_by_block[block_of(ppn)];
     ++total_valid;
   }
   if (total_valid != valid_pages_) return false;
+  // Bitmap popcount == valid count: together with the per-LPN bit check
+  // above this makes L2P <-> valid bits a bijection (no orphaned set bit).
+  if (valid_bits_.count_range(0, valid_bits_.size()) != valid_pages_) {
+    return false;
+  }
   for (std::uint32_t b = 0; b < config_.num_blocks; ++b) {
-    if (blocks_[b].valid != valid_by_block[b]) return false;
-    if (blocks_[b].write_ptr > config_.pages_per_block) return false;
-    if (blocks_[b].valid > blocks_[b].write_ptr) return false;
+    if (block_valid_[b] != valid_by_block[b]) return false;
+    if (block_write_ptr_[b] > config_.pages_per_block) return false;
+    if (block_valid_[b] > block_write_ptr_[b]) return false;
   }
   // Free blocks must be fully clean.
   for (std::uint32_t b : free_blocks_) {
-    if (blocks_[b].valid != 0 || blocks_[b].write_ptr != 0) return false;
-    if (blocks_[b].open) return false;
+    if (block_valid_[b] != 0 || block_write_ptr_[b] != 0) return false;
+    if (block_open_.test(b)) return false;
   }
-  if (gc_open_block_ != kNoBlock && !blocks_[gc_open_block_].open) {
+  if (gc_open_block_ != kNoBlock && !block_open_.test(gc_open_block_)) {
     return false;
   }
-  return blocks_[open_block_].open;
+  return block_open_.test(open_block_);
 }
 
 }  // namespace edm::flash

@@ -26,6 +26,7 @@
 #include "flash/config.h"
 #include "flash/stats.h"
 #include "flash/victim_queue.h"
+#include "util/packed.h"
 #include "util/types.h"
 
 namespace edm::telemetry {
@@ -62,7 +63,7 @@ class Ssd {
   SimDuration write_range(Lpn first, std::uint32_t pages);
   SimDuration trim_range(Lpn first, std::uint32_t pages);
 
-  bool is_mapped(Lpn lpn) const { return l2p_[lpn] != kUnmapped; }
+  bool is_mapped(Lpn lpn) const { return l2p_.get(lpn) != l2p_.max_value(); }
 
   /// Live data as a fraction of *physical* capacity -- the "u" that drives
   /// GC efficiency (paper Eq. 2/3 territory).
@@ -104,6 +105,10 @@ class Ssd {
     return block_erases_[block];
   }
 
+  /// Resident bytes of the per-page/per-block metadata tables (L2P, P2L,
+  /// validity bitmap, SoA block state).  Exposed for memory accounting.
+  std::size_t metadata_bytes() const;
+
   /// Internal-consistency audit used by tests: recomputes valid counts from
   /// the mapping and cross-checks every block's bookkeeping.  Returns true
   /// when consistent.
@@ -116,15 +121,6 @@ class Ssd {
                         std::uint32_t device_id);
 
  private:
-  static constexpr Ppn kUnmapped = 0xFFFFFFFFu;
-
-  struct Block {
-    std::uint32_t valid = 0;        // valid pages in this block
-    std::uint32_t write_ptr = 0;    // next free page slot
-    bool open = false;              // currently the log head
-    std::uint64_t sealed_at = 0;    // write clock when the block filled
-  };
-
   std::uint32_t block_of(Ppn ppn) const { return ppn / config_.pages_per_block; }
 
   /// Appends a page to a log head (the host stream, or the GC stream when
@@ -154,16 +150,30 @@ class Ssd {
   FlashConfig config_;
   FlashStats stats_;
 
-  std::vector<Ppn> l2p_;              // logical -> physical page
-  std::vector<Lpn> p2l_;              // physical -> logical page (for GC)
-  std::vector<Block> blocks_;
+  // Per-page metadata, bit-packed (docs/internals/flash.md "Packed
+  // metadata layout"): mapping entries carry exactly bits_for(address
+  // space) bits, with the all-ones value as the unmapped sentinel; page
+  // validity lives in a bitmap (P2L entries for invalid pages go stale
+  // instead of being cleared -- the bitmap is the ground truth).
+  util::PackedIntVector l2p_;   // logical -> physical page
+  util::PackedIntVector p2l_;   // physical -> logical page (for GC)
+  util::BitVector valid_bits_;  // physical page holds live data
+
+  // Per-block metadata as SoA: the GC victim scan touches valid counts and
+  // seal ages in bulk, and AoS padding (24 B/block) wasted over half the
+  // footprint.
+  std::vector<std::uint16_t> block_valid_;      // valid pages in block
+  std::vector<std::uint16_t> block_write_ptr_;  // next free page slot
+  std::vector<std::uint64_t> block_sealed_at_;  // write clock at seal
+  util::BitVector block_open_;                  // currently a log head
+
   std::vector<std::uint32_t> free_blocks_;  // stack of free block ids
   VictimQueue victims_;               // full blocks, by valid count
   std::uint32_t open_block_ = 0;
   static constexpr std::uint32_t kNoBlock = 0xFFFFFFFFu;
   std::uint32_t gc_open_block_ = kNoBlock;  // lazily opened GC stream head
   std::uint64_t valid_pages_ = 0;
-  std::vector<std::uint64_t> block_erases_;  // lifetime, per block
+  std::vector<std::uint32_t> block_erases_;  // lifetime, per block
   std::uint64_t write_clock_ = 0;  // host+GC pages programmed (age base)
   std::uint32_t scan_cursor_ = 0;  // cost-benefit stride-sampling cursor
   bool gc_active_ = false;  // re-entrancy guard: GC writes must not trigger GC

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "cluster/cluster.h"
+#include "trace/cursor.h"
 #include "trace/generator.h"
 #include "util/thread_pool.h"
 
@@ -42,10 +43,7 @@ ExperimentConfig finalize(const ExperimentConfig& config) {
 
 namespace {
 
-RunResult run_cell(const ExperimentConfig& raw, const trace::Trace& trace) {
-  const ExperimentConfig cfg = finalize(raw);
-  const auto setup_start = std::chrono::steady_clock::now();
-
+cluster::ClusterConfig cluster_config_for(const ExperimentConfig& cfg) {
   cluster::ClusterConfig ccfg;
   ccfg.num_osds = cfg.num_osds;
   ccfg.num_groups = cfg.num_groups;
@@ -53,8 +51,19 @@ RunResult run_cell(const ExperimentConfig& raw, const trace::Trace& trace) {
   ccfg.objects_per_file = cfg.objects_per_file;
   ccfg.target_max_utilization = cfg.target_max_utilization;
   ccfg.flash = cfg.flash;
+  return ccfg;
+}
 
-  cluster::Cluster cluster(ccfg, trace.files);
+/// Shared cell body for both trace sources: `source` is either a
+/// materialised trace::Trace or a trace::TraceCursor -- the Simulator
+/// constructor overloads select the replay mode.
+template <typename Source>
+RunResult run_cell_with(const ExperimentConfig& cfg,
+                        const std::vector<trace::FileSpec>& files,
+                        Source& source) {
+  const auto setup_start = std::chrono::steady_clock::now();
+
+  cluster::Cluster cluster(cluster_config_for(cfg), files);
   // Pre-create + populate + dummy-fill to GC steady state, then measure
   // from a clean window (paper SIV).
   cluster.populate();
@@ -71,7 +80,7 @@ RunResult run_cell(const ExperimentConfig& raw, const trace::Trace& trace) {
     recorder = std::make_shared<telemetry::Recorder>(cfg.telemetry);
     sim_cfg.recorder = recorder.get();
   }
-  Simulator simulator(sim_cfg, cluster, trace, policy.get());
+  Simulator simulator(sim_cfg, cluster, source, policy.get());
   const auto replay_start = std::chrono::steady_clock::now();
   RunResult result = simulator.run();
   const auto replay_end = std::chrono::steady_clock::now();
@@ -83,6 +92,18 @@ RunResult run_cell(const ExperimentConfig& raw, const trace::Trace& trace) {
   return result;
 }
 
+RunResult run_cell(const ExperimentConfig& raw, const trace::Trace& trace) {
+  const ExperimentConfig cfg = finalize(raw);
+  return run_cell_with(cfg, trace.files, trace);
+}
+
+trace::WorkloadProfile profile_for(const ExperimentConfig& cfg) {
+  trace::WorkloadProfile profile =
+      trace::profile_by_name(cfg.trace_name).scaled(cfg.scale);
+  profile.seed ^= cfg.trace_seed_offset;
+  return profile;
+}
+
 }  // namespace
 
 RunResult run_experiment(const ExperimentConfig& config,
@@ -92,12 +113,15 @@ RunResult run_experiment(const ExperimentConfig& config,
 
 RunResult run_experiment(const ExperimentConfig& config) {
   const ExperimentConfig cfg = finalize(config);
-  trace::WorkloadProfile profile =
-      trace::profile_by_name(cfg.trace_name).scaled(cfg.scale);
-  profile.seed ^= cfg.trace_seed_offset;
   const trace::Trace trace =
-      trace::TraceGenerator(profile, cfg.num_clients).generate();
+      trace::TraceGenerator(profile_for(cfg), cfg.num_clients).generate();
   return run_cell(cfg, trace);
+}
+
+RunResult run_experiment_streaming(const ExperimentConfig& config) {
+  const ExperimentConfig cfg = finalize(config);
+  trace::TraceCursor cursor(profile_for(cfg), cfg.num_clients);
+  return run_cell_with(cfg, cursor.files(), cursor);
 }
 
 std::vector<RunResult> run_grid(const std::vector<ExperimentConfig>& cells,

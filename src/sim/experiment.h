@@ -70,6 +70,13 @@ RunResult run_experiment(const ExperimentConfig& config);
 RunResult run_experiment(const ExperimentConfig& config,
                          const trace::Trace& trace);
 
+/// Streaming variant: identical results to run_experiment(config), but the
+/// trace is never materialised -- replay lanes pull records lazily from a
+/// TraceCursor, so peak memory is O(file_count + clients x lookahead)
+/// instead of O(record_count).  This is the path for high --scale runs
+/// (bench/perf_scale) where the materialised trace dominates peak RSS.
+RunResult run_experiment_streaming(const ExperimentConfig& config);
+
 /// Runs cells concurrently on a thread pool (one DES per worker; the DES
 /// itself stays single-threaded).  Results are in input order.
 std::vector<RunResult> run_grid(const std::vector<ExperimentConfig>& cells,

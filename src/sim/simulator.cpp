@@ -6,7 +6,9 @@
 #include <string>
 
 #include "telemetry/telemetry.h"
+#include "trace/cursor.h"
 #include "util/log.h"
+#include "util/rss.h"
 
 namespace edm::sim {
 
@@ -51,9 +53,19 @@ void SimConfig::validate(std::uint32_t num_osds) const {
 
 Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
                      const trace::Trace& trace, core::MigrationPolicy* policy)
+    : Simulator(std::move(config), cluster, &trace, nullptr, policy) {}
+
+Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
+                     trace::TraceCursor& cursor, core::MigrationPolicy* policy)
+    : Simulator(std::move(config), cluster, nullptr, &cursor, policy) {}
+
+Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
+                     const trace::Trace* trace, trace::TraceCursor* cursor,
+                     core::MigrationPolicy* policy)
     : cfg_(config),
       cluster_(cluster),
       trace_(trace),
+      cursor_(cursor),
       policy_(policy),
       tracker_(config.temperature_cache_entries) {
   cfg_.validate(cluster_.num_osds());
@@ -74,9 +86,26 @@ Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
   // the configured client count ("all trace records of multiple users are
   // evenly assigned to each client").
   clients_.resize(cfg_.num_clients);
-  for (std::uint32_t r = 0; r < trace_.records.size(); ++r) {
-    clients_[trace_.records[r].client % cfg_.num_clients].records.push_back(
-        trace_.records[r]);
+  if (trace_ != nullptr) {
+    total_records_ = trace_->records.size();
+    // Two passes: count, reserve, then copy -- growing the per-client
+    // vectors by doubling would peak at ~1.5x the trace's own footprint
+    // and re-copy every record O(log n) times at high --scale.
+    std::vector<std::size_t> lane_counts(cfg_.num_clients, 0);
+    for (const auto& rec : trace_->records) {
+      ++lane_counts[rec.client % cfg_.num_clients];
+    }
+    for (std::uint32_t c = 0; c < cfg_.num_clients; ++c) {
+      clients_[c].records.reserve(lane_counts[c]);
+    }
+    for (const auto& rec : trace_->records) {
+      clients_[rec.client % cfg_.num_clients].records.push_back(rec);
+    }
+  } else if (cfg_.trigger == MigrationTrigger::kForcedMidpoint ||
+             cfg_.fail_osd >= 0) {
+    // Streaming mode only needs the total for the fraction-triggered
+    // hooks; the counting pre-pass is O(file_count) memory.
+    total_records_ = cursor_->total_records();
   }
   lanes_.resize(cfg_.mover_concurrency);
   if (cfg_.adaptive_sigma && policy_ != nullptr) {
@@ -130,9 +159,10 @@ RunResult Simulator::run() {
   if (ran_) throw std::logic_error("Simulator::run() called twice");
   ran_ = true;
 
-  // Kick off every replay lane at t = 0.
+  // Kick off every replay lane at t = 0.  In streaming mode an empty lane
+  // is discovered by its first fill (which marks it done and decrements).
   for (std::uint16_t c = 0; c < clients_.size(); ++c) {
-    if (clients_[c].records.empty()) {
+    if (cursor_ == nullptr && clients_[c].records.empty()) {
       clients_[c].done = true;
       continue;
     }
@@ -203,7 +233,7 @@ RunResult Simulator::run() {
 
   // --- assemble results ---
   RunResult out;
-  out.trace_name = trace_.name;
+  out.trace_name = trace_ != nullptr ? trace_->name : cursor_->name();
   out.policy_name = policy_ ? policy_->name() : "baseline";
   out.num_osds = cluster_.num_osds();
   out.completed_ops = completed_ops_;
@@ -243,6 +273,13 @@ RunResult Simulator::run() {
 
   if (injector_) faults_.transient_errors = injector_->transient_errors();
   out.faults = faults_;
+
+  if (tel_ != nullptr && tel_->config().sample_rss) {
+    if (auto* metrics = tel_->metrics()) {
+      metrics->gauge("process.peak_rss_bytes")
+          ->set(static_cast<double>(util::peak_rss_bytes()));
+    }
+  }
   return out;
 }
 
@@ -265,9 +302,18 @@ void Simulator::release_op(std::uint32_t op_id) { free_ops_.push_back(op_id); }
 
 void Simulator::fill_client_window(std::uint16_t client_id, SimTime now) {
   Client& c = clients_[client_id];
-  while (c.in_flight < cfg_.client_queue_depth &&
-         c.cursor < c.records.size()) {
-    const trace::Record& rec = c.records[c.cursor];
+  trace::Record streamed;
+  while (c.in_flight < cfg_.client_queue_depth) {
+    if (cursor_ != nullptr) {
+      if (c.exhausted || !cursor_->next(client_id, streamed)) {
+        c.exhausted = true;
+        break;
+      }
+    } else if (c.cursor >= c.records.size()) {
+      break;
+    }
+    const trace::Record& rec =
+        cursor_ != nullptr ? streamed : c.records[c.cursor];
     ++c.cursor;
     ++issued_records_;
     // Guard the one-shot hooks at the call site: both are no-ops for the
@@ -293,7 +339,9 @@ void Simulator::fill_client_window(std::uint16_t client_id, SimTime now) {
       enqueue({SubRequest::Kind::kClient, op_id, io, now}, now);
     }
   }
-  if (c.cursor >= c.records.size() && c.in_flight == 0 && !c.done) {
+  const bool drained =
+      cursor_ != nullptr ? c.exhausted : c.cursor >= c.records.size();
+  if (drained && c.in_flight == 0 && !c.done) {
     c.done = true;
     --active_clients_;
   }
@@ -493,7 +541,7 @@ bool Simulator::stale(const SubRequest& req) const {
 void Simulator::maybe_inject_failure(SimTime now) {
   if (cfg_.fail_osd < 0 || failure_injected_) return;
   if (static_cast<double>(issued_records_) <
-      cfg_.fail_at_fraction * static_cast<double>(trace_.records.size())) {
+      cfg_.fail_at_fraction * static_cast<double>(total_records_)) {
     return;
   }
   failure_injected_ = true;
@@ -642,7 +690,7 @@ void Simulator::maybe_trigger_midpoint(SimTime now) {
   if (cfg_.trigger != MigrationTrigger::kForcedMidpoint || midpoint_fired_) {
     return;
   }
-  if (issued_records_ * 2 < trace_.records.size()) return;
+  if (issued_records_ * 2 < total_records_) return;
   midpoint_fired_ = true;
   start_migration(now, /*force=*/true);
 }
@@ -1020,6 +1068,9 @@ bool Simulator::rebuild_lane_touches(const RebuildLane& lane,
 
 void Simulator::on_telemetry_sample(SimTime now) {
   telemetry::SampleRow& row = tel_sampler_->add_row(now);
+  if (tel_sampler_->rss_column()) {
+    row.peak_rss_bytes = util::peak_rss_bytes();
+  }
   const std::uint64_t page_size = cluster_.config().flash.page_size;
   for (const auto& lane : lanes_) {
     if (!lane.active) continue;

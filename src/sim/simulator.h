@@ -49,6 +49,10 @@ class Counter;
 class Histogram;
 }  // namespace edm::telemetry
 
+namespace edm::trace {
+class TraceCursor;
+}  // namespace edm::trace
+
 namespace edm::sim {
 
 enum class MigrationTrigger {
@@ -150,6 +154,14 @@ class Simulator {
   Simulator(SimConfig config, cluster::Cluster& cluster,
             const trace::Trace& trace, core::MigrationPolicy* policy);
 
+  /// Streaming variant: replay lanes pull records lazily from the cursor
+  /// instead of materialised per-client vectors, so trace memory stays
+  /// O(clients x lookahead) (see trace/cursor.h).  Replays the identical
+  /// event sequence as the materialised constructor given the same profile
+  /// and client count.  Cluster and cursor must outlive run().
+  Simulator(SimConfig config, cluster::Cluster& cluster,
+            trace::TraceCursor& cursor, core::MigrationPolicy* policy);
+
   /// Runs the replay to completion and returns the collected metrics.
   /// Must be called at most once per Simulator instance.
   RunResult run();
@@ -198,10 +210,12 @@ class Simulator {
     // loop walks them sequentially, and chasing indices back into the
     // client-interleaved global trace array would cost a cache miss per
     // record (Record is 24 bytes; the interleave stride is ~num_clients
-    // lines apart).
+    // lines apart).  Unused (empty) in streaming mode, where the lane
+    // pulls from the TraceCursor instead.
     std::vector<trace::Record> records;
     std::size_t cursor = 0;
     std::uint32_t in_flight = 0;  // ops currently outstanding
+    bool exhausted = false;  // streaming mode: cursor lane ran dry
     bool done = false;
   };
 
@@ -297,9 +311,17 @@ class Simulator {
   void record_response(SimTime now, SimDuration response_us);
   bool clients_active() const { return active_clients_ > 0; }
 
+  /// Shared body of both public constructors: exactly one of trace/cursor
+  /// is non-null.
+  Simulator(SimConfig config, cluster::Cluster& cluster,
+            const trace::Trace* trace, trace::TraceCursor* cursor,
+            core::MigrationPolicy* policy);
+
   SimConfig cfg_;
   cluster::Cluster& cluster_;
-  const trace::Trace& trace_;
+  const trace::Trace* trace_;        // materialised mode (else null)
+  trace::TraceCursor* cursor_;       // streaming mode (else null)
+  std::uint64_t total_records_ = 0;  // for midpoint / fail-fraction hooks
   core::MigrationPolicy* policy_;
 
   EventQueue events_;

@@ -1,187 +1,37 @@
 #include "trace/generator.h"
 
 #include <algorithm>
-#include <cmath>
-#include <numeric>
-#include <vector>
 
-#include "util/rng.h"
-#include "util/zipf.h"
+#include "trace/cursor.h"
 
 namespace edm::trace {
-
-namespace {
-
-constexpr std::uint64_t kMinFileBytes = 8 * 1024;   // at least two pages
-constexpr std::uint64_t kMaxFileBytes = 256ULL << 20;  // clamp the tail
-constexpr std::uint32_t kMinRequestBytes = 512;
-
-/// Lognormal sample around `median` with shape `sigma`, clamped.
-std::uint64_t sample_file_size(util::Xoshiro256& rng, std::uint64_t median,
-                               double sigma) {
-  if (sigma <= 0.0) return std::max(median, kMinFileBytes);
-  const double ln = std::log(static_cast<double>(median)) +
-                    sigma * rng.next_gaussian();
-  const double size = std::exp(ln);
-  if (size <= static_cast<double>(kMinFileBytes)) return kMinFileBytes;
-  if (size >= static_cast<double>(kMaxFileBytes)) return kMaxFileBytes;
-  return static_cast<std::uint64_t>(size);
-}
-
-/// Uniform request size in [avg/2, 3*avg/2] (mean == avg), floor 512 B.
-std::uint32_t sample_request_size(util::Xoshiro256& rng, std::uint32_t avg) {
-  const std::uint32_t lo = std::max(kMinRequestBytes, avg / 2);
-  const std::uint32_t hi = std::max(lo + 1, avg + avg / 2);
-  return static_cast<std::uint32_t>(rng.next_in(lo, hi));
-}
-
-}  // namespace
 
 TraceGenerator::TraceGenerator(WorkloadProfile profile, std::uint16_t clients)
     : profile_(std::move(profile)), clients_(clients ? clients : 1) {}
 
 Trace TraceGenerator::generate() const {
-  util::Xoshiro256 rng(profile_.seed);
+  // The generation algorithm lives in RecordStream (trace/cursor.h); this
+  // materialised path is just a drain of the stream, so the streaming and
+  // materialised pipelines cannot diverge.
+  RecordStream stream(profile_, clients_);
   Trace trace;
   trace.name = profile_.name;
+  trace.files = stream.files();
 
-  // --- File population ---
-  const std::uint64_t n_files = profile_.file_count;
-  trace.files.reserve(n_files);
-  for (FileId f = 0; f < n_files; ++f) {
-    trace.files.push_back(
-        {f, sample_file_size(rng, profile_.median_file_size,
-                             profile_.file_size_sigma)});
-  }
+  // Pre-size for ops + expected open/close overhead.  Sessions are
+  // geometric with mean `mean_session_ops`, so opens+closes average
+  // 2*ops/mean; the 2% + constant headroom absorbs the (sub-percent at
+  // bench scales) sampling variance -- undershooting by one record would
+  // trigger a full doubling realloc of a multi-hundred-MB array.
+  const std::uint64_t ops = profile_.write_count + profile_.read_count;
+  const double mean = std::max(1.0, profile_.mean_session_ops);
+  const auto expected_sessions =
+      static_cast<std::uint64_t>(static_cast<double>(ops) / mean) + 1;
+  trace.records.reserve(ops + 2 * expected_sessions +
+                        2 * expected_sessions / 50 + 1024);
 
-  // --- Popularity: Zipf rank -> file ---
-  // Reads and writes share one popularity order with local jitter: in real
-  // NFS traces the most-written files are also heavily read (the paper's
-  // CMT achieves HDF-level load balance precisely because total-access heat
-  // correlates with write heat), but the alignment is not perfect -- some
-  // files are read-hot only, which is what makes HDF's write-only ranking
-  // cheaper in erases for the same balance.
-  std::vector<FileId> write_rank(n_files);
-  std::iota(write_rank.begin(), write_rank.end(), 0);
-  for (std::size_t i = write_rank.size(); i > 1; --i) {
-    std::swap(write_rank[i - 1], write_rank[rng.next_below(i)]);
-  }
-  std::vector<FileId> read_rank = write_rank;
-  const std::uint64_t jitter_window = std::max<std::uint64_t>(2, n_files / 50);
-  for (std::size_t i = 0; i < read_rank.size(); ++i) {
-    const std::size_t j = std::min<std::size_t>(
-        read_rank.size() - 1, i + rng.next_below(jitter_window));
-    std::swap(read_rank[i], read_rank[j]);
-  }
-  const util::ZipfSampler write_pop(n_files, profile_.write_zipf);
-  const util::ZipfSampler read_pop(n_files, profile_.read_zipf);
-
-  // --- Session stream until both op quotas are exhausted ---
-  std::vector<std::uint64_t> cursor(n_files, 0);  // sequential-read cursor
-  std::uint64_t writes_left = profile_.write_count;
-  std::uint64_t reads_left = profile_.read_count;
-  trace.records.reserve(profile_.write_count + profile_.read_count +
-                        (profile_.write_count + profile_.read_count) / 4);
-
-  std::uint16_t client = 0;
-  auto emit = [&](OpType op, FileId file, std::uint64_t offset,
-                  std::uint32_t size) {
-    trace.records.push_back({file, offset, size, op, client});
-  };
-
-  const double bias = std::max(1.0, profile_.session_type_bias);
-  while (writes_left + reads_left > 0) {
-    // Stationary op mix: a write-leaning session writes with probability
-    // q_w = min(1, b*f) and a read-leaning one with q_r = f/b, where f is
-    // the remaining write fraction.  The session-type probability p_s is
-    // solved from p_s*q_w + (1-p_s)*q_r = f so the expected mix stays f for
-    // the whole trace (a naive fixed purity depletes one quota early and
-    // leaves a long single-op-type tail).
-    const double f = static_cast<double>(writes_left) /
-                     static_cast<double>(writes_left + reads_left);
-    const double q_w = std::min(1.0, bias * f);
-    const double q_r = f / bias;
-    const double p_s = q_w > q_r ? (f - q_r) / (q_w - q_r) : 1.0;
-    const bool write_session = rng.next_double() < p_s;
-    const FileId file = write_session
-                            ? write_rank[write_pop(rng)]
-                            : read_rank[read_pop(rng)];
-    const std::uint64_t file_size = trace.files[file].size_bytes;
-
-    // Geometric session length (mean = mean_session_ops).
-    const double p_stop = 1.0 / std::max(1.0, profile_.mean_session_ops);
-    emit(OpType::kOpen, file, 0, 0);
-    bool emitted_any = false;
-    do {
-      // Pick the op for this request, respecting quotas.
-      bool is_write;
-      if (writes_left == 0) {
-        is_write = false;
-      } else if (reads_left == 0) {
-        is_write = true;
-      } else {
-        is_write = rng.next_double() < (write_session ? q_w : q_r);
-      }
-
-      const std::uint32_t avg =
-          is_write ? profile_.avg_write_size : profile_.avg_read_size;
-      std::uint64_t size64 = sample_request_size(rng, avg);
-      std::uint64_t offset;
-      const bool force_hot =
-          is_write && rng.next_double() < profile_.write_hot_bias;
-      if (force_hot) {
-        // Hot-region write: land inside the file's leading hot fraction,
-        // skewed toward its start by offset_zipf.
-        const std::uint64_t unit = std::max<std::uint64_t>(avg, 4096);
-        const std::uint64_t hot_bytes = std::max<std::uint64_t>(
-            unit, static_cast<std::uint64_t>(
-                      profile_.hot_region_fraction *
-                      static_cast<double>(file_size)));
-        const std::uint64_t units = std::max<std::uint64_t>(1, hot_bytes / unit);
-        if (profile_.offset_zipf > 0.0) {
-          const util::ZipfSampler offsets(units, profile_.offset_zipf);
-          offset = offsets(rng) * unit;
-        } else {
-          offset = rng.next_below(units) * unit;
-        }
-      } else if (rng.next_double() < profile_.sequential_locality) {
-        offset = cursor[file] % file_size;
-      } else if (profile_.offset_zipf > 0.0) {
-        // Hot-spot skew: a few request-sized regions of the file take most
-        // of the non-sequential traffic (mailbox indices, db pages...).
-        const std::uint64_t unit = std::max<std::uint64_t>(avg, 4096);
-        const std::uint64_t units = std::max<std::uint64_t>(1, file_size / unit);
-        const util::ZipfSampler offsets(units, profile_.offset_zipf);
-        offset = offsets(rng) * unit;
-      } else {
-        offset = rng.next_below(file_size);
-        offset &= ~std::uint64_t{511};  // 512 B alignment, NFS-like
-      }
-      if (offset + size64 > file_size) {
-        // Wrap rather than truncate so the target mean size is preserved
-        // when the size still fits from the start of the file.
-        if (size64 <= file_size) {
-          offset = file_size - size64;
-        } else {
-          offset = 0;
-          size64 = file_size;
-        }
-      }
-      cursor[file] = offset + size64;
-      const auto size = static_cast<std::uint32_t>(size64);
-      if (is_write) {
-        emit(OpType::kWrite, file, offset, size);
-        --writes_left;
-      } else {
-        emit(OpType::kRead, file, offset, size);
-        --reads_left;
-      }
-      emitted_any = true;
-    } while (writes_left + reads_left > 0 && rng.next_double() >= p_stop);
-    emit(OpType::kClose, file, 0, 0);
-    (void)emitted_any;
-    client = static_cast<std::uint16_t>((client + 1) % clients_);
-  }
+  Record rec;
+  while (stream.next(rec)) trace.records.push_back(rec);
   return trace;
 }
 

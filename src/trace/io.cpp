@@ -12,6 +12,7 @@ namespace {
 
 constexpr char kMagic[8] = {'E', 'D', 'M', 'T', 'R', 'A', 'C', 'E'};
 constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kRecordWireBytes = 24;  // 8+8+4+1+2+1 (pad)
 
 template <typename T>
 void put(std::ostream& os, const T& value) {
@@ -26,69 +27,162 @@ T get(std::istream& is) {
   return value;
 }
 
-}  // namespace
-
-void save_trace(const Trace& trace, std::ostream& os) {
-  os.write(kMagic, sizeof(kMagic));
-  put(os, kVersion);
-  const auto name_len = static_cast<std::uint32_t>(trace.name.size());
-  put(os, name_len);
-  os.write(trace.name.data(), name_len);
-
-  put(os, static_cast<std::uint64_t>(trace.files.size()));
-  for (const auto& f : trace.files) {
-    put(os, f.id);
-    put(os, f.size_bytes);
-  }
-  put(os, static_cast<std::uint64_t>(trace.records.size()));
-  for (const auto& r : trace.records) {
-    put(os, r.file);
-    put(os, r.offset);
-    put(os, r.size);
-    put(os, static_cast<std::uint8_t>(r.op));
-    put(os, r.client);
-    put(os, std::uint8_t{0});  // pad
-  }
-  if (!os) throw std::runtime_error("trace write failed");
+template <typename T>
+void encode(char*& p, const T& value) {
+  std::memcpy(p, &value, sizeof(T));
+  p += sizeof(T);
 }
 
-Trace load_trace(std::istream& is) {
+template <typename T>
+T decode(const char*& p) {
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  p += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- TraceWriter
+
+TraceWriter::TraceWriter(std::ostream& os, const std::string& name,
+                         const std::vector<FileSpec>& files)
+    : os_(os) {
+  buf_.reserve(kChunkRecords * kRecordWireBytes);
+  os_.write(kMagic, sizeof(kMagic));
+  put(os_, kVersion);
+  const auto name_len = static_cast<std::uint32_t>(name.size());
+  put(os_, name_len);
+  os_.write(name.data(), name_len);
+
+  put(os_, static_cast<std::uint64_t>(files.size()));
+  for (const auto& f : files) {
+    put(os_, f.id);
+    put(os_, f.size_bytes);
+  }
+  // Record count is unknown until finish(); write a placeholder and
+  // remember where to backpatch it.
+  count_pos_ = os_.tellp();
+  put(os_, std::uint64_t{0});
+  if (!os_) throw std::runtime_error("trace write failed");
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor must not throw; call finish() explicitly to see errors.
+  }
+}
+
+void TraceWriter::append(const Record& r) {
+  const std::size_t at = buf_.size();
+  buf_.resize(at + kRecordWireBytes);
+  char* p = buf_.data() + at;
+  encode(p, r.file);
+  encode(p, r.offset);
+  encode(p, r.size);
+  encode(p, static_cast<std::uint8_t>(r.op));
+  encode(p, r.client);
+  encode(p, std::uint8_t{0});  // pad
+  ++records_written_;
+  if (buf_.size() >= kChunkRecords * kRecordWireBytes) flush_chunk();
+}
+
+void TraceWriter::flush_chunk() {
+  if (buf_.empty()) return;
+  os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  buf_.clear();
+  if (!os_) throw std::runtime_error("trace write failed");
+}
+
+void TraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  flush_chunk();
+  const std::streampos end = os_.tellp();
+  os_.seekp(count_pos_);
+  put(os_, records_written_);
+  os_.seekp(end);
+  os_.flush();
+  if (!os_) throw std::runtime_error("trace write failed");
+}
+
+// ----------------------------------------------------------- TraceReader
+
+TraceReader::TraceReader(std::istream& is) : is_(is) {
   char magic[8];
-  is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  is_.read(magic, sizeof(magic));
+  if (!is_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     throw std::runtime_error("not an EDM trace stream");
   }
-  const auto version = get<std::uint32_t>(is);
+  const auto version = get<std::uint32_t>(is_);
   if (version != kVersion) {
     throw std::runtime_error("unsupported trace version " +
                              std::to_string(version));
   }
-  Trace trace;
-  const auto name_len = get<std::uint32_t>(is);
-  trace.name.resize(name_len);
-  is.read(trace.name.data(), name_len);
-  if (!is) throw std::runtime_error("trace stream truncated");
+  const auto name_len = get<std::uint32_t>(is_);
+  name_.resize(name_len);
+  is_.read(name_.data(), name_len);
+  if (!is_) throw std::runtime_error("trace stream truncated");
 
-  const auto file_count = get<std::uint64_t>(is);
-  trace.files.reserve(file_count);
+  const auto file_count = get<std::uint64_t>(is_);
+  files_.reserve(file_count);
   for (std::uint64_t i = 0; i < file_count; ++i) {
     FileSpec f;
-    f.id = get<FileId>(is);
-    f.size_bytes = get<std::uint64_t>(is);
-    trace.files.push_back(f);
+    f.id = get<FileId>(is_);
+    f.size_bytes = get<std::uint64_t>(is_);
+    files_.push_back(f);
   }
-  const auto record_count = get<std::uint64_t>(is);
-  trace.records.reserve(record_count);
-  for (std::uint64_t i = 0; i < record_count; ++i) {
-    Record r;
-    r.file = get<FileId>(is);
-    r.offset = get<std::uint64_t>(is);
-    r.size = get<std::uint32_t>(is);
-    r.op = static_cast<OpType>(get<std::uint8_t>(is));
-    r.client = get<std::uint16_t>(is);
-    (void)get<std::uint8_t>(is);  // pad
-    trace.records.push_back(r);
+  record_count_ = get<std::uint64_t>(is_);
+  buf_.resize(TraceWriter::kChunkRecords * kRecordWireBytes);
+}
+
+void TraceReader::refill() {
+  const std::uint64_t remaining = record_count_ - records_read_;
+  const std::size_t want =
+      static_cast<std::size_t>(
+          std::min<std::uint64_t>(remaining, TraceWriter::kChunkRecords)) *
+      kRecordWireBytes;
+  is_.read(buf_.data(), static_cast<std::streamsize>(want));
+  if (static_cast<std::size_t>(is_.gcount()) != want) {
+    throw std::runtime_error("trace stream truncated");
   }
+  buf_pos_ = 0;
+  buf_len_ = want;
+}
+
+bool TraceReader::next(Record& out) {
+  if (records_read_ >= record_count_) return false;
+  if (buf_pos_ >= buf_len_) refill();
+  const char* p = buf_.data() + buf_pos_;
+  out.file = decode<FileId>(p);
+  out.offset = decode<std::uint64_t>(p);
+  out.size = decode<std::uint32_t>(p);
+  out.op = static_cast<OpType>(decode<std::uint8_t>(p));
+  out.client = decode<std::uint16_t>(p);
+  (void)decode<std::uint8_t>(p);  // pad
+  buf_pos_ += kRecordWireBytes;
+  ++records_read_;
+  return true;
+}
+
+// ------------------------------------------------- whole-trace wrappers
+
+void save_trace(const Trace& trace, std::ostream& os) {
+  TraceWriter writer(os, trace.name, trace.files);
+  for (const auto& r : trace.records) writer.append(r);
+  writer.finish();
+}
+
+Trace load_trace(std::istream& is) {
+  TraceReader reader(is);
+  Trace trace;
+  trace.name = reader.name();
+  trace.files = reader.files();
+  trace.records.reserve(reader.record_count());
+  Record r;
+  while (reader.next(r)) trace.records.push_back(r);
   return trace;
 }
 

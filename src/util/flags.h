@@ -127,22 +127,39 @@ class FlagParser {
   }
 
   bool parse_one(const std::string& arg) {
+    // Split on the first '=' so every failure can name the flag it was
+    // aimed at, not just echo the raw argument.
+    const std::string::size_type eq = arg.find('=');
+    const std::string name = arg.substr(0, eq);
     for (const Flag& f : flags_) {
+      if (name != f.name) continue;
       if (f.takes_value) {
-        if (arg.rfind(f.name + "=", 0) != 0) continue;
-        const std::string value = arg.substr(f.name.size() + 1);
+        if (eq == std::string::npos) {
+          error_ = "missing value for " + f.name + " (expected " + f.name +
+                   "=<value>)";
+          return false;
+        }
+        const std::string value = arg.substr(eq + 1);
         if (!f.set(value)) {
-          error_ = "bad value for " + f.name + ": " + value;
+          error_ = "bad value for " + f.name + ": '" + value + "'";
           return false;
         }
         return true;
       }
-      if (arg == f.name) {
-        f.set("");
-        return true;
+      if (eq != std::string::npos) {
+        error_ = f.name + " is a presence flag and takes no value (got '" +
+                 arg + "')";
+        return false;
       }
+      f.set("");
+      return true;
     }
-    error_ = "unknown option: " + arg;
+    if (arg.rfind("--", 0) != 0) {
+      error_ = "unexpected positional argument: '" + arg +
+               "' (options use --name or --name=<value>)";
+      return false;
+    }
+    error_ = "unknown option: " + name + " (see --help for the flag list)";
     return false;
   }
 

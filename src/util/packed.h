@@ -1,0 +1,152 @@
+// Bit-packed containers for large per-page metadata tables.
+//
+// A simulated SSD keeps two page-granular mapping tables (L2P / P2L) plus a
+// validity flag per physical page; at cluster scale those tables dominate
+// per-device memory.  A 65536-page device needs only 17 bits per mapping
+// entry, not 32 -- PackedIntVector stores N fixed-width entries in
+// ceil(N*bits/64) uint64_t words (~2x smaller than uint32_t vectors), and
+// BitVector packs one flag per page into uint64_t words (8x smaller than
+// the bool-per-byte vector it replaces and 32x smaller than keeping
+// validity implicit in a cleared P2L entry).
+//
+// PackedIntVector entries may straddle a word boundary; get/set handle the
+// split with two masked accesses.  There is no bounds checking beyond
+// assert -- these sit on the flash hot path.
+//
+// Thread-safety: none (confine to one simulator thread, like the Ssd).
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace edm::util {
+
+/// Fixed-width unsigned integers, `bits` bits each, packed LSB-first into
+/// 64-bit words.  Width is fixed at construction; values must fit.
+class PackedIntVector {
+ public:
+  PackedIntVector() = default;
+
+  /// `bits` in [1, 64].  Every entry is initialised to `fill`.
+  PackedIntVector(std::size_t size, std::uint32_t bits, std::uint64_t fill)
+      : size_(size),
+        bits_(bits),
+        mask_(bits >= 64 ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << bits) - 1) {
+    assert(bits >= 1 && bits <= 64);
+    assert(fill <= mask_);
+    const std::size_t words = (size * bits + 63) / 64;
+    if (fill == mask_) {
+      // All-ones fill (the sentinel case) is an all-ones word pattern;
+      // excess high bits in the last word are never observed (get masks).
+      words_.assign(words, ~std::uint64_t{0});
+    } else {
+      words_.assign(words, 0);
+      if (fill != 0) {
+        for (std::size_t i = 0; i < size; ++i) set(i, fill);
+      }
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  std::uint32_t bits() const { return bits_; }
+
+  /// All-ones value of this width -- the natural "unmapped" sentinel when
+  /// the addressed range is smaller than 2^bits.
+  std::uint64_t max_value() const { return mask_; }
+
+  /// Smallest width whose mask covers values in [0, n] -- i.e. leaves
+  /// `n` itself representable, so it can serve as an out-of-range sentinel
+  /// for indices in [0, n).
+  static std::uint32_t bits_for(std::uint64_t n) {
+    return n == 0 ? 1 : static_cast<std::uint32_t>(std::bit_width(n));
+  }
+
+  /// All-ones value of the given width (what max_value() will report) --
+  /// usable before construction, e.g. in member-initialiser lists.
+  static std::uint64_t max_for(std::uint32_t bits) {
+    return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+  }
+
+  std::uint64_t get(std::size_t i) const {
+    assert(i < size_);
+    const std::size_t bit = i * bits_;
+    const std::size_t word = bit >> 6;
+    const std::uint32_t shift = bit & 63;
+    std::uint64_t v = words_[word] >> shift;
+    if (shift + bits_ > 64) {
+      v |= words_[word + 1] << (64 - shift);
+    }
+    return v & mask_;
+  }
+
+  void set(std::size_t i, std::uint64_t value) {
+    assert(i < size_);
+    assert(value <= mask_);
+    const std::size_t bit = i * bits_;
+    const std::size_t word = bit >> 6;
+    const std::uint32_t shift = bit & 63;
+    words_[word] = (words_[word] & ~(mask_ << shift)) | (value << shift);
+    if (shift + bits_ > 64) {
+      const std::uint32_t spill = shift + bits_ - 64;  // bits in next word
+      const std::uint64_t spill_mask = (std::uint64_t{1} << spill) - 1;
+      words_[word + 1] =
+          (words_[word + 1] & ~spill_mask) | (value >> (64 - shift));
+    }
+  }
+
+  /// Backing-store footprint in bytes (for memory accounting/tests).
+  std::size_t backing_bytes() const {
+    return words_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+  std::uint32_t bits_ = 0;
+  std::uint64_t mask_ = 0;
+};
+
+/// Flat bitmap over uint64_t words: one bit per page/block flag.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t size)
+      : words_((size + 63) / 64, 0), size_(size) {}
+
+  std::size_t size() const { return size_; }
+
+  bool test(std::size_t i) const {
+    assert(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i) {
+    assert(i < size_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void clear(std::size_t i) {
+    assert(i < size_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  /// Number of set bits in [first, first + count).
+  std::size_t count_range(std::size_t first, std::size_t count) const {
+    std::size_t n = 0;
+    for (std::size_t i = first; i < first + count; ++i) n += test(i);
+    return n;
+  }
+
+  std::size_t backing_bytes() const {
+    return words_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace edm::util

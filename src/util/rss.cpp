@@ -1,0 +1,42 @@
+#include "util/rss.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace edm::util {
+
+namespace {
+
+/// Returns the "VmXXX:   1234 kB" value in bytes, or 0 when the field (or
+/// procfs) is missing.  fgets-based: this runs inside sampler ticks, so no
+/// iostream allocation churn.
+std::size_t status_field_bytes(const char* field) {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::size_t bytes = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0) continue;
+    unsigned long long kb = 0;
+    if (std::sscanf(line + field_len, " %llu", &kb) == 1) {
+      bytes = static_cast<std::size_t>(kb) * 1024;
+    }
+    break;
+  }
+  std::fclose(f);
+  return bytes;
+#else
+  (void)field;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::size_t current_rss_bytes() { return status_field_bytes("VmRSS:"); }
+
+std::size_t peak_rss_bytes() { return status_field_bytes("VmHWM:"); }
+
+}  // namespace edm::util

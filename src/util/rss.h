@@ -1,0 +1,26 @@
+// Process resident-set-size probe.
+//
+// Reads VmRSS (current) and VmHWM (peak / high-water mark) from
+// /proc/self/status.  The kernel tracks VmHWM itself, so peak_rss_bytes()
+// reflects the true allocation peak of the whole process -- including
+// transients that were freed before the probe ran -- which is exactly the
+// number a memory-scaling benchmark has to report (bench/perf_scale runs
+// one cell per process so each cell gets a fresh high-water mark).
+//
+// On platforms without procfs both probes return 0; callers must treat 0
+// as "unavailable", not "no memory".
+//
+// Thread-safety: safe to call from any thread (stateless; one file read).
+#pragma once
+
+#include <cstddef>
+
+namespace edm::util {
+
+/// Current resident set (VmRSS) in bytes; 0 when unavailable.
+std::size_t current_rss_bytes();
+
+/// Peak resident set (VmHWM) in bytes; 0 when unavailable.
+std::size_t peak_rss_bytes();
+
+}  // namespace edm::util

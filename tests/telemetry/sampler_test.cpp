@@ -89,5 +89,30 @@ TEST(Sampler, EmptySamplerStillWritesHeader) {
   EXPECT_EQ(os.str(), "t_us,inflight_migration_bytes\n");
 }
 
+TEST(Sampler, RssColumnIsOptIn) {
+  // Default: no peak_rss column anywhere -- the digest fixtures depend on
+  // the deterministic exports staying exactly as they are.
+  const Sampler plain = two_row_sampler();
+  std::ostringstream plain_csv;
+  plain.write_csv(plain_csv);
+  EXPECT_EQ(plain_csv.str().find("peak_rss"), std::string::npos);
+  std::ostringstream plain_json;
+  plain.write_json(plain_json);
+  EXPECT_EQ(plain_json.str().find("peak_rss"), std::string::npos);
+
+  Sampler s(1'000'000, /*rss_column=*/true);
+  EXPECT_TRUE(s.rss_column());
+  SampleRow& r = s.add_row(1'000'000);
+  r.peak_rss_bytes = 123456;
+  std::ostringstream csv;
+  s.write_csv(csv);
+  const std::string header = csv.str().substr(0, csv.str().find('\n'));
+  EXPECT_EQ(header, "t_us,inflight_migration_bytes,peak_rss_bytes");
+  EXPECT_NE(csv.str().find("1000000,0,123456"), std::string::npos);
+  std::ostringstream json;
+  s.write_json(json);
+  EXPECT_NE(json.str().find("\"peak_rss_bytes\":123456"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace edm::telemetry

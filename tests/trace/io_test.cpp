@@ -87,5 +87,84 @@ TEST(TraceIo, MissingFileThrows) {
                std::runtime_error);
 }
 
+// Streaming writer + reader round-trip, record for record, and the bytes
+// are identical to the whole-trace save_trace path (same format).
+TEST(TraceIo, StreamingRoundTripMatchesWholeTracePath) {
+  const Trace original = sample_trace();
+  std::stringstream whole;
+  save_trace(original, whole);
+
+  std::stringstream streamed;
+  {
+    TraceWriter writer(streamed, original.name, original.files);
+    for (const auto& r : original.records) writer.append(r);
+    writer.finish();
+    EXPECT_EQ(writer.records_written(), original.records.size());
+  }
+  EXPECT_EQ(streamed.str(), whole.str());
+
+  TraceReader reader(streamed);
+  EXPECT_EQ(reader.name(), original.name);
+  EXPECT_EQ(reader.record_count(), original.records.size());
+  ASSERT_EQ(reader.files().size(), original.files.size());
+  Record r;
+  std::size_t i = 0;
+  while (reader.next(r)) {
+    ASSERT_LT(i, original.records.size());
+    EXPECT_EQ(r.file, original.records[i].file);
+    EXPECT_EQ(r.offset, original.records[i].offset);
+    EXPECT_EQ(r.size, original.records[i].size);
+    EXPECT_EQ(r.op, original.records[i].op);
+    EXPECT_EQ(r.client, original.records[i].client);
+    ++i;
+  }
+  EXPECT_EQ(i, original.records.size());
+  EXPECT_FALSE(reader.next(r));  // stays exhausted
+}
+
+// Chunk-boundary cases: record counts straddling the chunk size.
+TEST(TraceIo, StreamingChunkBoundaries) {
+  for (const std::size_t n :
+       {std::size_t{0}, TraceWriter::kChunkRecords - 1,
+        TraceWriter::kChunkRecords, TraceWriter::kChunkRecords + 1,
+        2 * TraceWriter::kChunkRecords + 7}) {
+    std::stringstream buffer;
+    {
+      TraceWriter writer(buffer, "chunky", {});
+      for (std::size_t i = 0; i < n; ++i) {
+        writer.append({static_cast<FileId>(i), i * 17, 512, OpType::kWrite,
+                       static_cast<std::uint16_t>(i % 5)});
+      }
+      writer.finish();
+    }
+    TraceReader reader(buffer);
+    EXPECT_EQ(reader.record_count(), n);
+    Record r;
+    std::size_t i = 0;
+    while (reader.next(r)) {
+      EXPECT_EQ(r.file, static_cast<FileId>(i));
+      EXPECT_EQ(r.offset, i * 17);
+      ++i;
+    }
+    EXPECT_EQ(i, n) << "chunk-count " << n;
+  }
+}
+
+TEST(TraceIo, StreamingReaderRejectsTruncatedRecords) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() - 10));
+  TraceReader reader(truncated);  // header + count parse fine
+  Record r;
+  EXPECT_THROW(
+      {
+        while (reader.next(r)) {
+        }
+      },
+      std::runtime_error);
+}
+
 }  // namespace
 }  // namespace edm::trace

@@ -117,6 +117,57 @@ TEST(FlagParser, BoolFlagRejectsValueForm) {
   EXPECT_EQ(parser.parse(static_cast<int>(argv.size()), argv.data()),
             FlagParser::Result::kError);
   EXPECT_FALSE(b);
+  // The error must name the flag and say it takes no value, not claim the
+  // whole argument is an unknown option.
+  EXPECT_NE(parser.error().find("--csv"), std::string::npos);
+  EXPECT_NE(parser.error().find("takes no value"), std::string::npos);
+}
+
+TEST(FlagParser, ValueFlagWithoutValueIsAClearError) {
+  double d = 0.5;
+  FlagParser parser;
+  parser.add_double("--scale", &d, "");
+  auto argv = make_argv({"--scale"});
+  EXPECT_EQ(parser.parse(static_cast<int>(argv.size()), argv.data()),
+            FlagParser::Result::kError);
+  EXPECT_NE(parser.error().find("missing value for --scale"),
+            std::string::npos);
+  EXPECT_NE(parser.error().find("--scale=<value>"), std::string::npos);
+  EXPECT_DOUBLE_EQ(d, 0.5);  // target untouched
+}
+
+TEST(FlagParser, UnknownOptionErrorPointsAtHelp) {
+  double d = 0.0;
+  FlagParser parser;
+  parser.add_double("--scale", &d, "");
+  auto argv = make_argv({"--scael=1"});
+  EXPECT_EQ(parser.parse(static_cast<int>(argv.size()), argv.data()),
+            FlagParser::Result::kError);
+  EXPECT_NE(parser.error().find("unknown option: --scael"),
+            std::string::npos);
+  EXPECT_NE(parser.error().find("--help"), std::string::npos);
+}
+
+TEST(FlagParser, PositionalArgumentIsRejectedDistinctly) {
+  double d = 0.0;
+  FlagParser parser;
+  parser.add_double("--scale", &d, "");
+  auto argv = make_argv({"home02"});
+  EXPECT_EQ(parser.parse(static_cast<int>(argv.size()), argv.data()),
+            FlagParser::Result::kError);
+  EXPECT_NE(parser.error().find("positional argument"), std::string::npos);
+  EXPECT_NE(parser.error().find("home02"), std::string::npos);
+}
+
+TEST(FlagParser, BadValueErrorQuotesTheValue) {
+  std::uint32_t u = 7;
+  FlagParser parser;
+  parser.add_uint32("--osds", &u, "");
+  auto argv = make_argv({"--osds=12q"});
+  EXPECT_EQ(parser.parse(static_cast<int>(argv.size()), argv.data()),
+            FlagParser::Result::kError);
+  EXPECT_NE(parser.error().find("bad value for --osds: '12q'"),
+            std::string::npos);
 }
 
 TEST(FlagParser, UsageListsEveryFlag) {

@@ -1,0 +1,115 @@
+#include "util/packed.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace edm::util {
+namespace {
+
+TEST(PackedIntVector, BitsForCoversSentinel) {
+  // bits_for(n) must leave n itself representable so the all-ones value of
+  // that width (>= n) can mark "unmapped" for indices in [0, n).
+  EXPECT_EQ(PackedIntVector::bits_for(0), 1u);
+  EXPECT_EQ(PackedIntVector::bits_for(1), 1u);
+  EXPECT_EQ(PackedIntVector::bits_for(2), 2u);
+  EXPECT_EQ(PackedIntVector::bits_for(255), 8u);
+  EXPECT_EQ(PackedIntVector::bits_for(256), 9u);
+  for (std::uint64_t n : {1ull, 7ull, 64ull, 65535ull, 1048576ull}) {
+    const std::uint32_t bits = PackedIntVector::bits_for(n);
+    EXPECT_GE(PackedIntVector::max_for(bits), n) << "n=" << n;
+    EXPECT_EQ(PackedIntVector(1, bits, 0).max_value(),
+              PackedIntVector::max_for(bits));
+  }
+}
+
+TEST(PackedIntVector, FillAndRoundTrip) {
+  const std::uint32_t bits = 17;  // deliberately straddles word boundaries
+  PackedIntVector v(1000, bits, PackedIntVector::max_for(bits));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(v.get(i), v.max_value()) << i;
+  }
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v.set(i, static_cast<std::uint64_t>(i * 131) & v.max_value());
+  }
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_EQ(v.get(i), (static_cast<std::uint64_t>(i * 131) & v.max_value()))
+        << i;
+  }
+}
+
+TEST(PackedIntVector, MatchesReferenceVectorUnderRandomOps) {
+  // Differential check against a plain vector across widths that exercise
+  // exact word alignment (16, 32, 64) and straddling (3, 17, 33, 63).
+  for (std::uint32_t bits : {3u, 16u, 17u, 32u, 33u, 63u, 64u}) {
+    Xoshiro256 rng(0xC0FFEEu + bits);
+    const std::size_t n = 513;
+    PackedIntVector packed(n, bits, 0);
+    std::vector<std::uint64_t> ref(n, 0);
+    for (int op = 0; op < 20000; ++op) {
+      const auto i = static_cast<std::size_t>(rng.next_below(n));
+      const std::uint64_t val = rng() & packed.max_value();
+      packed.set(i, val);
+      ref[i] = val;
+      const auto j = static_cast<std::size_t>(rng.next_below(n));
+      ASSERT_EQ(packed.get(j), ref[j]) << "bits=" << bits << " op=" << op;
+    }
+  }
+}
+
+TEST(PackedIntVector, SetDoesNotDisturbNeighbours) {
+  const std::uint32_t bits = 13;
+  PackedIntVector v(64, bits, PackedIntVector::max_for(bits));
+  v.set(10, 0);
+  EXPECT_EQ(v.get(9), v.max_value());
+  EXPECT_EQ(v.get(10), 0u);
+  EXPECT_EQ(v.get(11), v.max_value());
+}
+
+TEST(PackedIntVector, BackingBytesShrinkVersusUint32) {
+  // The use case from the flash layer: 17-bit entries for a 65536-page
+  // device must come out roughly 2x smaller than a uint32_t table.
+  const std::size_t pages = 65536;
+  const std::uint32_t bits = PackedIntVector::bits_for(pages);
+  PackedIntVector v(pages, bits, 0);
+  EXPECT_LE(v.backing_bytes(), pages * sizeof(std::uint32_t) * 6 / 10);
+}
+
+TEST(BitVector, SetTestClear) {
+  BitVector b(200);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_FALSE(b.test(i));
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(199);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(199));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_FALSE(b.test(65));
+  b.clear(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+}
+
+TEST(BitVector, CountRange) {
+  BitVector b(256);
+  for (std::size_t i = 0; i < b.size(); i += 3) b.set(i);
+  EXPECT_EQ(b.count_range(0, 256), 86u);
+  EXPECT_EQ(b.count_range(0, 0), 0u);
+  EXPECT_EQ(b.count_range(0, 1), 1u);
+  EXPECT_EQ(b.count_range(1, 2), 0u);  // bits 1 and 2 are clear
+  EXPECT_EQ(b.count_range(60, 10), b.count_range(60, 5) + b.count_range(65, 5));
+}
+
+TEST(BitVector, BackingBytesAreOneBitPerEntry) {
+  BitVector b(65536);
+  EXPECT_EQ(b.backing_bytes(), 65536u / 8);
+}
+
+}  // namespace
+}  // namespace edm::util

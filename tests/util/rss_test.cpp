@@ -1,0 +1,47 @@
+#include "util/rss.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace edm::util {
+namespace {
+
+TEST(Rss, ProbesReportPlausibleValues) {
+#if defined(__linux__)
+  const std::size_t current = current_rss_bytes();
+  const std::size_t peak = peak_rss_bytes();
+  ASSERT_GT(current, 0u);
+  ASSERT_GT(peak, 0u);
+  // VmHWM is the high-water mark of VmRSS, so it can never be below it.
+  EXPECT_GE(peak, current);
+#else
+  EXPECT_EQ(current_rss_bytes(), 0u);
+  EXPECT_EQ(peak_rss_bytes(), 0u);
+#endif
+}
+
+#if defined(__linux__)
+TEST(Rss, PeakTracksLargeAllocation) {
+  // Size the buffer so current + buffer clears the existing high-water mark
+  // by a wide margin (an earlier test may have already pushed VmHWM above
+  // today's VmRSS).
+  const std::size_t current = current_rss_bytes();
+  const std::size_t before = peak_rss_bytes();
+  ASSERT_GE(before, current);
+  const std::size_t grow = (before - current) + (64u << 20);
+  {
+    // The fill touches every page so they are resident, not just mapped.
+    std::vector<char> block(grow, 1);
+    const auto sum = std::accumulate(block.begin(), block.end(), 0ull);
+    ASSERT_GT(sum, 0u);  // keep the buffer observable
+  }
+  // The buffer is freed, but the high-water mark must remember it.
+  EXPECT_GE(peak_rss_bytes(), before + (32u << 20));
+}
+#endif
+
+}  // namespace
+}  // namespace edm::util

@@ -25,6 +25,11 @@ case " $* " in
   *) out_args=(--out=BENCH_baseline.json) ;;
 esac
 
+# Provenance: the binary embeds compiler/flags/CPU itself; the commit has
+# to come from us (the binary never shells out to git).
+EDM_GIT_COMMIT=$(git rev-parse HEAD 2>/dev/null || echo "")
+export EDM_GIT_COMMIT
+
 # Give the machine a moment to go quiet after the build: timing right
 # after compilation is one of the noise sources the methodology bans.
 sleep 3

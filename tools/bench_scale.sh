@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Builds the default preset and runs bench/perf_scale on the standard
+# scale sweep, writing the machine-readable result to BENCH_scale.json at
+# the repo root (the file memory-scaling PRs refresh and commit; see
+# docs/PERFORMANCE.md "Memory" for methodology and comparison rules).
+#
+#   tools/bench_scale.sh [perf_scale flags...]
+#
+# Flags are passed straight through, so e.g.
+#   tools/bench_scale.sh --quick                 # smoke run (don't commit)
+#   tools/bench_scale.sh --scales=1,2,4,8
+#   tools/bench_scale.sh --out=/tmp/s.json       # redirect the JSON
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs" --target perf_scale >/dev/null
+
+# Default output lands at the repo root unless the caller overrode --out.
+out_args=()
+case " $* " in
+  *" --out="*) ;;
+  *) out_args=(--out=BENCH_scale.json) ;;
+esac
+
+# Provenance: the binary embeds compiler/flags/CPU itself; the commit has
+# to come from us (the binary never shells out to git).
+EDM_GIT_COMMIT=$(git rev-parse HEAD 2>/dev/null || echo "")
+export EDM_GIT_COMMIT
+
+# Give the machine a moment to go quiet after the build: timing right
+# after compilation is one of the noise sources the methodology bans.
+sleep 3
+exec ./build/bench/perf_scale "${out_args[@]}" "$@"

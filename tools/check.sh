@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full pre-merge check: documentation consistency (tools/check_docs.sh),
-# then build + test the normal config (plus a perf_baseline smoke run that
-# validates the edm-bench-result/1 JSON shape), then the asan-ubsan
+# then build + test the normal config (plus perf_baseline and perf_scale
+# smoke runs that validate the edm-bench-result/1 JSON shape and the
+# streaming-replay RSS ceiling), then the asan-ubsan
 # config, then the concurrency-sensitive tests (telemetry, thread pool,
 # sweep runner, logging) under ThreadSanitizer (CMakePresets.json).  Any
 # failure aborts.
@@ -41,6 +42,45 @@ EOF
   rm -f "$out"
 }
 
+# Smoke the memory-scaling bench: a --quick run (one streaming cell at
+# scale 2, own subprocess) must succeed, emit schema-valid JSON with the
+# perf_scale cell fields, and stay under a generous RSS ceiling.  The
+# ceiling (256 MiB) sits ~6x above the measured streaming footprint at
+# this cell and well below the ~540 MiB a materialized run would need --
+# it trips if streaming replay ever silently falls back to materialising
+# the trace, while staying deaf to allocator noise.
+scale_smoke() {
+  echo "== scale smoke (perf_scale --quick) =="
+  local out
+  out=$(mktemp)
+  ./build/bench/perf_scale --quick --out="$out" >/dev/null
+  python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d.get("schema") == "edm-bench-result/1", d.get("schema")
+assert d.get("bench") == "perf_scale", d.get("bench")
+assert "provenance" in d, "missing provenance"
+assert d["cells"], "no cells"
+cell_keys = {"scale", "mode", "trace", "policy", "num_osds",
+             "events_processed", "completed_ops", "replay_wall_s",
+             "setup_wall_s", "events_per_sec", "peak_rss_bytes"}
+ceiling = 256 * 1024 * 1024
+for c in d["cells"]:
+    missing = cell_keys - c.keys()
+    assert not missing, f"cell missing {missing}"
+    assert c["events_processed"] > 0, "empty replay"
+    assert c["mode"] == "streaming", c["mode"]
+    assert 0 < c["peak_rss_bytes"] < ceiling, (
+        f"peak RSS {c['peak_rss_bytes']} outside (0, {ceiling}): "
+        "streaming replay should stay tens-of-MiB at scale 2")
+print(f"scale smoke: {len(d['cells'])} cells, RSS "
+      f"{max(c['peak_rss_bytes'] for c in d['cells'])/2**20:.1f} MiB "
+      f"< 256 MiB ceiling, JSON shape ok")
+EOF
+  rm -f "$out"
+}
+
 run_preset() {
   local preset="$1"
   echo "== configure ($preset) =="
@@ -56,6 +96,7 @@ tools/check_docs.sh
 
 run_preset default
 bench_smoke
+scale_smoke
 if [[ "${1:-}" != "--fast" ]]; then
   run_preset asan-ubsan
   run_preset tsan
