@@ -1,0 +1,306 @@
+// Extension experiment: fail-slow fault model with online health
+// detection, hedged degraded reads, and quarantine-and-drain migration.
+//
+// Phase 1 replays each trace clean with the health monitor watching --
+// this is both the healthy baseline and the detector's false-positive
+// check (a monitor that flags healthy devices is worse than no monitor).
+// Phase 2 replays the *identical* trace with one OSD turning fail-slow at
+// 20% of the clean makespan: service time multiplied by --factor, plus
+// seeded intermittent stalls (firmware-pause mode).  Three modes:
+//
+//   fail-slow        injection only -- the damage, unwatched
+//   + detection      health monitor scores service-time EWMAs online and
+//                    flags the outlier (no oracle access to the plan)
+//   + mitigation     flags trigger hedged RAID-5 reconstruction reads off
+//                    the sick device and quarantine-and-drain migration
+//
+// Headline columns: p99/p999 tail latency, which OSDs the monitor flagged
+// (must be exactly the injected one, and nothing on the clean run), time
+// from onset to first flag, and hedge/drain work performed.
+//
+//   ./build/bench/ext_failslow [--scale=0.1] [--csv] [--jobs=N] [--quick]
+//                              [--out=FILE.json] [--slow-osd=3]
+//                              [--factor=8] [--stall-rate=0.05]
+//                              [--stall-ms=4]
+//
+// --quick shrinks to one trace at scale 0.02 for the tools/check.sh fault
+// smoke; --out writes machine-readable JSON (schema edm-bench-result/1)
+// with a "detection" section asserting detector quality -- the committed
+// reference is BENCH_failslow.json at the repo root.  All replay numbers
+// are deterministic: same seed -> byte-identical table and JSON (minus
+// provenance) at any --jobs.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "bench/provenance.h"
+#include "trace/generator.h"
+
+namespace {
+
+struct FailslowArgs {
+  edm::bench::BenchArgs base;
+  bool quick = false;
+  std::string out;
+  std::uint32_t slow_osd = 3;
+  double factor = 8.0;
+  double stall_rate = 0.05;
+  double stall_ms = 4.0;
+};
+
+struct TraceOutcome {
+  std::string trace;
+  edm::OsdId injected_osd = 0;
+  edm::SimTime slow_at = 0;
+  std::vector<std::uint32_t> flagged_clean;     // must be empty
+  std::vector<std::uint32_t> flagged_detect;    // must be {injected_osd}
+  std::vector<std::uint32_t> flagged_mitigate;  // must be {injected_osd}
+  double detection_s = 0.0;  // onset -> first flag (detect mode)
+  double p99_clean_us = 0.0;
+  double p99_slow_us = 0.0;
+  double p99_mitigated_us = 0.0;
+  double p999_slow_us = 0.0;
+  double p999_mitigated_us = 0.0;
+  double p99_improvement() const {
+    return p99_mitigated_us > 0.0 ? p99_slow_us / p99_mitigated_us : 0.0;
+  }
+};
+
+std::string osd_list(const std::vector<std::uint32_t>& osds) {
+  if (osds.empty()) return "-";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < osds.size(); ++i) {
+    if (i) os << "+";
+    os << osds[i];
+  }
+  return os.str();
+}
+
+void write_osd_array(std::ostream& os, const std::vector<std::uint32_t>& v) {
+  os << "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ", ";
+    os << v[i];
+  }
+  os << "]";
+}
+
+void write_json(const std::string& path, const FailslowArgs& args,
+                const std::vector<TraceOutcome>& outcomes) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "ext_failslow: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  os << "{\n";
+  os << "  \"schema\": \"edm-bench-result/1\",\n";
+  os << "  \"bench\": \"ext_failslow\",\n";
+  os << "  \"scale\": " << (args.quick ? 0.02 : args.base.scale) << ",\n";
+  os << "  \"quick\": " << (args.quick ? "true" : "false") << ",\n";
+  os << "  \"injection\": {\n";
+  os << "    \"slow_osd\": " << args.slow_osd << ",\n";
+  os << "    \"factor\": " << args.factor << ",\n";
+  os << "    \"stall_rate\": " << args.stall_rate << ",\n";
+  os << "    \"stall_ms\": " << args.stall_ms << "\n";
+  os << "  },\n";
+  edm::bench::write_provenance_json(os, edm::bench::collect_provenance(),
+                                    "  ");
+  os << ",\n";
+  os << "  \"detection\": [\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const TraceOutcome& o = outcomes[i];
+    os << "    {\n";
+    os << "      \"trace\": \"" << o.trace << "\",\n";
+    os << "      \"injected_osd\": " << o.injected_osd << ",\n";
+    os << "      \"slow_at_us\": " << o.slow_at << ",\n";
+    os << "      \"flagged_clean\": ";
+    write_osd_array(os, o.flagged_clean);
+    os << ",\n";
+    os << "      \"flagged_detect\": ";
+    write_osd_array(os, o.flagged_detect);
+    os << ",\n";
+    os << "      \"flagged_mitigate\": ";
+    write_osd_array(os, o.flagged_mitigate);
+    os << ",\n";
+    os << "      \"false_positives\": "
+       << (o.flagged_clean.empty() ? 0 : o.flagged_clean.size()) << ",\n";
+    os << "      \"detection_s\": " << o.detection_s << ",\n";
+    os << "      \"p99_clean_us\": " << o.p99_clean_us << ",\n";
+    os << "      \"p99_slow_us\": " << o.p99_slow_us << ",\n";
+    os << "      \"p99_mitigated_us\": " << o.p99_mitigated_us << ",\n";
+    os << "      \"p999_slow_us\": " << o.p999_slow_us << ",\n";
+    os << "      \"p999_mitigated_us\": " << o.p999_mitigated_us << ",\n";
+    os << "      \"p99_improvement\": " << o.p99_improvement() << "\n";
+    os << "    }" << (i + 1 < outcomes.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FailslowArgs args;
+  edm::util::FlagParser parser = edm::bench::make_flag_parser(args.base);
+  parser.add_bool("--quick", &args.quick,
+                  "one trace at scale 0.02 (tools/check.sh fault smoke)");
+  parser.add_string("--out", &args.out, "write edm-bench-result/1 JSON");
+  parser.add_uint32("--slow-osd", &args.slow_osd,
+                    "OSD that turns fail-slow at 20% of the clean makespan");
+  parser.add_double("--factor", &args.factor,
+                    "fail-slow service-time multiplier (>= 1)");
+  parser.add_double("--stall-rate", &args.stall_rate,
+                    "per-request intermittent stall probability [0, 1]");
+  parser.add_double("--stall-ms", &args.stall_ms,
+                    "intermittent stall duration in milliseconds");
+  switch (parser.parse(argc, argv)) {
+    case edm::util::FlagParser::Result::kOk:
+      break;
+    case edm::util::FlagParser::Result::kHelp:
+      parser.print_usage(std::cerr, argv[0]);
+      return 0;
+    case edm::util::FlagParser::Result::kError:
+      std::cerr << parser.error() << "\n";
+      parser.print_usage(std::cerr, argv[0]);
+      return 2;
+  }
+  if (args.quick) args.base.scale = 0.02;
+
+  using edm::util::Table;
+  Table table({"trace", "mode", "p99(ms)", "p999(ms)", "makespan(s)",
+               "flagged", "detect(s)", "hedged(wins)", "drained"});
+  std::vector<edm::sim::RunResult> all_results;
+  std::vector<TraceOutcome> outcomes;
+
+  std::vector<const char*> traces = {"home02", "lair62"};
+  if (args.quick) traces = {"home02"};
+
+  for (const char* trace_name : traces) {
+    // All modes replay one shared trace so the injection schedule
+    // (derived from the clean makespan) lines up across runs.
+    auto base_cell = edm::bench::cell(trace_name, edm::core::PolicyKind::kHdf,
+                                      16, args.base.scale);
+    edm::bench::apply_telemetry(base_cell, args.base);
+    base_cell.sim.health.enabled = true;
+    // A shorter check period than the 2 s default keeps detection latency
+    // proportionate to these reduced-scale replays.
+    base_cell.sim.health.check_interval_us = 500 * 1000;
+    const auto base = edm::sim::finalize(base_cell);
+    auto profile =
+        edm::trace::profile_by_name(base.trace_name).scaled(base.scale);
+    profile.seed ^= base.trace_seed_offset;
+    const auto trace =
+        edm::trace::TraceGenerator(profile, base.num_clients).generate();
+
+    // Phase 1: clean run, monitor watching.  Doubles as the healthy
+    // baseline and the zero-false-positive check.
+    const auto clean = edm::sim::run_experiment(base, trace);
+    const auto slow_at = static_cast<edm::SimTime>(0.2 * clean.makespan_us);
+
+    edm::sim::FaultPlan plan;
+    plan.slow(args.slow_osd, slow_at, args.factor, args.stall_rate,
+              static_cast<edm::SimDuration>(args.stall_ms * 1000.0));
+
+    struct Mode {
+      const char* label;
+      bool inject = false;
+      bool health = false;
+      bool mitigate = false;
+    };
+    const std::vector<Mode> modes = {
+        {"clean (+monitor)", false, true, false},
+        {"fail-slow", true, false, false},
+        {"+ detection", true, true, false},
+        {"+ hedge/quarantine", true, true, true},
+    };
+
+    const auto mode_results = edm::runner::parallel_map<edm::sim::RunResult>(
+        modes.size(),
+        [&](std::size_t i) {
+          if (!modes[i].inject && modes[i].health && !modes[i].mitigate) {
+            return clean;  // phase 1 already ran this exact config
+          }
+          auto cfg = base;
+          if (modes[i].inject) cfg.sim.faults = plan;
+          cfg.sim.health.enabled = modes[i].health;
+          cfg.sim.health.mitigate = modes[i].mitigate;
+          return edm::sim::run_experiment(cfg, trace);
+        },
+        edm::bench::sweep_options(args.base, "ext_failslow"));
+
+    TraceOutcome outcome;
+    outcome.trace = trace_name;
+    outcome.injected_osd = args.slow_osd;
+    outcome.slow_at = slow_at;
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      const Mode& mode = modes[i];
+      const edm::sim::RunResult& r = mode_results[i];
+      all_results.push_back(r);
+      const auto& h = r.health;
+      const double p99 = r.response_histogram.quantile(0.99);
+      const double p999 = r.response_histogram.quantile(0.999);
+      double detect_s = 0.0;
+      if (mode.inject && h.first_flagged_at > slow_at) {
+        detect_s = (h.first_flagged_at - slow_at) / 1e6;
+      }
+      if (!mode.inject) {
+        outcome.flagged_clean = h.flagged_osds;
+        outcome.p99_clean_us = p99;
+      } else if (!mode.health) {
+        outcome.p99_slow_us = p99;
+        outcome.p999_slow_us = p999;
+      } else if (!mode.mitigate) {
+        outcome.flagged_detect = h.flagged_osds;
+        outcome.detection_s = detect_s;
+      } else {
+        outcome.flagged_mitigate = h.flagged_osds;
+        outcome.p99_mitigated_us = p99;
+        outcome.p999_mitigated_us = p999;
+      }
+      std::ostringstream hedged;
+      hedged << h.hedged_reads << " (" << h.hedge_wins << ")";
+      std::ostringstream drained;
+      drained << h.drain_moved << "/" << h.drain_planned;
+      table.add_row({
+          trace_name,
+          mode.label,
+          Table::num(p99 / 1000.0, 2),
+          Table::num(p999 / 1000.0, 2),
+          Table::num(r.makespan_us / 1e6, 2),
+          osd_list(h.flagged_osds),
+          mode.health && mode.inject ? Table::num(detect_s, 2) : "-",
+          hedged.str(),
+          drained.str(),
+      });
+    }
+    outcomes.push_back(outcome);
+  }
+
+  std::ostringstream note;
+  note << "The monitor flags exactly the injected device and nothing on "
+          "the clean run (service-time scoring separates sick from busy: "
+          "an overloaded device accrues queue wait, not service time).  "
+          "Hedged RAID-5 reads cap the tail a flagged device can impose "
+          "and quarantine-and-drain moves its hottest objects away; "
+          "together they recover ";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (i) note << " / ";
+    note << Table::num(outcomes[i].p99_improvement(), 2) << "x";
+  }
+  note << " of the injected p99 damage (" << outcomes.front().trace;
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    note << ", " << outcomes[i].trace;
+  }
+  note << ").";
+  edm::bench::emit(table, args.base,
+                   "Extension: fail-slow injection with online detection "
+                   "and mitigation",
+                   note.str());
+  if (!args.out.empty()) write_json(args.out, args, outcomes);
+  edm::bench::write_telemetry_outputs(all_results, args.base);
+  return 0;
+}

@@ -258,6 +258,8 @@ Cluster::MigrationAdmit Cluster::admit_migration_impl(ObjectId oid, OsdId dst) {
   if (src == dst) return MigrationAdmit::kSameOsd;
   if (osds_[src].failed()) return MigrationAdmit::kSourceFailed;
   if (osds_[dst].failed()) return MigrationAdmit::kDestinationFailed;
+  // A quarantined device may shed objects (src) but never receive them.
+  if (osd_quarantined(dst)) return MigrationAdmit::kDestinationQuarantined;
   if (!placement_.same_group(src, dst)) {
     throw std::logic_error(
         "Cluster: cross-group migration violates the RAID-5 reliability "
@@ -342,6 +344,7 @@ std::optional<OsdId> Cluster::healthy_destination(ObjectId oid) const {
   for (OsdId peer : placement_.group_peers(src)) {
     const Osd& target = osds_[peer];
     if (target.failed()) continue;
+    if (osd_quarantined(peer)) continue;  // sick device: source-only
     const double post_util =
         static_cast<double>(target.store().allocated_pages() + pages) /
         static_cast<double>(target.capacity_pages());

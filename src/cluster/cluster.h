@@ -153,15 +153,17 @@ class Cluster {
 
   // --- Migration ---
   /// Why a migration could not be admitted (kOk = it was).  The distinction
-  /// matters to the failure-aware mover: a kDestinationFailed move can be
-  /// re-planned to a healthy peer, a kSourceFailed one needs rebuild, the
-  /// rest are permanent skips for this shuffle.
+  /// matters to the failure-aware mover: a kDestinationFailed or
+  /// kDestinationQuarantined move can be re-planned to a healthy peer, a
+  /// kSourceFailed one needs rebuild, the rest are permanent skips for
+  /// this shuffle.
   enum class MigrationAdmit {
     kOk,
     kSameOsd,
     kAlreadyInFlight,
     kSourceFailed,
     kDestinationFailed,
+    kDestinationQuarantined,
     kEmptyObject,
     kOverCap,
     kNoSpace,
@@ -220,6 +222,28 @@ class Cluster {
   /// of the target Osd's failed bit -- healthy runs never touch it.
   bool any_failed() const { return num_failed_ != 0; }
   std::uint32_t failed_count() const { return num_failed_; }
+
+  // --- Quarantine (fail-slow mitigation, paper-extension) ---
+  /// A quarantined OSD still serves I/O (it is sick, not dead) but is
+  /// excluded as a migration destination: the mover treats it as a source
+  /// only, so data drains *off* it while nothing new lands *on* it.  Set
+  /// and cleared by the simulator's health monitor; independent of the
+  /// failed bit.
+  void set_quarantined(OsdId id, bool q) {
+    if (quarantined_.empty()) quarantined_.assign(osds_.size(), 0);
+    if (quarantined_[id] == static_cast<std::uint8_t>(q)) return;
+    quarantined_[id] = static_cast<std::uint8_t>(q);
+    if (q) {
+      ++num_quarantined_;
+    } else {
+      --num_quarantined_;
+    }
+  }
+  bool osd_quarantined(OsdId id) const {
+    return !quarantined_.empty() && quarantined_[id] != 0;
+  }
+  bool any_quarantined() const { return num_quarantined_ != 0; }
+  std::uint32_t quarantined_count() const { return num_quarantined_; }
 
   /// Files with two or more objects on failed OSDs are unreconstructable
   /// (RAID-5 tolerates one lost member per stripe).  With intra-group
@@ -330,6 +354,10 @@ class Cluster {
   std::unordered_map<ObjectId, Move> in_flight_;
   std::uint64_t migrations_completed_ = 0;
   std::uint32_t num_failed_ = 0;  // maintained by fail_osd/finish_rebuild
+  // Quarantine bits (lazily sized on first use so quarantine-free runs
+  // allocate nothing); maintained by set_quarantined.
+  std::vector<std::uint8_t> quarantined_;
+  std::uint32_t num_quarantined_ = 0;
 
   // Degraded-mode counters; mutable because map_request is logically const
   // (placement does not change) but must account reconstruction traffic.

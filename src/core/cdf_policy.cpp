@@ -48,7 +48,8 @@ MigrationPlan CdfPolicy::plan(const ClusterView& view, bool force) {
     // Destination quotas in pages of capacity.
     std::vector<DestinationQuota> dests;
     for (std::size_t j = 0; j < members.size(); ++j) {
-      if (delta_u[j] > 0.0) {
+      // Quarantined devices shed but never receive (fail-slow mitigation).
+      if (delta_u[j] > 0.0 && !view.devices[members[j]].quarantined) {
         const auto& dev = view.devices[members[j]];
         dests.push_back(
             {members[j],

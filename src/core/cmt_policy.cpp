@@ -41,6 +41,9 @@ MigrationPlan CmtPolicy::plan(const ClusterView& view, bool force) {
     // --- Load-balancing moves: shed hottest objects from overloaded ---
     std::vector<DestinationQuota> dests;
     for (auto i : group) {
+      // A quarantined device's EWMA is inflated by its slowdown, so it
+      // rarely shows a deficit anyway -- but never offer it as a target.
+      if (view.devices[i].quarantined) continue;
       const double deficit = s.mean - load[i];
       if (deficit > 0.0) {
         dests.push_back({i, deficit,
@@ -96,6 +99,7 @@ MigrationPlan CmtPolicy::plan(const ClusterView& view, bool force) {
     std::uint32_t lo = group[0];
     for (auto i : group) {
       if (view.devices[i].utilization > view.devices[hi].utilization) hi = i;
+      if (view.devices[i].quarantined) continue;  // never a bulk target
       if (load[i] <= group_load_mean &&
           (!have_lo ||
            view.devices[i].utilization < view.devices[lo].utilization)) {

@@ -51,7 +51,9 @@ MigrationPlan HdfPolicy::plan(const ClusterView& view, bool force) {
     // Destination quotas proportional to positive DeltaWc.
     std::vector<DestinationQuota> dests;
     for (std::size_t j = 0; j < members.size(); ++j) {
-      if (delta[j] > 0.0) {
+      // Quarantined devices stay in the member set as shedding sources but
+      // never receive data (fail-slow mitigation).
+      if (delta[j] > 0.0 && !view.devices[members[j]].quarantined) {
         dests.push_back({members[j], delta[j],
                          free_page_budget(view.devices[members[j]],
                                           cfg_.dest_utilization_cap)});

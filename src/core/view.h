@@ -33,6 +33,11 @@ struct DeviceView {
   /// migration destination nor try to drain objects off it -- those wait
   /// for rebuild.
   bool failed = false;
+
+  /// Device is fail-slow and quarantined by the health monitor: it still
+  /// serves I/O and remains a valid migration *source* (draining it is the
+  /// whole point), but policies must not pick it as a destination.
+  bool quarantined = false;
 };
 
 struct ObjectView {

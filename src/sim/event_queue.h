@@ -47,6 +47,8 @@ enum class EventKind : std::uint8_t {
   kRetryResume = 4,    // payload = retry-slot index (transient-error backoff)
   kRebuildResume = 5,  // payload = rebuild lane id | generation<<32
   kTelemetrySample = 6,  // time-series sampler tick (payload unused)
+  kHealthCheck = 7,      // periodic health-monitor evaluation (payload unused)
+  kHedgeDeadline = 8,    // payload = hedge slot | generation<<32
 };
 
 struct Event {

@@ -5,8 +5,22 @@
 
 namespace edm::sim {
 
+namespace {
+/// Tag folded into the plan seed for the stall stream so it is independent
+/// of the transient-error stream: adding stalls to a plan must never shift
+/// which requests draw transient errors.
+constexpr std::uint64_t kStallStreamTag = 0x57A11ED0ull;
+}  // namespace
+
 void FaultPlan::validate(std::uint32_t num_osds) const {
   SimTime prev = 0;
+  auto check_rate = [](double rate, const std::string& what) {
+    if (rate < 0.0 || rate > 1.0) {
+      throw std::invalid_argument("FaultPlan: " + what +
+                                  " must be in [0, 1], got " +
+                                  std::to_string(rate));
+    }
+  };
   for (std::size_t i = 0; i < events.size(); ++i) {
     const FaultEvent& e = events[i];
     if (e.at < prev) {
@@ -22,14 +36,17 @@ void FaultPlan::validate(std::uint32_t num_osds) const {
           std::to_string(e.osd) + " but the cluster has " +
           std::to_string(num_osds) + " OSDs");
     }
-  }
-  auto check_rate = [](double rate, const std::string& what) {
-    if (rate < 0.0 || rate > 1.0) {
-      throw std::invalid_argument("FaultPlan: " + what +
-                                  " must be in [0, 1], got " +
-                                  std::to_string(rate));
+    if (e.kind == FaultEvent::Kind::kSlowdown) {
+      if (e.factor < 1.0) {
+        throw std::invalid_argument(
+            "FaultPlan: slowdown event " + std::to_string(i) +
+            " has factor " + std::to_string(e.factor) +
+            " but fail-slow factors must be >= 1 (1 = nominal speed)");
+      }
+      check_rate(e.stall_rate,
+                 "slowdown event " + std::to_string(i) + " stall_rate");
     }
-  };
+  }
   check_rate(transient_error_rate, "transient_error_rate");
   for (std::size_t i = 0; i < per_osd_error_rates.size(); ++i) {
     check_rate(per_osd_error_rates[i],
@@ -44,13 +61,16 @@ void FaultPlan::validate(std::uint32_t num_osds) const {
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint32_t num_osds)
-    : plan_(std::move(plan)), rng_(plan_.seed) {
+    : plan_(std::move(plan)),
+      rng_(plan_.seed),
+      stall_rng_(plan_.seed ^ kStallStreamTag) {
   plan_.validate(num_osds);
   rates_.assign(num_osds, plan_.transient_error_rate);
   for (std::size_t i = 0; i < plan_.per_osd_error_rates.size(); ++i) {
     rates_[i] = plan_.per_osd_error_rates[i];
   }
   for (double r : rates_) any_rate_ |= r > 0.0;
+  slow_.assign(num_osds, SlowState{});
 }
 
 bool FaultInjector::transient_error(OsdId osd) {
@@ -64,6 +84,38 @@ bool FaultInjector::transient_error(OsdId osd) {
   const bool hit = rng_.next_double() < rate;
   if (hit) ++transient_errors_;
   return hit;
+}
+
+void FaultInjector::apply_slowdown(const FaultEvent& e) {
+  SlowState& s = slow_[e.osd];
+  const bool was_slow = s.factor > 1.0 || s.stall_rate > 0.0;
+  s.factor = e.factor;
+  s.stall_rate = e.stall_rate;
+  s.stall_us = e.stall_us;
+  const bool is_slow = s.factor > 1.0 || s.stall_rate > 0.0;
+  if (!was_slow && is_slow) ++num_slow_;
+  if (was_slow && !is_slow) --num_slow_;
+}
+
+void FaultInjector::apply_recover(OsdId osd) {
+  SlowState& s = slow_[osd];
+  if (s.factor > 1.0 || s.stall_rate > 0.0) --num_slow_;
+  s = SlowState{};
+}
+
+SimDuration FaultInjector::degrade(OsdId osd, SimDuration service) {
+  const SlowState& s = slow_[osd];
+  if (s.factor > 1.0) {
+    service = static_cast<SimDuration>(static_cast<double>(service) *
+                                       s.factor);
+  }
+  // The stall stream only advances for devices in stall mode, so plans
+  // without stalls replay bit-identically with or without this branch.
+  if (s.stall_rate > 0.0 && stall_rng_.next_double() < s.stall_rate) {
+    service += s.stall_us;
+    ++stalls_;
+  }
+  return service;
 }
 
 }  // namespace edm::sim

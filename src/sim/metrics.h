@@ -54,6 +54,9 @@ struct DegradedMetrics {
 /// errors + retry/backoff, failure-aware migration, online rebuild.
 struct FaultMetrics {
   std::uint64_t scheduled_failures = 0;  // FaultPlan kFail events applied
+  std::uint64_t slowdown_events = 0;     // FaultPlan kSlowdown events applied
+  std::uint64_t recover_events = 0;      // FaultPlan kRecover events applied
+  std::uint64_t stalls_injected = 0;     // intermittent stalls added
   std::uint64_t transient_errors = 0;    // injected per-request errors
   std::uint64_t retried_requests = 0;    // sub-requests re-driven (backoff)
   std::uint64_t abandoned_requests = 0;  // client retries exhausted
@@ -72,6 +75,30 @@ struct FaultMetrics {
   std::uint64_t rebuild_peer_pages_read = 0;
   SimTime rebuild_started_at = 0;
   SimTime rebuild_finished_at = 0;
+};
+
+/// Online health-monitor accounting (fail-slow detection + mitigation).
+/// Always serialised (schema edm-run-result/3 has an always-present
+/// `health` section); enabled = false leaves every counter at zero.
+struct HealthMetrics {
+  bool enabled = false;    // monitor scored latencies this run
+  bool mitigated = false;  // hedged reads + quarantine-and-drain active
+  std::uint64_t checks = 0;        // periodic evaluations performed
+  std::uint64_t flag_events = 0;   // healthy -> flagged transitions
+  std::uint64_t clear_events = 0;  // flagged -> healthy transitions
+  std::vector<std::uint32_t> flagged_osds;  // ever flagged, ascending
+  SimTime first_flagged_at = 0;
+  std::uint64_t quarantined_at_end = 0;  // still quarantined when run ended
+
+  // Hedged reads (client reads stuck on a flagged OSD past the deadline).
+  std::uint64_t hedged_reads = 0;     // hedges that fired peer reads
+  std::uint64_t hedge_wins = 0;       // reconstruction beat the primary
+  std::uint64_t hedge_redundant = 0;  // primary beat the reconstruction
+
+  // Quarantine-and-drain migrations.
+  std::uint64_t drain_triggers = 0;  // quarantines that started a drain
+  std::uint64_t drain_planned = 0;   // objects queued for draining
+  std::uint64_t drain_moved = 0;     // drain objects fully moved
 };
 
 /// Event-loop and wall-clock measurements for the continuous-benchmark
@@ -117,6 +144,9 @@ struct RunResult {
   // --- failure injection (SIII.D experiments) ---
   DegradedMetrics degraded;
   FaultMetrics faults;
+
+  // --- fail-slow detection & mitigation (paper-extension) ---
+  HealthMetrics health;
 
   // --- benchmark-harness measurements (never serialised) ---
   PerfMetrics perf;

@@ -61,6 +61,11 @@ class JsonWriter {
     write_key(k);
     first_ = true;  // next begin_object must not emit a comma
   }
+  /// Bare array element (for arrays of numbers).
+  void value(std::uint64_t v) {
+    separator();
+    os_ << v;
+  }
 
  private:
   void separator() {
@@ -124,6 +129,14 @@ void write_report(const RunResult& r, std::ostream& os, bool per_osd,
        << " s\n";
   }
 
+  if (r.health.enabled) {
+    os << "health:          " << r.health.checks << " checks, "
+       << r.health.flag_events << " flags / " << r.health.clear_events
+       << " clears; hedged=" << r.health.hedged_reads
+       << " (wins=" << r.health.hedge_wins << "), drain moved="
+       << r.health.drain_moved << "/" << r.health.drain_planned << "\n";
+  }
+
   if (per_osd) {
     Table t({"osd", "erases", "host_writes", "gc_moves", "util", "served",
              "busy(s)"});
@@ -159,7 +172,7 @@ void write_report(const RunResult& r, std::ostream& os, bool per_osd,
 void write_json(const RunResult& r, std::ostream& os) {
   JsonWriter json(os);
   json.begin_object();
-  json.field("schema", std::string("edm-run-result/2"));
+  json.field("schema", std::string("edm-run-result/3"));
   json.field("trace", r.trace_name);
   json.field("policy", r.policy_name);
   json.field("num_osds", std::uint64_t{r.num_osds});
@@ -171,6 +184,7 @@ void write_json(const RunResult& r, std::ostream& os) {
   json.field("throughput_ops_per_sec", r.throughput_ops_per_sec());
   json.field("mean_response_us", r.mean_response_us);
   json.field("p99_response_us", r.response_histogram.quantile(0.99));
+  json.field("p999_response_us", r.response_histogram.quantile(0.999));
   json.field("aggregate_erases", r.aggregate_erases());
   json.field("aggregate_host_writes", r.aggregate_host_writes());
   json.field("erase_rsd", r.erase_rsd());
@@ -204,6 +218,9 @@ void write_json(const RunResult& r, std::ostream& os) {
   json.key("faults");
   json.begin_object();
   json.field("scheduled_failures", r.faults.scheduled_failures);
+  json.field("slowdown_events", r.faults.slowdown_events);
+  json.field("recover_events", r.faults.recover_events);
+  json.field("stalls_injected", r.faults.stalls_injected);
   json.field("transient_errors", r.faults.transient_errors);
   json.field("retried_requests", r.faults.retried_requests);
   json.field("abandoned_requests", r.faults.abandoned_requests);
@@ -218,6 +235,31 @@ void write_json(const RunResult& r, std::ostream& os) {
   json.field("rebuild_peer_pages_read", r.faults.rebuild_peer_pages_read);
   json.field("rebuild_started_at_us", r.faults.rebuild_started_at);
   json.field("rebuild_finished_at_us", r.faults.rebuild_finished_at);
+  json.end_object();
+
+  // Schema /3: always-present health section (mirrors the telemetry
+  // section's contract -- enabled=0 and zeroed counters when the monitor
+  // was off, so consumers never branch on key presence).
+  json.key("health");
+  json.begin_object();
+  json.field("enabled", std::uint64_t{r.health.enabled ? 1u : 0u});
+  json.field("mitigated", std::uint64_t{r.health.mitigated ? 1u : 0u});
+  json.field("checks", r.health.checks);
+  json.field("flag_events", r.health.flag_events);
+  json.field("clear_events", r.health.clear_events);
+  json.begin_array("flagged_osds");
+  for (std::uint32_t osd : r.health.flagged_osds) {
+    json.value(std::uint64_t{osd});
+  }
+  json.end_array();
+  json.field("first_flagged_at_us", r.health.first_flagged_at);
+  json.field("quarantined_at_end", r.health.quarantined_at_end);
+  json.field("hedged_reads", r.health.hedged_reads);
+  json.field("hedge_wins", r.health.hedge_wins);
+  json.field("hedge_redundant", r.health.hedge_redundant);
+  json.field("drain_triggers", r.health.drain_triggers);
+  json.field("drain_planned", r.health.drain_planned);
+  json.field("drain_moved", r.health.drain_moved);
   json.end_object();
 
   json.begin_array("per_osd");

@@ -49,6 +49,7 @@ void SimConfig::validate(std::uint32_t num_osds) const {
   }
   retry.validate();
   faults.validate(num_osds);
+  if (health.enabled) health.validate();
 }
 
 Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
@@ -76,6 +77,11 @@ Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
   if (!cfg_.faults.empty()) {
     injector_ =
         std::make_unique<FaultInjector>(cfg_.faults, cluster_.num_osds());
+  }
+  if (cfg_.health.enabled) {
+    monitor_ =
+        std::make_unique<HealthMonitor>(cfg_.health, cluster_.num_osds());
+    hedge_enabled_ = cfg_.health.mitigate;
   }
   rebuild_lanes_.resize(cfg_.rebuild_lanes);
   servers_.reserve(cluster_.num_osds());
@@ -178,6 +184,9 @@ RunResult Simulator::run() {
   if (tel_sampler_ != nullptr && (clients_active() || mover_active())) {
     events_.push(tel_sampler_->interval_us(), EventKind::kTelemetrySample, 0);
   }
+  if (monitor_ != nullptr && (clients_active() || mover_active())) {
+    events_.push(cfg_.health.check_interval_us, EventKind::kHealthCheck, 0);
+  }
   schedule_next_fault();
 
   std::uint64_t events_processed = 0;
@@ -223,6 +232,12 @@ RunResult Simulator::run() {
       }
       case EventKind::kTelemetrySample:
         on_telemetry_sample(e.time);
+        break;
+      case EventKind::kHealthCheck:
+        on_health_check(e.time);
+        break;
+      case EventKind::kHedgeDeadline:
+        on_hedge_deadline(e.payload, e.time);
         break;
     }
   }
@@ -271,8 +286,23 @@ RunResult Simulator::run() {
   degraded_.unavailable = cluster_.unavailable_requests();
   out.degraded = degraded_;
 
-  if (injector_) faults_.transient_errors = injector_->transient_errors();
+  if (injector_) {
+    faults_.transient_errors = injector_->transient_errors();
+    faults_.stalls_injected = injector_->stalls_injected();
+  }
   out.faults = faults_;
+
+  if (monitor_) {
+    health_.enabled = true;
+    health_.mitigated = cfg_.health.mitigate;
+    health_.checks = monitor_->checks();
+    health_.flag_events = monitor_->flag_events();
+    health_.clear_events = monitor_->clear_events();
+    health_.flagged_osds = monitor_->ever_flagged();
+    health_.first_flagged_at = monitor_->first_flagged_at();
+    health_.quarantined_at_end = cluster_.quarantined_count();
+  }
+  out.health = health_;
 
   if (tel_ != nullptr && tel_->config().sample_rss) {
     if (auto* metrics = tel_->metrics()) {
@@ -350,6 +380,14 @@ void Simulator::fill_client_window(std::uint16_t client_id, SimTime now) {
 // ------------------------------------------------------------ OSD service
 
 void Simulator::enqueue(SubRequest req, SimTime now) {
+  // Hedge client reads headed at a health-flagged device: if the primary
+  // has not landed by the hedge deadline, k-1 peer reads reconstruct the
+  // data and the first side to finish completes the op.
+  if (hedge_enabled_ && req.hedge == kNoHedge &&
+      req.kind == SubRequest::Kind::kClient && !req.io.is_write &&
+      monitor_->any_flagged() && monitor_->flagged(req.io.osd)) {
+    arm_hedge(req, now);
+  }
   const OsdId osd = req.io.osd;
   OsdServer& s = servers_[osd];
   if (!s.busy && s.queue.empty()) {
@@ -417,10 +455,17 @@ void Simulator::process_one(SubRequest req, OsdId osd, SimTime now) {
     resolve_degraded_client(std::move(req), now);
     return;
   }
-  const SimDuration service = cfg_.request_overhead_us + execute(req.io);
+  SimDuration service = cfg_.request_overhead_us + execute(req.io);
+  // Fail-slow degradation: a slowed device multiplies its service time
+  // (and may add a seeded intermittent stall).  any_slow() keeps the
+  // healthy-cluster fast path to one predictable branch.
+  if (injector_ != nullptr && injector_->any_slow()) {
+    service = injector_->degrade(osd, service);
+  }
   s.busy = true;
   s.busy_us += service;
   s.current = std::move(req);
+  s.service_start = now;
   events_.push(now + service, EventKind::kOsdComplete, osd);
 }
 
@@ -451,6 +496,17 @@ void Simulator::on_osd_complete(OsdId osd, SimTime now) {
   SubRequest req = std::move(s.current);
   s.load.add(static_cast<double>(now - req.enqueue_time));
   ++s.served;
+  // The health monitor scores whatever the cluster actually produces --
+  // it has no access to the injected fault plan.  It observes *service*
+  // time (dispatch -> completion), not enqueue -> completion: a fail-slow
+  // device inflates every service it performs, while a healthy device
+  // merely overloaded with hot data (the load-balancing premise of this
+  // whole system) only accrues queue wait.  Only client sub-requests are
+  // comparable units -- mover/rebuild chunks are orders of magnitude
+  // larger and would flag every migration destination.
+  if (monitor_ != nullptr && req.kind == SubRequest::Kind::kClient) {
+    monitor_->observe(osd, now - s.service_start);
+  }
 
   if (stale(req)) {
     // The owning mover/rebuild lane was aborted while this chunk was in
@@ -464,6 +520,12 @@ void Simulator::on_osd_complete(OsdId osd, SimTime now) {
     if (cfg_.retry.exhausted(attempts)) {
       switch (req.kind) {
         case SubRequest::Kind::kClient:
+          if (req.hedge != kNoHedge) {
+            // The hedge slot decides whether this loss abandons the op or
+            // is absorbed (the other side already completed it).
+            fail_hedged_subrequest(req, now);
+            break;
+          }
           // Retries spent: the sub-request is abandoned (counted), but the
           // file operation still completes -- nothing hangs the client.
           ++faults_.abandoned_requests;
@@ -492,7 +554,7 @@ void Simulator::on_osd_complete(OsdId osd, SimTime now) {
 
   switch (req.kind) {
     case SubRequest::Kind::kClient:
-      complete_client_subrequest(req.owner, now);
+      complete_client(req, now);
       break;
     case SubRequest::Kind::kMover:
       on_mover_chunk_complete(req, now);
@@ -558,10 +620,32 @@ void Simulator::on_fault_event(SimTime now) {
   if (!injector_) return;
   while (injector_->has_pending() && injector_->peek().at <= now) {
     const FaultEvent e = injector_->pop();
-    if (e.kind == FaultEvent::Kind::kFail) {
-      apply_fail(e.osd, now);
-    } else {
-      apply_rebuild(e.osd, now);
+    switch (e.kind) {
+      case FaultEvent::Kind::kFail:
+        apply_fail(e.osd, now);
+        break;
+      case FaultEvent::Kind::kRebuild:
+        apply_rebuild(e.osd, now);
+        break;
+      case FaultEvent::Kind::kSlowdown:
+        injector_->apply_slowdown(e);
+        ++faults_.slowdown_events;
+        if (tel_tracer_ != nullptr) {
+          tel_tracer_->instant(telemetry::Category::kFault, "osd_slowdown",
+                               telemetry::track_fault(), now, "osd",
+                               static_cast<double>(e.osd), "factor",
+                               e.factor);
+        }
+        break;
+      case FaultEvent::Kind::kRecover:
+        injector_->apply_recover(e.osd);
+        ++faults_.recover_events;
+        if (tel_tracer_ != nullptr) {
+          tel_tracer_->instant(telemetry::Category::kFault, "osd_recover",
+                               telemetry::track_fault(), now, "osd",
+                               static_cast<double>(e.osd));
+        }
+        break;
     }
   }
   schedule_next_fault();
@@ -627,6 +711,26 @@ void Simulator::apply_rebuild(OsdId id, SimTime now) {
 }
 
 void Simulator::resolve_degraded_client(SubRequest req, SimTime now) {
+  if (req.hedge != kNoHedge) {
+    HedgeSlot& h = hedge_slots_[req.hedge];
+    if (req.hedge_peer) {
+      // A reconstruction read hit the failed device: this hedge can no
+      // longer win; the primary (or its own degraded resolution below,
+      // next time around) completes the op.
+      h.peers_failed = true;
+      assert(h.peers_outstanding > 0);
+      --h.peers_outstanding;
+      maybe_free_hedge_slot(req.hedge);
+      return;
+    }
+    h.primary_done = true;
+    const bool absorbed = h.resolved;
+    h.resolved = true;
+    maybe_free_hedge_slot(req.hedge);
+    if (absorbed) return;  // the hedge already completed the op
+    req.hedge = kNoHedge;  // the degraded path owns op completion now
+    req.hedge_peer = false;
+  }
   if (req.io.is_write) {
     cluster_.note_lost_write();
     complete_client_subrequest(req.owner, now);
@@ -732,9 +836,11 @@ void Simulator::advance_lane(std::uint16_t lane_id, SimTime now) {
     lane.actions.pop_front();
     action.source = cluster_.locate(action.oid);  // may have moved since plan
     auto admit = cluster_.admit_migration(action.oid, action.destination);
-    if (admit == cluster::Cluster::MigrationAdmit::kDestinationFailed) {
-      // The planned destination died since the plan was drawn; re-target
-      // the move onto a healthy group peer instead of dropping it.
+    if (admit == cluster::Cluster::MigrationAdmit::kDestinationFailed ||
+        admit == cluster::Cluster::MigrationAdmit::kDestinationQuarantined) {
+      // The planned destination died (or was quarantined by the health
+      // monitor) since the plan was drawn; re-target the move onto a
+      // healthy group peer instead of dropping it.
       if (auto dst = cluster_.healthy_destination(action.oid)) {
         action.destination = *dst;
         ++faults_.migrations_replanned;
@@ -743,9 +849,13 @@ void Simulator::advance_lane(std::uint16_t lane_id, SimTime now) {
     }
     if (admit != cluster::Cluster::MigrationAdmit::kOk) {
       ++migration_.skipped_objects;
+      if (!drain_oids_.empty()) drain_oids_.erase(action.oid);
       continue;
     }
-    if (policy_ != nullptr && policy_->blocks_foreground()) {
+    if (policy_ != nullptr && policy_->blocks_foreground() &&
+        (drain_oids_.empty() || drain_oids_.count(action.oid) == 0)) {
+      // Drain moves never block foreground access: the sick device keeps
+      // serving (slowly) while its hot objects leave.
       blocked_.insert(action.oid);
     }
     lane.active = true;
@@ -797,9 +907,11 @@ void Simulator::abort_lane_migration(std::uint16_t lane_id, SimTime now,
       ++faults_.migrations_replanned;
     } else {
       ++migration_.skipped_objects;
+      if (!drain_oids_.empty()) drain_oids_.erase(oid);
     }
   } else {
     ++migration_.skipped_objects;
+    if (!drain_oids_.empty()) drain_oids_.erase(oid);
   }
   // Resume the lane after a backoff; the new generation tags the event.
   events_.push(now + cfg_.retry.backoff_us(1), EventKind::kMoverResume,
@@ -840,6 +952,9 @@ void Simulator::on_mover_chunk_complete(const SubRequest& req, SimTime now) {
   cluster_.complete_migration(oid);
   ++migration_.moved_objects;
   migration_.moved_pages += lane.current.pages;
+  if (!drain_oids_.empty() && drain_oids_.erase(oid) != 0) {
+    ++health_.drain_moved;
+  }
   if (tel_tracer_ != nullptr) {
     tel_tracer_->complete(telemetry::Category::kMigration, "move",
                           telemetry::track_mover(lane_id), lane.move_start,
@@ -1064,6 +1179,205 @@ bool Simulator::rebuild_lane_touches(const RebuildLane& lane,
   return false;
 }
 
+// ---------------------------------------- online health (fail-slow model)
+
+void Simulator::on_health_check(SimTime now) {
+  transition_scratch_.clear();
+  monitor_->evaluate(now, transition_scratch_);
+  for (const HealthMonitor::Transition& t : transition_scratch_) {
+    apply_health_transition(t, now);
+  }
+  // Keep checking while any work remains, like the telemetry sampler.
+  if (clients_active() || mover_active() || rebuild_running_) {
+    events_.push(now + cfg_.health.check_interval_us, EventKind::kHealthCheck,
+                 0);
+  }
+}
+
+void Simulator::apply_health_transition(const HealthMonitor::Transition& t,
+                                        SimTime now) {
+  if (tel_tracer_ != nullptr) {
+    tel_tracer_->instant(telemetry::Category::kFault,
+                         t.flagged ? "health_flag" : "health_clear",
+                         telemetry::track_fault(), now, "osd",
+                         static_cast<double>(t.osd));
+  }
+  if (!cfg_.health.mitigate) return;  // detect-only run
+  if (t.flagged) {
+    // Cap on simultaneous quarantines: draining a sick device shifts its
+    // hot write traffic (and the GC it drags in) onto peers, which can
+    // transiently look slow themselves.  Remediating every flag would
+    // cascade -- quarantine the worst offenders, hedge around the rest.
+    if (cluster_.quarantined_count() >= cfg_.health.max_quarantined) return;
+    cluster_.set_quarantined(t.osd, true);
+    start_drain(t.osd, now);
+  } else {
+    cluster_.set_quarantined(t.osd, false);
+  }
+}
+
+void Simulator::start_drain(OsdId osd, SimTime now) {
+  if (cfg_.health.drain_max_objects == 0) return;
+  if (cluster_.osd_failed(osd)) return;  // a dead device is rebuild's job
+  struct Candidate {
+    ObjectId oid = 0;
+    double temp = 0.0;
+    std::uint32_t pages = 0;
+  };
+  std::vector<Candidate> cands;
+  const cluster::Osd& sick = cluster_.osd(osd);
+  cands.reserve(sick.store().object_count());
+  sick.store().for_each_object([&](ObjectId oid) {
+    if (cluster_.migration_in_flight(oid)) return;
+    if (!drain_oids_.empty() && drain_oids_.count(oid) != 0) return;
+    const std::uint32_t pages = sick.object_pages(oid);
+    if (pages == 0) return;  // nothing to move
+    cands.push_back({oid, tracker_.total_temperature(oid), pages});
+  });
+  // Hottest first: the objects whose traffic the sick device most needs
+  // shed are the ones worth the mover bandwidth.
+  std::sort(cands.begin(), cands.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.temp != b.temp) return a.temp > b.temp;
+              return a.oid < b.oid;
+            });
+  std::uint32_t queued = 0;
+  for (const Candidate& c : cands) {
+    if (queued >= cfg_.health.drain_max_objects) break;
+    const auto dst = cluster_.healthy_destination(c.oid);
+    if (!dst) continue;  // no healthy group peer with room
+    lanes_[queued % lanes_.size()].actions.push_back(
+        {c.oid, osd, *dst, c.pages});
+    drain_oids_.insert(c.oid);
+    ++queued;
+  }
+  if (queued == 0) return;
+  ++health_.drain_triggers;
+  health_.drain_planned += queued;
+  if (migration_.started_at == 0) migration_.started_at = now;
+  if (tel_tracer_ != nullptr) {
+    tel_tracer_->instant(telemetry::Category::kFault, "drain_start",
+                         telemetry::track_fault(), now, "osd",
+                         static_cast<double>(osd), "objects",
+                         static_cast<double>(queued));
+  }
+  for (std::uint16_t lane = 0; lane < lanes_.size(); ++lane) {
+    advance_lane(lane, now);
+  }
+}
+
+void Simulator::arm_hedge(SubRequest& req, SimTime now) {
+  std::uint32_t slot;
+  if (!free_hedge_slots_.empty()) {
+    slot = free_hedge_slots_.back();
+    free_hedge_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(hedge_slots_.size());
+    hedge_slots_.emplace_back();
+  }
+  HedgeSlot& h = hedge_slots_[slot];  // gen survives slot reuse
+  h.op_id = req.owner;
+  h.io = req.io;
+  h.armed_at = now;
+  h.peers_outstanding = 0;
+  h.fired = h.resolved = h.primary_done = h.peers_failed = false;
+  req.hedge = slot;
+  events_.push(now + cfg_.health.hedge_deadline_us, EventKind::kHedgeDeadline,
+               lane_payload(slot, h.gen));
+}
+
+void Simulator::on_hedge_deadline(std::uint64_t payload, SimTime now) {
+  const std::uint32_t slot = payload_lane(payload);
+  HedgeSlot& h = hedge_slots_[slot];
+  if (payload_gen(payload) != h.gen) return;  // stale incarnation
+  if (h.resolved || h.primary_done || h.fired) return;
+  // The primary is still stuck on the flagged device: fire k-1 RAID-5
+  // peer reads of the same stripe range; first side to finish wins.
+  const cluster::Placement& place = cluster_.placement();
+  if (place.objects_per_file() <= 1) return;  // k == 1: nothing to hedge with
+  const FileId file = place.file_of(h.io.oid);
+  const std::uint32_t self = place.index_of(h.io.oid);
+  std::vector<SubRequest> peer_reads;
+  for (std::uint32_t j = 0; j < place.objects_per_file(); ++j) {
+    if (j == self) continue;
+    const ObjectId peer = place.object_id(file, j);
+    const OsdId peer_osd = cluster_.locate(peer);
+    if (cluster_.osd_failed(peer_osd)) return;  // stripe not intact
+    SubRequest pr;
+    pr.owner = h.op_id;
+    pr.io = h.io;
+    pr.io.oid = peer;
+    pr.io.osd = peer_osd;
+    pr.enqueue_time = now;
+    pr.hedge = slot;
+    pr.hedge_peer = true;
+    peer_reads.push_back(std::move(pr));
+  }
+  h.fired = true;
+  h.peers_outstanding = static_cast<std::uint32_t>(peer_reads.size());
+  ++health_.hedged_reads;
+  if (tel_tracer_ != nullptr) {
+    tel_tracer_->instant(telemetry::Category::kFault, "hedge_fire",
+                         telemetry::track_fault(), now, "osd",
+                         static_cast<double>(h.io.osd));
+  }
+  for (SubRequest& pr : peer_reads) enqueue(std::move(pr), now);
+}
+
+void Simulator::complete_client(const SubRequest& req, SimTime now) {
+  if (req.hedge == kNoHedge) {
+    complete_client_subrequest(req.owner, now);
+    return;
+  }
+  HedgeSlot& h = hedge_slots_[req.hedge];
+  if (req.hedge_peer) {
+    assert(h.peers_outstanding > 0);
+    --h.peers_outstanding;
+    if (!h.resolved && !h.peers_failed && h.peers_outstanding == 0) {
+      // All k-1 reconstruction reads beat the primary: the hedge wins.
+      h.resolved = true;
+      ++health_.hedge_wins;
+      cluster_.note_degraded_read();
+      complete_client_subrequest(h.op_id, now);
+    }
+    maybe_free_hedge_slot(req.hedge);
+    return;
+  }
+  h.primary_done = true;
+  if (!h.resolved) {
+    h.resolved = true;
+    if (h.fired) ++health_.hedge_redundant;  // primary won the race
+    complete_client_subrequest(h.op_id, now);
+  }
+  maybe_free_hedge_slot(req.hedge);
+}
+
+void Simulator::fail_hedged_subrequest(const SubRequest& req, SimTime now) {
+  HedgeSlot& h = hedge_slots_[req.hedge];
+  if (req.hedge_peer) {
+    h.peers_failed = true;  // reconstruction incomplete: hedge cannot win
+    assert(h.peers_outstanding > 0);
+    --h.peers_outstanding;
+    maybe_free_hedge_slot(req.hedge);
+    return;
+  }
+  h.primary_done = true;
+  if (!h.resolved) {
+    h.resolved = true;
+    ++faults_.abandoned_requests;
+    if (tel_requests_abandoned_ != nullptr) tel_requests_abandoned_->inc();
+    complete_client_subrequest(h.op_id, now);
+  }
+  maybe_free_hedge_slot(req.hedge);
+}
+
+void Simulator::maybe_free_hedge_slot(std::uint32_t slot) {
+  HedgeSlot& h = hedge_slots_[slot];
+  if (!h.primary_done || h.peers_outstanding > 0) return;
+  ++h.gen;  // stales any still-pending deadline event
+  free_hedge_slots_.push_back(slot);
+}
+
 // -------------------------------------------------------------- telemetry
 
 void Simulator::on_telemetry_sample(SimTime now) {
@@ -1174,6 +1488,7 @@ core::ClusterView Simulator::build_view() const {
     d.capacity_pages = osd.capacity_pages();
     d.free_pages = osd.free_pages();
     d.failed = osd.failed();
+    d.quarantined = cluster_.osd_quarantined(i);
     view.devices.push_back(d);
 
     auto& objs = view.objects[i];

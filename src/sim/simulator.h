@@ -34,6 +34,7 @@
 #include "core/temperature.h"
 #include "sim/event_queue.h"
 #include "sim/fault_injector.h"
+#include "sim/health_monitor.h"
 #include "sim/metrics.h"
 #include "sim/retry_policy.h"
 #include "trace/record.h"
@@ -117,9 +118,16 @@ struct SimConfig {
   std::int32_t fail_osd = -1;
   double fail_at_fraction = 0.5;
 
-  /// Scheduled fail/rebuild events + seeded transient I/O errors, consumed
-  /// by the event loop as first-class events (see fault_injector.h).
+  /// Scheduled fail/rebuild/fail-slow events + seeded transient I/O
+  /// errors, consumed by the event loop as first-class events (see
+  /// fault_injector.h).
   FaultPlan faults;
+
+  /// Online fail-slow detection (EWMA latency scoring against the fleet
+  /// median) and its mitigations -- hedged reads and quarantine-and-drain
+  /// (see health_monitor.h).  Disabled by default: runs without it replay
+  /// bit-identically to the pre-health tree.
+  HealthConfig health;
 
   /// Capped exponential backoff for transient-error retries (clients, the
   /// data mover, and rebuild traffic all share it).
@@ -184,6 +192,30 @@ class Simulator {
     SimTime enqueue_time = 0;
     std::uint32_t attempts = 0;  // transient-error failures so far
     std::uint32_t gen = 0;       // lane generation (mover/rebuild kinds)
+    // Hedged-read linkage (client reads only): slot index into
+    // hedge_slots_, kNoHedge when unhedged.  hedge_peer marks the k-1
+    // reconstruction reads a fired hedge issued.
+    std::uint32_t hedge = kNoHedge;
+    bool hedge_peer = false;
+  };
+  static constexpr std::uint32_t kNoHedge = 0xFFFFFFFFu;
+
+  /// One armed hedged read: a client read dispatched to a health-flagged
+  /// OSD.  If the primary has not completed by the hedge deadline, the
+  /// slot fires k-1 RAID-5 peer reads; whichever side finishes first
+  /// completes the op sub-request (resolved), the loser is absorbed.  The
+  /// slot is recycled once the primary has landed and no peer reads remain
+  /// in flight; gen stales deadline events of old incarnations.
+  struct HedgeSlot {
+    std::uint32_t op_id = 0;
+    cluster::OsdIo io;  // the primary read (peer reads derive from it)
+    SimTime armed_at = 0;
+    std::uint32_t gen = 0;
+    std::uint32_t peers_outstanding = 0;
+    bool fired = false;         // peer reads issued
+    bool resolved = false;      // op sub-request completion handled
+    bool primary_done = false;  // primary landed (any way)
+    bool peers_failed = false;  // a peer read was lost; hedge cannot win
   };
 
   /// One in-flight file operation (a client may have several).
@@ -199,6 +231,7 @@ class Simulator {
     util::RingQueue<SubRequest> queue;
     bool busy = false;
     SubRequest current;
+    SimTime service_start = 0;  // when `current` entered service
     util::Ewma load;
     std::uint64_t served = 0;
     SimDuration busy_us = 0;  // total service time (overhead + device)
@@ -300,6 +333,28 @@ class Simulator {
   /// source or the write destination).
   bool rebuild_lane_touches(const RebuildLane& lane, OsdId osd) const;
 
+  // --- online health (fail-slow detection & mitigation) ---
+  void on_health_check(SimTime now);
+  /// Quarantines / un-quarantines on monitor transitions; a fresh
+  /// quarantine starts a drain of the device's hottest objects.
+  void apply_health_transition(const HealthMonitor::Transition& t,
+                               SimTime now);
+  /// Queues up to drain_max_objects of `osd`'s hottest objects onto the
+  /// mover lanes (healthy destinations only).
+  void start_drain(OsdId osd, SimTime now);
+  /// Arms a hedge slot for a client read headed to a flagged OSD.
+  void arm_hedge(SubRequest& req, SimTime now);
+  void on_hedge_deadline(std::uint64_t payload, SimTime now);
+  /// Client-subrequest completion with hedge routing: unhedged requests
+  /// complete the op directly; hedged primaries/peers race through their
+  /// slot (first completion wins, the other side is absorbed).
+  void complete_client(const SubRequest& req, SimTime now);
+  /// Drops a hedged sub-request that can no longer complete normally
+  /// (abandoned retries, failed-OSD absorption).  Completes the op via the
+  /// slot when the request still owned that duty.
+  void fail_hedged_subrequest(const SubRequest& req, SimTime now);
+  void maybe_free_hedge_slot(std::uint32_t slot);
+
   // --- telemetry ---
   /// Resolves tracer/sampler/metric handles once and hooks the recorder
   /// into the cluster, flash devices and policy.  No-op when disabled.
@@ -373,6 +428,18 @@ class Simulator {
   std::unique_ptr<FaultInjector> injector_;
   std::vector<SubRequest> retry_slots_;  // requests waiting out a backoff
   std::vector<std::uint32_t> free_retry_slots_;
+
+  // Online-health state (null when cfg_.health.enabled is false).
+  std::unique_ptr<HealthMonitor> monitor_;
+  bool hedge_enabled_ = false;  // health.enabled && health.mitigate
+  std::vector<HedgeSlot> hedge_slots_;
+  std::vector<std::uint32_t> free_hedge_slots_;
+  /// Objects queued by start_drain and not yet moved: drain moves never
+  /// block foreground access (unlike HDF plan moves) and completions are
+  /// counted into health_.drain_moved.
+  std::unordered_set<ObjectId> drain_oids_;
+  std::vector<HealthMonitor::Transition> transition_scratch_;
+  HealthMetrics health_;
 
   // Telemetry handles, resolved once by setup_telemetry() (all null when
   // the run has no recorder; hot paths guard with one pointer test).

@@ -80,6 +80,17 @@ class FlagParser {
     });
   }
 
+  /// Repeatable value flag: every `--name=<v>` occurrence appends to
+  /// *target in command-line order (e.g. a list of scheduled fault
+  /// events).
+  void add_string_list(const char* name, std::vector<std::string>* target,
+                       const char* help) {
+    add_value(name, help, [target](const std::string& v) {
+      target->push_back(v);
+      return true;
+    });
+  }
+
   /// Presence flag: `--name` sets *target to true (no value accepted).
   void add_bool(const char* name, bool* target, const char* help) {
     flags_.push_back(Flag{name, help, /*takes_value=*/false,

@@ -50,6 +50,11 @@ class ViewBuilder {
     return *this;
   }
 
+  ViewBuilder& quarantine(OsdId id) {
+    view_.devices[id].quarantined = true;
+    return *this;
+  }
+
   const ClusterView& view() const { return view_; }
   const cluster::Placement& placement() const { return placement_; }
 
@@ -343,6 +348,50 @@ TEST(CmtPolicy, QuietClusterNoPlanUnlessForced) {
   for (OsdId i = 0; i < 8; ++i) b.device(i, 10000, 0.6, 100.0);
   CmtPolicy policy(test_config());
   EXPECT_TRUE(policy.plan(b.view(), false).empty());
+}
+
+// ------------------------------------------- quarantine (health monitor)
+
+TEST(HdfPolicy, QuarantinedDeviceIsNeverADestination) {
+  auto b = hdf_scenario();
+  b.quarantine(4);  // the hot device's only group peer
+  HdfPolicy policy(test_config());
+  const auto plan = policy.plan(b.view(), true);
+  for (const auto& a : plan.actions) EXPECT_NE(a.destination, 4u);
+}
+
+TEST(CdfPolicy, QuarantinedDeviceIsNeverADestination) {
+  auto b = cdf_scenario();
+  b.quarantine(5);
+  CdfPolicy policy(test_config());
+  const auto plan = policy.plan(b.view(), true);
+  for (const auto& a : plan.actions) EXPECT_NE(a.destination, 5u);
+}
+
+TEST(CmtPolicy, QuarantinedDeviceIsNeverADestination) {
+  CmtPolicy policy(test_config());
+  const auto before = policy.plan(cmt_scenario().view(), true);
+  ASSERT_FALSE(before.empty());
+  const OsdId dst = before.actions[0].destination;
+
+  CmtPolicy replan(test_config());
+  auto b = cmt_scenario();
+  b.quarantine(dst);
+  const auto after = replan.plan(b.view(), true);
+  for (const auto& a : after.actions) EXPECT_NE(a.destination, dst);
+}
+
+TEST(HdfPolicy, QuarantinedDeviceRemainsAValidSource) {
+  // Draining a sick device is the whole point of quarantine: the hot
+  // device stays a source even while flagged, only its *destination* role
+  // is revoked.
+  auto b = hdf_scenario();
+  b.quarantine(0);
+  HdfPolicy policy(test_config());
+  const auto plan = policy.plan(b.view(), true);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.actions[0].source, 0u);
+  EXPECT_EQ(plan.actions[0].destination, 4u);
 }
 
 // --------------------------------------------------- cross-policy sweeps

@@ -140,6 +140,98 @@ TEST(FaultInjector, PerOsdRatesOverrideTheDefault) {
   EXPECT_EQ(injector.transient_errors(), 100u);
 }
 
+TEST(FaultPlan, RejectsFailSlowFactorBelowOne) {
+  FaultPlan plan;
+  plan.slow(0, 1000, 0.5);
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  FaultPlan ok;
+  ok.slow(0, 1000, 1.0);  // factor 1 = no-op slowdown, but legal
+  EXPECT_NO_THROW(ok.validate(4));
+}
+
+TEST(FaultPlan, RejectsStallRateOutsideUnitInterval) {
+  FaultPlan plan;
+  plan.slow(0, 1000, 2.0, 1.5, 500);
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan.events[0].stall_rate = -0.1;
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  plan.events[0].stall_rate = 1.0;
+  EXPECT_NO_THROW(plan.validate(4));
+}
+
+TEST(FaultPlan, RejectsFailSlowEventsOnOutOfRangeOsd) {
+  FaultPlan plan;
+  plan.slow(9, 1000, 2.0);
+  EXPECT_THROW(plan.validate(8), std::invalid_argument);
+  FaultPlan rec;
+  rec.recover(9, 1000);
+  EXPECT_THROW(rec.validate(8), std::invalid_argument);
+}
+
+TEST(FaultInjector, DegradeMultipliesUntilRecover) {
+  FaultPlan plan;
+  plan.slow(2, 100, 3.0).recover(2, 900);
+  FaultInjector injector(plan, 4);
+  EXPECT_FALSE(injector.any_slow());
+  EXPECT_EQ(injector.degrade(2, 200), 200u);  // identity before onset
+
+  injector.apply_slowdown(injector.pop());
+  EXPECT_TRUE(injector.any_slow());
+  EXPECT_TRUE(injector.osd_slow(2));
+  EXPECT_FALSE(injector.osd_slow(1));
+  EXPECT_EQ(injector.degrade(2, 200), 600u);
+  EXPECT_EQ(injector.degrade(1, 200), 200u);  // healthy peers untouched
+
+  injector.apply_recover(injector.pop().osd);
+  EXPECT_FALSE(injector.any_slow());
+  EXPECT_EQ(injector.degrade(2, 200), 200u);
+  EXPECT_EQ(injector.stalls_injected(), 0u);  // stall_rate 0: no stream use
+}
+
+TEST(FaultInjector, StallStreamIsSeededAndDeterministic) {
+  FaultPlan plan;
+  plan.slow(0, 100, 1.0, 0.5, 700);  // stalls only, no multiplier
+  FaultInjector a(plan, 2);
+  FaultInjector b(plan, 2);
+  a.apply_slowdown(a.pop());
+  b.apply_slowdown(b.pop());
+  std::vector<SimDuration> stream_a, stream_b;
+  for (int i = 0; i < 2000; ++i) {
+    stream_a.push_back(a.degrade(0, 100));
+    stream_b.push_back(b.degrade(0, 100));
+  }
+  EXPECT_EQ(stream_a, stream_b);
+  EXPECT_GT(a.stalls_injected(), 0u);
+  EXPECT_EQ(a.stalls_injected(), b.stalls_injected());
+  // Every degraded service is either untouched or exactly one stall long.
+  for (const SimDuration s : stream_a) {
+    EXPECT_TRUE(s == 100u || s == 800u) << s;
+  }
+}
+
+TEST(FaultInjector, StallStreamNeverShiftsTheTransientStream) {
+  // Adding a stalling slowdown to a plan must not change which requests
+  // draw transient errors: the two stochastic streams are independent
+  // generators off the same plan seed.
+  FaultPlan errors_only;
+  errors_only.transient_error_rate = 0.3;
+  errors_only.seed = 17;
+  FaultPlan with_stalls = errors_only;
+  with_stalls.slow(1, 100, 2.0, 0.9, 400);
+
+  FaultInjector a(errors_only, 4);
+  FaultInjector b(with_stalls, 4);
+  b.apply_slowdown(b.pop());
+  std::vector<bool> stream_a, stream_b;
+  for (int i = 0; i < 2000; ++i) {
+    stream_a.push_back(a.transient_error(static_cast<OsdId>(i % 4)));
+    b.degrade(1, 100);  // interleaved stall draws between error draws
+    stream_b.push_back(b.transient_error(static_cast<OsdId>(i % 4)));
+  }
+  EXPECT_EQ(stream_a, stream_b);
+  EXPECT_GT(b.stalls_injected(), 0u);
+}
+
 TEST(RetryPolicy, BackoffGrowsExponentiallyThenCaps) {
   RetryPolicy retry;
   retry.base_backoff_us = 500;

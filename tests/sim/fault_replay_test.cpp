@@ -219,11 +219,13 @@ TEST(FaultReplay, ExhaustedClientRetriesAreAbandonedNotHung) {
 /// mid-flight when its destination dies.
 class ScriptedPolicy final : public core::MigrationPolicy {
  public:
-  explicit ScriptedPolicy(core::MigrationPlan plan)
-      : core::MigrationPolicy(core::PolicyConfig{}), plan_(std::move(plan)) {}
+  explicit ScriptedPolicy(core::MigrationPlan plan, bool blocking = false)
+      : core::MigrationPolicy(core::PolicyConfig{}),
+        plan_(std::move(plan)),
+        blocking_(blocking) {}
 
   const char* name() const override { return "scripted"; }
-  bool blocks_foreground() const override { return false; }
+  bool blocks_foreground() const override { return blocking_; }
   core::MigrationPlan plan(const core::ClusterView&, bool) override {
     core::MigrationPlan out;
     if (!fired_) {
@@ -236,6 +238,7 @@ class ScriptedPolicy final : public core::MigrationPolicy {
  private:
   core::MigrationPlan plan_;
   bool fired_ = false;
+  bool blocking_ = false;
 };
 
 TEST(FaultReplay, MidFlightMigrationRetargetsOnDestinationDeath) {
@@ -296,6 +299,68 @@ TEST(FaultReplay, MidFlightMigrationRetargetsOnDestinationDeath) {
   EXPECT_FALSE(cluster.osd_failed(final_home));
   EXPECT_FALSE(cluster.migration_in_flight(oid));
   EXPECT_EQ(r.completed_ops, trace.records.size());
+}
+
+TEST(FaultReplay, DegradedReadRacesMidFlightMigrationOfSameObject) {
+  // Same rig as the retarget test, but the *source* dies mid-copy: reads
+  // of the migrating object that parked behind the move must release into
+  // the degraded-read path (the object's home is now a dead device), the
+  // move itself must abort without a re-plan (its source is gone), and no
+  // request may hang or go unavailable.
+  cluster::ClusterConfig ccfg;
+  ccfg.num_osds = 8;
+  ccfg.num_groups = 2;
+  ccfg.objects_per_file = 2;
+  ccfg.destination_utilization_cap = 0.98;
+  ccfg.flash.num_blocks = 256;
+  ccfg.flash.pages_per_block = 16;
+  std::vector<trace::FileSpec> files;
+  for (FileId f = 0; f < 16; ++f) files.push_back({f, 128 * 1024});
+  cluster::Cluster cluster(ccfg, files);
+  cluster.populate();
+
+  trace::Trace trace;
+  trace.name = "scripted";
+  trace.files = files;
+  // Unlike the retarget test the policy runs in blocking mode and the
+  // offset stride (7 units, coprime with the 2-object rotation) makes
+  // every client hit odd stripes of file 2 -- i.e. the migrating object
+  // -- so reads park behind the in-flight move and stall their
+  // closed-loop clients, keeping the replay alive past the 0.6 s source
+  // failure; the abort must release them into the degraded-read path.
+  for (int i = 0; i < 12000; ++i) {
+    trace.records.push_back({static_cast<FileId>((i / 4) % 16),
+                             static_cast<std::uint64_t>(((i * 7) % 32) * 4096),
+                             4096, trace::OpType::kRead,
+                             static_cast<std::uint16_t>(i % 4)});
+  }
+
+  const ObjectId oid = cluster.placement().object_id(2, 1);
+  const OsdId src = cluster.locate(oid);
+  const OsdId dst = cluster.placement().group_peers(src).front();
+  core::MigrationPlan plan;
+  plan.actions.push_back({oid, src, dst, cluster.object_pages(oid)});
+  ScriptedPolicy policy(plan, /*blocking=*/true);
+
+  SimConfig cfg;
+  cfg.num_clients = 4;
+  cfg.trigger = MigrationTrigger::kForcedMidpoint;
+  cfg.mover_lane_mbps = 0.05;  // ~2.6 s copy; the source dies at 0.6 s
+  cfg.faults.fail(src, 600'000);
+  Simulator sim(cfg, cluster, trace, &policy);
+  const auto r = sim.run();
+
+  ASSERT_LT(r.migration.started_at, 600'000u);
+  EXPECT_EQ(r.faults.migrations_aborted, 1u);
+  EXPECT_EQ(r.faults.migrations_replanned, 0u);  // dead source: no re-plan
+  EXPECT_EQ(r.migration.moved_objects, 0u);
+  EXPECT_FALSE(cluster.migration_in_flight(oid));
+  EXPECT_EQ(cluster.locate(oid), src);  // still homed on the dead device
+
+  // Every operation completed; reads of the dead device reconstructed.
+  EXPECT_EQ(r.completed_ops, trace.records.size());
+  EXPECT_GT(r.degraded.degraded_reads, 0u);
+  EXPECT_EQ(r.degraded.unavailable, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,173 @@
+// HealthMonitor unit behaviour: config validation, median-relative
+// flagging with streak debounce and hysteresis, and the scoreability
+// gates (min_samples, at least two devices).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/health_monitor.h"
+
+namespace edm::sim {
+namespace {
+
+HealthConfig quick_config() {
+  HealthConfig cfg;
+  cfg.enabled = true;
+  cfg.min_samples = 4;
+  cfg.flag_streak = 1;  // most tests want the flag on the first excursion
+  return cfg;
+}
+
+/// Feeds `n` observations of `latency_us` into one device.
+void feed(HealthMonitor& m, OsdId osd, int n, SimDuration latency_us) {
+  for (int i = 0; i < n; ++i) m.observe(osd, latency_us);
+}
+
+std::vector<HealthMonitor::Transition> eval(HealthMonitor& m, SimTime now) {
+  std::vector<HealthMonitor::Transition> out;
+  m.evaluate(now, out);
+  return out;
+}
+
+TEST(HealthConfig, ValidationRejectsDegenerateKnobs) {
+  HealthConfig cfg;
+  cfg.latency_alpha = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = HealthConfig{};
+  cfg.latency_alpha = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = HealthConfig{};
+  cfg.flag_ratio = 1.0;  // the median itself would be an outlier
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = HealthConfig{};
+  cfg.clear_ratio = cfg.flag_ratio;  // no hysteresis gap
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.clear_ratio = 0.5;  // would clear below nominal
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = HealthConfig{};
+  cfg.check_interval_us = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = HealthConfig{};
+  cfg.hedge_deadline_us = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = HealthConfig{};
+  cfg.flag_streak = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(HealthConfig{}.validate());
+}
+
+TEST(HealthMonitor, FlagsTheOutlierAgainstTheFleetMedian) {
+  HealthMonitor m(quick_config(), 4);
+  for (OsdId osd = 0; osd < 3; ++osd) feed(m, osd, 8, 100);
+  feed(m, 3, 8, 1000);  // 10x the median
+
+  const auto out = eval(m, 5000);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].osd, 3u);
+  EXPECT_TRUE(out[0].flagged);
+  EXPECT_TRUE(m.flagged(3));
+  EXPECT_TRUE(m.any_flagged());
+  EXPECT_EQ(m.flagged_count(), 1u);
+  EXPECT_EQ(m.first_flagged_at(), 5000u);
+  EXPECT_EQ(m.ever_flagged(), std::vector<std::uint32_t>{3});
+}
+
+TEST(HealthMonitor, MinSamplesGatesBothMedianAndCandidates) {
+  HealthMonitor m(quick_config(), 3);
+  feed(m, 0, 8, 100);
+  feed(m, 1, 8, 100);
+  feed(m, 2, 2, 1000);  // outlier, but below min_samples
+  EXPECT_TRUE(eval(m, 1000).empty());
+
+  feed(m, 2, 2, 1000);  // now at min_samples
+  const auto out = eval(m, 2000);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].osd, 2u);
+}
+
+TEST(HealthMonitor, NeverFlagsWithFewerThanTwoScoreableDevices) {
+  HealthMonitor m(quick_config(), 4);
+  feed(m, 1, 16, 50000);  // one device alone: no fleet to compare against
+  EXPECT_TRUE(eval(m, 1000).empty());
+  EXPECT_FALSE(m.any_flagged());
+  EXPECT_EQ(m.checks(), 1u);
+}
+
+TEST(HealthMonitor, StreakDebounceDelaysTheFlag) {
+  HealthConfig cfg = quick_config();
+  cfg.flag_streak = 3;
+  HealthMonitor m(cfg, 2);
+  feed(m, 0, 8, 100);
+  feed(m, 1, 8, 1000);
+
+  EXPECT_TRUE(eval(m, 1000).empty());  // streak 1 of 3
+  EXPECT_TRUE(eval(m, 2000).empty());  // streak 2 of 3
+  const auto out = eval(m, 3000);      // streak complete
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].osd, 1u);
+  EXPECT_EQ(m.first_flagged_at(), 3000u);
+}
+
+TEST(HealthMonitor, TransientExcursionResetsTheStreak) {
+  HealthConfig cfg = quick_config();
+  cfg.flag_streak = 2;
+  cfg.latency_alpha = 1.0;  // EWMA == last observation, for direct control
+  HealthMonitor m(cfg, 2);
+  feed(m, 0, 8, 100);
+  feed(m, 1, 8, 1000);
+  EXPECT_TRUE(eval(m, 1000).empty());  // streak 1 of 2
+
+  feed(m, 1, 1, 100);  // spike over before the next check
+  EXPECT_TRUE(eval(m, 2000).empty());  // streak reset, not flagged
+
+  feed(m, 1, 1, 1000);  // a real fail-slow device stays slow...
+  EXPECT_TRUE(eval(m, 3000).empty());
+  EXPECT_EQ(eval(m, 4000).size(), 1u);  // ...and completes a fresh streak
+}
+
+TEST(HealthMonitor, HysteresisSeparatesFlagAndClearThresholds) {
+  HealthConfig cfg = quick_config();
+  cfg.latency_alpha = 1.0;
+  cfg.flag_ratio = 3.0;
+  cfg.clear_ratio = 1.5;
+  HealthMonitor m(cfg, 2);
+  feed(m, 0, 8, 100);
+  feed(m, 1, 8, 1000);
+  ASSERT_EQ(eval(m, 1000).size(), 1u);  // flagged at 10x median
+
+  feed(m, 1, 1, 200);  // 2x median: under flag_ratio but over clear_ratio
+  EXPECT_TRUE(eval(m, 2000).empty());
+  EXPECT_TRUE(m.flagged(1));  // still flagged -- no flapping
+
+  feed(m, 1, 1, 120);  // back near nominal: under clear_ratio
+  const auto out = eval(m, 3000);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].osd, 1u);
+  EXPECT_FALSE(out[0].flagged);
+  EXPECT_FALSE(m.flagged(1));
+  EXPECT_EQ(m.flag_events(), 1u);
+  EXPECT_EQ(m.clear_events(), 1u);
+  // ever_flagged remembers the episode after the clear.
+  EXPECT_EQ(m.ever_flagged(), std::vector<std::uint32_t>{1});
+}
+
+TEST(HealthMonitor, UniformFleetNeverFlags) {
+  HealthMonitor m(quick_config(), 8);
+  for (OsdId osd = 0; osd < 8; ++osd) feed(m, osd, 16, 100 + osd);
+  for (SimTime t = 1000; t <= 10000; t += 1000) {
+    EXPECT_TRUE(eval(m, t).empty()) << "check at t=" << t;
+  }
+  EXPECT_EQ(m.checks(), 10u);
+  EXPECT_EQ(m.flag_events(), 0u);
+  EXPECT_TRUE(m.ever_flagged().empty());
+}
+
+}  // namespace
+}  // namespace edm::sim

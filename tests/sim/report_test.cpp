@@ -69,7 +69,7 @@ TEST(Report, JsonIsStructurallySound) {
 
   // Required fields present.
   for (const char* key :
-       {"\"schema\":\"edm-run-result/2\"", "\"summary\":", "\"migration\":",
+       {"\"schema\":\"edm-run-result/3\"", "\"summary\":", "\"migration\":",
         "\"per_osd\":", "\"timeline\":", "\"throughput_ops_per_sec\":",
         "\"moved_objects\":", "\"erase_rsd\":", "\"telemetry\":",
         "\"counters\":", "\"histograms\":"}) {

@@ -3,7 +3,9 @@
 # then build + test the normal config (plus perf_baseline and perf_scale
 # smoke runs that validate the edm-bench-result/1 JSON shape and the
 # streaming-replay RSS ceiling), then the asan-ubsan
-# config, then the concurrency-sensitive tests (telemetry, thread pool,
+# config plus a fault smoke (ext_failslow --quick under the sanitizers,
+# asserting detector quality and the edm-run-result/3 health JSON shape),
+# then the concurrency-sensitive tests (telemetry, thread pool,
 # sweep runner, logging) under ThreadSanitizer (CMakePresets.json).  Any
 # failure aborts.
 #
@@ -81,6 +83,64 @@ EOF
   rm -f "$out"
 }
 
+# Fault smoke: the fail-slow bench and the runner's health JSON, under
+# whichever build "$1" points at (the sanitizer build in the full check).
+# The replay is deterministic, so the detector-quality assertions hold at
+# any build type; the sanitizers are what this stage adds.
+fault_smoke() {
+  local build_dir="$1"
+  echo "== fault smoke (ext_failslow --quick, $build_dir) =="
+  local out
+  out=$(mktemp)
+  "$build_dir/bench/ext_failslow" --quick --out="$out" >/dev/null
+  python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d.get("schema") == "edm-bench-result/1", d.get("schema")
+assert d.get("bench") == "ext_failslow", d.get("bench")
+assert "provenance" in d, "missing provenance"
+assert d["detection"], "no detection entries"
+for t in d["detection"]:
+    assert t["false_positives"] == 0, (
+        f"{t['trace']}: monitor flagged healthy OSDs {t['flagged_clean']}")
+    assert t["flagged_detect"] == [t["injected_osd"]], (
+        f"{t['trace']}: flagged {t['flagged_detect']}, "
+        f"injected {t['injected_osd']}")
+    assert t["p99_improvement"] >= 2.0, (
+        f"{t['trace']}: mitigation recovered only "
+        f"{t['p99_improvement']:.2f}x of the injected p99 damage")
+print("fault smoke: " + ", ".join(
+    f"{t['trace']} flagged=[{t['injected_osd']}] fp=0 "
+    f"p99x{t['p99_improvement']:.2f}" for t in d["detection"]))
+EOF
+  "$build_dir/tools/edm_run" --scale=0.01 --health \
+      --slow-at=3:0.2:8:0.05:4 --json >"$out"
+  python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d.get("schema") == "edm-run-result/3", d.get("schema")
+health_keys = {"enabled", "mitigated", "checks", "flag_events",
+               "clear_events", "flagged_osds", "first_flagged_at_us",
+               "quarantined_at_end", "hedged_reads", "hedge_wins",
+               "hedge_redundant", "drain_triggers", "drain_planned",
+               "drain_moved"}
+missing = health_keys - d["health"].keys()
+assert not missing, f"health section missing {missing}"
+assert d["health"]["enabled"] == 1, "health not enabled"
+assert d["health"]["checks"] > 0, "no health checks ran"
+assert "p999_response_us" in d["summary"], "missing p999"
+f = d["faults"]
+assert {"slowdown_events", "recover_events",
+        "stalls_injected"} <= f.keys(), "missing fail-slow counters"
+assert f["slowdown_events"] == 1, f["slowdown_events"]
+print(f"run smoke: edm-run-result/3, {d['health']['checks']} health "
+      f"checks, {f['stalls_injected']} stalls, JSON shape ok")
+EOF
+  rm -f "$out"
+}
+
 run_preset() {
   local preset="$1"
   echo "== configure ($preset) =="
@@ -99,6 +159,9 @@ bench_smoke
 scale_smoke
 if [[ "${1:-}" != "--fast" ]]; then
   run_preset asan-ubsan
+  fault_smoke build-asan
   run_preset tsan
+else
+  fault_smoke build
 fi
 echo "== all checks passed =="

@@ -23,20 +23,33 @@
 //     --separate-gc         enable the hot/cold-separating GC stream
 //     --adaptive            online sigma calibration (monitor runs)
 //     --fail-osd=<id>       inject an OSD failure mid-replay
-//     --fail-at=<f>         failure point as a record fraction (default 0.5)
+//     --fail-at-fraction=<f> failure point as a record fraction (default 0.5)
+//     --fail-at=<o:t>       schedule: fail OSD o at t simulated seconds
+//     --rebuild-at=<o:t>    schedule: start rebuilding OSD o at t seconds
+//     --slow-at=<o:t:f[:r:ms]> schedule: OSD o turns fail-slow at t seconds
+//                           with service-time factor f (optionally stalling
+//                           a fraction r of requests for ms milliseconds)
+//     --recover-at=<o:t>    schedule: fail-slow OSD o recovers at t seconds
+//     --transient-error-rate=<f> per-sub-request transient error probability
+//     --fault-seed=<n>      seed of the stochastic fault streams
+//     --health              enable the online fail-slow health monitor
+//     --mitigate            hedged reads + quarantine-and-drain (implies
+//                           --health)
 //     --trace-out=<path>    write a Chrome trace-event JSON (Perfetto)
 //     --timeseries-out=<p>  write a per-OSD time-series CSV
 //     --sample-interval=<s> sampling interval in simulated seconds
 //     --seeds=<n>           run n seed-derived replicas as one sweep
 //     --base-seed=<s>       base seed for the per-replica derivation
 //     --jobs=<n>            sweep workers (0 = hardware threads, 1 = serial)
-//     --json                JSON output (schema edm-run-result/2; with
+//     --json                JSON output (schema edm-run-result/3; with
 //                           --seeds>1, edm-sweep-result/1)
 //     --quiet               summary only (no per-OSD table / timeline)
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "runner/aggregate.h"
 #include "runner/seed.h"
@@ -65,7 +78,15 @@ struct Options {
   bool separate_gc = false;
   bool adaptive = false;
   std::int32_t fail_osd = -1;
-  double fail_at = 0.5;
+  double fail_at_fraction = 0.5;
+  std::vector<std::string> fail_at;
+  std::vector<std::string> rebuild_at;
+  std::vector<std::string> slow_at;
+  std::vector<std::string> recover_at;
+  double transient_error_rate = 0.0;
+  std::uint32_t fault_seed = 0;
+  bool health = false;
+  bool mitigate = false;
   std::string trace_out;
   std::string timeseries_out;
   double sample_interval_s = 1.0;
@@ -99,8 +120,25 @@ edm::util::FlagParser make_parser(Options& opt) {
                   "online sigma calibration (monitor runs)");
   parser.add_int32("--fail-osd", &opt.fail_osd,
                    "inject an OSD failure mid-replay (-1 = off)");
-  parser.add_double("--fail-at", &opt.fail_at,
-                    "failure point as a record fraction");
+  parser.add_double("--fail-at-fraction", &opt.fail_at_fraction,
+                    "failure point as a record fraction (with --fail-osd)");
+  parser.add_string_list("--fail-at", &opt.fail_at,
+                         "schedule osd:t(s) device failure (repeatable)");
+  parser.add_string_list("--rebuild-at", &opt.rebuild_at,
+                         "schedule osd:t(s) online rebuild (repeatable)");
+  parser.add_string_list(
+      "--slow-at", &opt.slow_at,
+      "schedule osd:t(s):factor[:stall_rate:stall_ms] fail-slow onset");
+  parser.add_string_list("--recover-at", &opt.recover_at,
+                         "schedule osd:t(s) fail-slow recovery (repeatable)");
+  parser.add_double("--transient-error-rate", &opt.transient_error_rate,
+                    "per-sub-request transient error probability");
+  parser.add_uint32("--fault-seed", &opt.fault_seed,
+                    "seed of the stochastic fault streams (0 = default)");
+  parser.add_bool("--health", &opt.health,
+                  "enable the online fail-slow health monitor");
+  parser.add_bool("--mitigate", &opt.mitigate,
+                  "hedged reads + quarantine-and-drain (implies --health)");
   parser.add_string("--trace-out", &opt.trace_out,
                     "write Chrome trace-event JSON (Perfetto-loadable)");
   parser.add_string("--timeseries-out", &opt.timeseries_out,
@@ -113,7 +151,7 @@ edm::util::FlagParser make_parser(Options& opt) {
                     "base seed for the per-replica derivation");
   parser.add_uint32("--jobs", &opt.jobs,
                     "sweep workers (0 = hardware threads, 1 = serial)");
-  parser.add_bool("--json", &opt.json, "JSON output (schema edm-run-result/2)");
+  parser.add_bool("--json", &opt.json, "JSON output (schema edm-run-result/3)");
   parser.add_bool("--quiet", &opt.quiet,
                   "summary only (no per-OSD table / timeline)");
   return parser;
@@ -134,6 +172,88 @@ Options parse(int argc, char** argv) {
       std::exit(2);
   }
   return opt;
+}
+
+/// Splits "a:b:c" on ':'.
+std::vector<std::string> split_fields(const std::string& spec) {
+  std::vector<std::string> out;
+  std::string::size_type start = 0;
+  while (true) {
+    const auto colon = spec.find(':', start);
+    out.push_back(spec.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  return out;
+}
+
+double parse_num(const std::string& flag, const std::string& field) {
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    throw std::invalid_argument(flag + ": bad number '" + field + "'");
+  }
+  return v;
+}
+
+/// Parses one scheduled-event spec "osd:t(s)[:extras...]" and appends the
+/// event to `plan`.  `max_fields` bounds the accepted arity per kind.
+void add_fault_event(edm::sim::FaultPlan& plan, const std::string& flag,
+                     const std::string& spec,
+                     edm::sim::FaultEvent::Kind kind, std::size_t max_fields) {
+  const std::vector<std::string> f = split_fields(spec);
+  if (f.size() < 2 || f.size() > max_fields) {
+    throw std::invalid_argument(flag + ": expected '" + spec +
+                                "' in the form osd:t" +
+                                (max_fields > 2 ? ":factor[:rate:ms]" : ""));
+  }
+  const auto osd = static_cast<edm::OsdId>(parse_num(flag, f[0]));
+  const auto at = static_cast<edm::SimTime>(parse_num(flag, f[1]) * 1e6);
+  switch (kind) {
+    case edm::sim::FaultEvent::Kind::kFail:
+      plan.fail(osd, at);
+      break;
+    case edm::sim::FaultEvent::Kind::kRebuild:
+      plan.rebuild(osd, at);
+      break;
+    case edm::sim::FaultEvent::Kind::kSlowdown: {
+      const double factor = f.size() > 2 ? parse_num(flag, f[2]) : 2.0;
+      const double rate = f.size() > 3 ? parse_num(flag, f[3]) : 0.0;
+      const auto stall_us = static_cast<edm::SimDuration>(
+          (f.size() > 4 ? parse_num(flag, f[4]) : 0.0) * 1e3);
+      plan.slow(osd, at, factor, rate, stall_us);
+      break;
+    }
+    case edm::sim::FaultEvent::Kind::kRecover:
+      plan.recover(osd, at);
+      break;
+  }
+}
+
+/// Builds the FaultPlan from the command-line event specs.  Events are
+/// sorted by time (stable, so same-time specs keep command-line order)
+/// because FaultPlan::validate rejects unsorted schedules.
+edm::sim::FaultPlan fault_plan_from(const Options& opt) {
+  edm::sim::FaultPlan plan;
+  using Kind = edm::sim::FaultEvent::Kind;
+  for (const auto& s : opt.fail_at) {
+    add_fault_event(plan, "--fail-at", s, Kind::kFail, 2);
+  }
+  for (const auto& s : opt.rebuild_at) {
+    add_fault_event(plan, "--rebuild-at", s, Kind::kRebuild, 2);
+  }
+  for (const auto& s : opt.slow_at) {
+    add_fault_event(plan, "--slow-at", s, Kind::kSlowdown, 5);
+  }
+  for (const auto& s : opt.recover_at) {
+    add_fault_event(plan, "--recover-at", s, Kind::kRecover, 2);
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const edm::sim::FaultEvent& a,
+                      const edm::sim::FaultEvent& b) { return a.at < b.at; });
+  plan.transient_error_rate = opt.transient_error_rate;
+  if (opt.fault_seed != 0) plan.seed = opt.fault_seed;
+  return plan;
 }
 
 edm::trace::Trace load_trace_any(const std::string& path) {
@@ -173,7 +293,13 @@ int main(int argc, char** argv) {
     cfg.flash.separate_gc_stream = opt.separate_gc;
     cfg.sim.adaptive_sigma = opt.adaptive;
     cfg.sim.fail_osd = opt.fail_osd;
-    cfg.sim.fail_at_fraction = opt.fail_at;
+    cfg.sim.fail_at_fraction = opt.fail_at_fraction;
+    cfg.sim.faults = fault_plan_from(opt);
+    // Fail fast on a malformed plan, before the (expensive) cluster build;
+    // the simulator re-validates as part of SimConfig::validate.
+    cfg.sim.faults.validate(opt.osds);
+    cfg.sim.health.enabled = opt.health || opt.mitigate;
+    cfg.sim.health.mitigate = opt.mitigate;
     edm::runner::apply_telemetry(cfg, sinks_from(opt));
     if (opt.trigger == "monitor") {
       cfg.sim.trigger = edm::sim::MigrationTrigger::kMonitor;
