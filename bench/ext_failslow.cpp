@@ -37,7 +37,7 @@
 #include <vector>
 
 #include "bench/common.h"
-#include "bench/provenance.h"
+#include "util/provenance.h"
 #include "trace/generator.h"
 
 namespace {
@@ -107,7 +107,7 @@ void write_json(const std::string& path, const FailslowArgs& args,
   os << "    \"stall_rate\": " << args.stall_rate << ",\n";
   os << "    \"stall_ms\": " << args.stall_ms << "\n";
   os << "  },\n";
-  edm::bench::write_provenance_json(os, edm::bench::collect_provenance(),
+  edm::util::write_provenance_json(os, edm::util::collect_provenance(),
                                     "  ");
   os << ",\n";
   os << "  \"detection\": [\n";

@@ -1,0 +1,312 @@
+// Extension experiment: open-loop multi-tenant SLO sweep.
+//
+// Closed-loop replay self-clocks: clients issue the next record only when
+// the previous one completes, so offered load always equals measured
+// throughput and overload is unrepresentable.  This bench drives the same
+// cluster open loop -- arrivals are stamped by per-tenant Poisson
+// processes and injected on schedule regardless of queue state -- and
+// sweeps offered load across the saturation knee.
+//
+// Phase 1 probes each tenant profile's solo closed-loop throughput T_t
+// (the self-clocked capacity of the cluster under that trace).  Phase 2
+// overlays both tenants open loop at offered rate m * T_t / 2 per tenant
+// for multiplier m in {0.5, 0.8, 1.0, 1.2, 1.5} -- at m = 1 the total
+// offered load is the mean of the solo capacities, so m >= 1.2 is firmly
+// past saturation -- crossed with {baseline, hdf, cdf} migration
+// policies.  Phase 3 replays the matched closed-loop mix reference per
+// policy: same cluster, same traces, but no offered-load axis and no
+// per-tenant rows (the table prints "-" where the concept does not
+// exist).
+//
+// Headline: under overload the per-tenant p99s separate -- the tenants
+// share OSD queues but differ in arrival mix and hot-set shape, so one
+// tenant's tail collapses before the other's -- and the per-tenant
+// SLO-violation fractions quantify who is harmed.  The closed-loop
+// reference cannot express any of this.
+//
+//   ./build/bench/ext_openloop [--scale=0.05] [--csv] [--jobs=N]
+//                              [--quick] [--out=FILE.json]
+//
+// --quick shrinks to one policy x two multipliers at scale 0.02 for the
+// tools/check.sh smoke; --out writes machine-readable JSON (schema
+// edm-bench-result/1) -- the committed reference is BENCH_openloop.json
+// at the repo root.  All numbers are deterministic: same seed ->
+// byte-identical table and JSON (minus provenance) at any --jobs.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "util/provenance.h"
+
+namespace {
+
+struct OpenLoopArgs {
+  edm::bench::BenchArgs base;
+  bool quick = false;
+  std::string out;
+};
+
+constexpr double kHomeSloMs = 25.0;
+constexpr double kLairSloMs = 50.0;
+
+struct SweepCell {
+  edm::core::PolicyKind policy = edm::core::PolicyKind::kNone;
+  double multiplier = 0.0;
+};
+
+std::string policy_label(edm::core::PolicyKind policy) {
+  switch (policy) {
+    case edm::core::PolicyKind::kNone:
+      return "baseline";
+    case edm::core::PolicyKind::kCmt:
+      return "cmt";
+    case edm::core::PolicyKind::kHdf:
+      return "hdf";
+    case edm::core::PolicyKind::kCdf:
+      return "cdf";
+  }
+  return "?";
+}
+
+void write_json(const std::string& path, const OpenLoopArgs& args,
+                double home_capacity, double lair_capacity,
+                const std::vector<SweepCell>& cells,
+                const std::vector<edm::sim::RunResult>& open_results,
+                const std::vector<edm::core::PolicyKind>& policies,
+                const std::vector<edm::sim::RunResult>& closed_results,
+                double separation, double separation_multiplier) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "ext_openloop: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  os << "{\n";
+  os << "  \"schema\": \"edm-bench-result/1\",\n";
+  os << "  \"bench\": \"ext_openloop\",\n";
+  os << "  \"scale\": " << args.base.scale << ",\n";
+  os << "  \"quick\": " << (args.quick ? "true" : "false") << ",\n";
+  os << "  \"capacity_ops_per_sec\": {\n";
+  os << "    \"home02\": " << home_capacity << ",\n";
+  os << "    \"lair62\": " << lair_capacity << "\n";
+  os << "  },\n";
+  edm::util::write_provenance_json(os, edm::util::collect_provenance(),
+                                   "  ");
+  os << ",\n";
+  os << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const edm::sim::RunResult& r = open_results[i];
+    const auto& w = r.workload;
+    os << "    {\n";
+    os << "      \"policy\": \"" << policy_label(cells[i].policy) << "\",\n";
+    os << "      \"multiplier\": " << cells[i].multiplier << ",\n";
+    os << "      \"offered_ops_per_sec\": " << w.offered_ops_per_sec << ",\n";
+    os << "      \"arrivals\": " << w.arrivals << ",\n";
+    os << "      \"peak_queue_depth\": " << w.peak_queue_depth << ",\n";
+    os << "      \"makespan_s\": " << r.makespan_us / 1e6 << ",\n";
+    os << "      \"p99_response_us\": "
+       << r.response_histogram.quantile(0.99) << ",\n";
+    os << "      \"tenants\": [\n";
+    for (std::size_t t = 0; t < w.tenants.size(); ++t) {
+      const auto& tn = w.tenants[t];
+      os << "        {\n";
+      os << "          \"name\": \"" << tn.name << "\",\n";
+      os << "          \"offered_ops_per_sec\": " << tn.offered_ops_per_sec
+         << ",\n";
+      os << "          \"slo_us\": " << tn.slo_us << ",\n";
+      os << "          \"completed_ops\": " << tn.completed_ops << ",\n";
+      os << "          \"p50_response_us\": "
+         << tn.response_histogram.quantile(0.50) << ",\n";
+      os << "          \"p99_response_us\": "
+         << tn.response_histogram.quantile(0.99) << ",\n";
+      os << "          \"p999_response_us\": "
+         << tn.response_histogram.quantile(0.999) << ",\n";
+      os << "          \"slo_violation_fraction\": "
+         << tn.slo_violation_fraction() << "\n";
+      os << "        }" << (t + 1 < w.tenants.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n";
+    os << "    }" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  // The matched closed-loop runs: same cluster and traces, but the loop
+  // self-clocks -- there is no offered-load axis and no per-tenant view,
+  // which is exactly what the open-loop subsystem adds.
+  os << "  \"closed_loop_reference\": [\n";
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const edm::sim::RunResult& r = closed_results[i];
+    os << "    {\n";
+    os << "      \"policy\": \"" << policy_label(policies[i]) << "\",\n";
+    os << "      \"self_clocked_ops_per_sec\": "
+       << r.throughput_ops_per_sec() << ",\n";
+    os << "      \"p99_response_us\": "
+       << r.response_histogram.quantile(0.99) << ",\n";
+    os << "      \"offered_load_expressible\": false,\n";
+    os << "      \"per_tenant_slo_expressible\": false\n";
+    os << "    }" << (i + 1 < policies.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"assertions\": {\n";
+  os << "    \"separation_multiplier\": " << separation_multiplier << ",\n";
+  os << "    \"tenant_p99_separation\": " << separation << ",\n";
+  os << "    \"tenant_p99_separated\": "
+     << (separation > 1.05 ? "true" : "false") << "\n";
+  os << "  }\n";
+  os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OpenLoopArgs args;
+  args.base.scale = 0.05;
+  edm::util::FlagParser parser = edm::bench::make_flag_parser(args.base);
+  parser.add_bool("--quick", &args.quick,
+                  "one policy, two multipliers, scale 0.02 (check.sh smoke)");
+  parser.add_string("--out", &args.out, "write edm-bench-result/1 JSON");
+  switch (parser.parse(argc, argv)) {
+    case edm::util::FlagParser::Result::kOk:
+      break;
+    case edm::util::FlagParser::Result::kHelp:
+      parser.print_usage(std::cerr, argv[0]);
+      return 0;
+    case edm::util::FlagParser::Result::kError:
+      std::cerr << parser.error() << "\n";
+      parser.print_usage(std::cerr, argv[0]);
+      return 2;
+  }
+  if (args.quick) args.base.scale = 0.02;
+
+  std::vector<edm::core::PolicyKind> policies = {
+      edm::core::PolicyKind::kNone, edm::core::PolicyKind::kHdf,
+      edm::core::PolicyKind::kCdf};
+  std::vector<double> multipliers = {0.5, 0.8, 1.0, 1.2, 1.5};
+  if (args.quick) {
+    policies = {edm::core::PolicyKind::kHdf};
+    multipliers = {0.8, 1.5};
+  }
+
+  // Phase 1: solo closed-loop capacity probe per tenant profile.  The
+  // self-clocked throughput is the denominator every open-loop multiplier
+  // is expressed against.
+  const std::vector<std::string> profiles = {"home02", "lair62"};
+  std::vector<edm::sim::ExperimentConfig> probes;
+  probes.reserve(profiles.size());
+  for (const std::string& p : profiles) {
+    probes.push_back(edm::bench::cell(p, edm::core::PolicyKind::kNone, 16,
+                                      args.base.scale));
+  }
+  const auto probe_results =
+      edm::bench::run_cells(probes, args.base, "ext_openloop/capacity");
+  const double home_capacity = probe_results[0].throughput_ops_per_sec();
+  const double lair_capacity = probe_results[1].throughput_ops_per_sec();
+
+  // Phase 2: open-loop overlay grid (policy x offered-load multiplier).
+  std::vector<SweepCell> cells;
+  std::vector<edm::sim::ExperimentConfig> grid;
+  for (const auto policy : policies) {
+    for (const double m : multipliers) {
+      cells.push_back({policy, m});
+      auto cfg =
+          edm::bench::cell("home02", policy, 16, args.base.scale);
+      edm::workload::TenantSpec home;
+      home.profile = "home02";
+      home.rate_ops_per_sec = m * home_capacity / 2.0;
+      home.slo_ms = kHomeSloMs;
+      edm::workload::TenantSpec lair;
+      lair.profile = "lair62";
+      lair.rate_ops_per_sec = m * lair_capacity / 2.0;
+      lair.slo_ms = kLairSloMs;
+      cfg.open_loop.tenants = {home, lair};
+      grid.push_back(cfg);
+    }
+  }
+  const auto open_results =
+      edm::bench::run_cells(grid, args.base, "ext_openloop/sweep");
+
+  // Phase 3: matched closed-loop reference per policy.
+  std::vector<edm::sim::ExperimentConfig> refs;
+  for (const auto policy : policies) {
+    refs.push_back(
+        edm::bench::cell("home02", policy, 16, args.base.scale));
+  }
+  const auto closed_results =
+      edm::bench::run_cells(refs, args.base, "ext_openloop/closed");
+
+  using edm::util::Table;
+  Table table({"policy", "mult", "offered(op/s)", "peakQ", "tenant",
+               "p50(ms)", "p99(ms)", "p999(ms)", "viol%"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& w = open_results[i].workload;
+    for (const auto& tn : w.tenants) {
+      table.add_row({
+          policy_label(cells[i].policy),
+          Table::num(cells[i].multiplier, 1),
+          Table::num(w.offered_ops_per_sec, 0),
+          std::to_string(w.peak_queue_depth),
+          tn.name,
+          Table::num(tn.response_histogram.quantile(0.50) / 1000.0, 2),
+          Table::num(tn.response_histogram.quantile(0.99) / 1000.0, 2),
+          Table::num(tn.response_histogram.quantile(0.999) / 1000.0, 2),
+          Table::num(100.0 * tn.slo_violation_fraction(), 1),
+      });
+    }
+  }
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const auto& r = closed_results[i];
+    table.add_row({
+        policy_label(policies[i]) + " (closed)",
+        "-",
+        Table::num(r.throughput_ops_per_sec(), 0),
+        "-",
+        "-",
+        "-",
+        Table::num(r.response_histogram.quantile(0.99) / 1000.0, 2),
+        Table::num(r.response_histogram.quantile(0.999) / 1000.0, 2),
+        "-",
+    });
+  }
+
+  // Separation at the deepest-overload multiplier, first policy in the
+  // grid: max/min across the tenants' p99s.
+  const double separation_multiplier = multipliers.back();
+  double separation = 0.0;
+  {
+    const std::size_t i = multipliers.size() - 1;  // first policy row block
+    const auto& tenants = open_results[i].workload.tenants;
+    double lo = 0.0;
+    double hi = 0.0;
+    for (const auto& tn : tenants) {
+      const double p99 = tn.response_histogram.quantile(0.99);
+      if (lo == 0.0 || p99 < lo) lo = p99;
+      if (p99 > hi) hi = p99;
+    }
+    separation = lo > 0.0 ? hi / lo : 0.0;
+  }
+
+  std::ostringstream note;
+  note << "Offered load is expressed against the solo closed-loop "
+          "capacities ("
+       << Table::num(home_capacity, 0) << " op/s home02, "
+       << Table::num(lair_capacity, 0)
+       << " op/s lair62).  Below saturation the open-loop tenants track "
+          "their SLOs; past the knee the shared queues grow without bound "
+          "and the per-tenant p99s separate ("
+       << Table::num(separation, 2) << "x at "
+       << Table::num(separation_multiplier, 1)
+       << "x offered).  The closed-loop rows self-clock at capacity: no "
+          "offered-load axis, no per-tenant tail, no SLO accounting.";
+  edm::bench::emit(table, args.base,
+                   "Extension: open-loop multi-tenant SLO sweep",
+                   note.str());
+  if (!args.out.empty()) {
+    write_json(args.out, args, home_capacity, lair_capacity, cells,
+               open_results, policies, closed_results, separation,
+               separation_multiplier);
+  }
+  edm::bench::write_telemetry_outputs(open_results, args.base);
+  return 0;
+}

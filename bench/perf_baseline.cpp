@@ -32,7 +32,7 @@
 #include <string>
 #include <vector>
 
-#include "bench/provenance.h"
+#include "util/provenance.h"
 #include "core/policy.h"
 #include "sim/experiment.h"
 #include "trace/generator.h"
@@ -140,7 +140,7 @@ void write_json(const std::vector<CellResult>& cells, const Args& args,
   os << "  \"scale\": " << args.scale << ",\n";
   os << "  \"repeat\": " << args.repeat << ",\n";
   os << "  \"quick\": " << (args.quick ? "true" : "false") << ",\n";
-  edm::bench::write_provenance_json(os, edm::bench::collect_provenance(),
+  edm::util::write_provenance_json(os, edm::util::collect_provenance(),
                                     "  ");
   os << ",\n";
   std::uint64_t total_events = 0;

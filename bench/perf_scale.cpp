@@ -40,7 +40,7 @@
 #include <string>
 #include <vector>
 
-#include "bench/provenance.h"
+#include "util/provenance.h"
 #include "core/policy.h"
 #include "sim/experiment.h"
 #include "util/flags.h"
@@ -272,7 +272,7 @@ void write_json(const std::vector<CellResult>& cells, const Args& args,
   os << "  \"policy\": \"" << args.policy << "\",\n";
   os << "  \"repeat\": " << args.repeat << ",\n";
   os << "  \"quick\": " << (args.quick ? "true" : "false") << ",\n";
-  edm::bench::write_provenance_json(os, edm::bench::collect_provenance(),
+  edm::util::write_provenance_json(os, edm::util::collect_provenance(),
                                     "  ");
   os << ",\n";
   os << "  \"cells\": [\n";

@@ -18,7 +18,7 @@
 
 namespace edm::runner {
 
-/// {"schema":"edm-sweep-result/1","runs":[<edm-run-result/3>, ...]} --
+/// {"schema":"edm-sweep-result/1","runs":[<edm-run-result/4>, ...]} --
 /// each element is exactly what sim::write_json emits for that run.
 void write_sweep_json(const std::vector<sim::RunResult>& results,
                       std::ostream& os);

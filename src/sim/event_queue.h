@@ -49,6 +49,7 @@ enum class EventKind : std::uint8_t {
   kTelemetrySample = 6,  // time-series sampler tick (payload unused)
   kHealthCheck = 7,      // periodic health-monitor evaluation (payload unused)
   kHedgeDeadline = 8,    // payload = hedge slot | generation<<32
+  kArrival = 9,          // open-loop arrival is due (payload unused)
 };
 
 struct Event {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 
 #include "cluster/cluster.h"
 #include "trace/cursor.h"
@@ -38,6 +39,10 @@ ExperimentConfig finalize(const ExperimentConfig& config) {
   // Wear model Np must match the flash geometry.
   out.policy_config.model = core::WearModel(
       out.flash.pages_per_block, out.policy_config.model.sigma());
+  // Open-loop tenants inherit the experiment's trace scale by default.
+  for (workload::TenantSpec& tenant : out.open_loop.tenants) {
+    if (tenant.scale <= 0.0) tenant.scale = out.scale;
+  }
   return out;
 }
 
@@ -108,17 +113,30 @@ trace::WorkloadProfile profile_for(const ExperimentConfig& cfg) {
 
 RunResult run_experiment(const ExperimentConfig& config,
                          const trace::Trace& trace) {
+  if (config.open_loop.enabled()) {
+    throw std::invalid_argument(
+        "run_experiment(config, trace): open-loop mode generates its own "
+        "per-tenant streams and cannot replay a pre-generated trace");
+  }
   return run_cell(config, trace);
 }
 
 RunResult run_experiment(const ExperimentConfig& config) {
   const ExperimentConfig cfg = finalize(config);
+  if (cfg.open_loop.enabled()) {
+    // Open loop is inherently streaming: each tenant pulls lazily from its
+    // own RecordStream; nothing is materialised.
+    workload::OpenLoopSource source(cfg.open_loop, cfg.num_clients,
+                                    cfg.trace_seed_offset);
+    return run_cell_with(cfg, source.files(), source);
+  }
   const trace::Trace trace =
       trace::TraceGenerator(profile_for(cfg), cfg.num_clients).generate();
   return run_cell(cfg, trace);
 }
 
 RunResult run_experiment_streaming(const ExperimentConfig& config) {
+  if (config.open_loop.enabled()) return run_experiment(config);
   const ExperimentConfig cfg = finalize(config);
   trace::TraceCursor cursor(profile_for(cfg), cfg.num_clients);
   return run_cell_with(cfg, cursor.files(), cursor);

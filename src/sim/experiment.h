@@ -60,6 +60,12 @@ struct ExperimentConfig {
   /// creates one Recorder per cell -- thread-confined, so grid cells on a
   /// pool never share state -- and hands it back on RunResult::telemetry.
   telemetry::TelemetryConfig telemetry;
+
+  /// Open-loop multi-tenant injection (src/workload).  When enabled()
+  /// (one or more tenants), trace_name/num_clients replay is replaced by
+  /// arrival-stamped injection from an OpenLoopSource; tenants whose
+  /// scale is 0 inherit `scale` above.  Empty = closed-loop (default).
+  workload::OpenLoopConfig open_loop;
 };
 
 /// Runs one cell: generates the trace, builds + populates the cluster,

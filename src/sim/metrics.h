@@ -78,7 +78,7 @@ struct FaultMetrics {
 };
 
 /// Online health-monitor accounting (fail-slow detection + mitigation).
-/// Always serialised (schema edm-run-result/3 has an always-present
+/// Always serialised (schema edm-run-result/4 has an always-present
 /// `health` section); enabled = false leaves every counter at zero.
 struct HealthMetrics {
   bool enabled = false;    // monitor scored latencies this run
@@ -99,6 +99,37 @@ struct HealthMetrics {
   std::uint64_t drain_triggers = 0;  // quarantines that started a drain
   std::uint64_t drain_planned = 0;   // objects queued for draining
   std::uint64_t drain_moved = 0;     // drain objects fully moved
+};
+
+/// Per-tenant open-loop accounting (SLO-centric: the question is not "how
+/// fast did the cluster go" but "did each tenant's offered load meet its
+/// latency target").
+struct TenantMetrics {
+  std::string name;                 // profile, "#<i>"-suffixed on repeats
+  double offered_ops_per_sec = 0.0;
+  SimDuration slo_us = 0;
+  std::uint64_t arrivals = 0;       // records injected
+  std::uint64_t completed_ops = 0;
+  std::uint64_t slo_violations = 0; // completions with response > slo_us
+  double mean_response_us = 0.0;
+  util::LogHistogram response_histogram;  // p50/p99/p999 come from here
+  double slo_violation_fraction() const {
+    return completed_ops ? static_cast<double>(slo_violations) /
+                               static_cast<double>(completed_ops)
+                         : 0.0;
+  }
+};
+
+/// Open-loop workload accounting.  Always serialised (schema
+/// edm-run-result/4 has an always-present `workload` section); a
+/// closed-loop run leaves open_loop = false and tenants empty.
+struct WorkloadMetrics {
+  bool open_loop = false;
+  double offered_ops_per_sec = 0.0;  // sum of tenant rates
+  std::uint64_t arrivals = 0;        // total records injected
+  SimTime last_arrival_us = 0;
+  std::uint64_t peak_queue_depth = 0;  // max per-OSD backlog observed
+  std::vector<TenantMetrics> tenants;
 };
 
 /// Event-loop and wall-clock measurements for the continuous-benchmark
@@ -147,6 +178,9 @@ struct RunResult {
 
   // --- fail-slow detection & mitigation (paper-extension) ---
   HealthMetrics health;
+
+  // --- open-loop multi-tenant workload (paper-extension) ---
+  WorkloadMetrics workload;
 
   // --- benchmark-harness measurements (never serialised) ---
   PerfMetrics perf;

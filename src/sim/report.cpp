@@ -3,6 +3,7 @@
 #include <cmath>
 #include <ostream>
 
+#include "util/provenance.h"
 #include "util/table.h"
 
 namespace edm::sim {
@@ -91,7 +92,9 @@ void write_report(const RunResult& r, std::ostream& os, bool per_osd,
      << "throughput:      " << Table::num(r.throughput_ops_per_sec(), 0)
      << " ops/s\n"
      << "mean_rt:         " << Table::num(r.mean_response_us / 1000.0, 2)
-     << " ms (p99 "
+     << " ms (p50 "
+     << Table::num(r.response_histogram.quantile(0.50) / 1000.0, 2)
+     << " ms, p99 "
      << Table::num(r.response_histogram.quantile(0.99) / 1000.0, 2)
      << " ms)\n"
      << "aggregate_erases: " << r.aggregate_erases() << " (RSD "
@@ -137,6 +140,23 @@ void write_report(const RunResult& r, std::ostream& os, bool per_osd,
        << r.health.drain_moved << "/" << r.health.drain_planned << "\n";
   }
 
+  if (r.workload.open_loop) {
+    os << "workload:        open-loop, offered="
+       << Table::num(r.workload.offered_ops_per_sec, 0) << " ops/s, "
+       << r.workload.arrivals << " arrivals, peak queue="
+       << r.workload.peak_queue_depth << "\n";
+    for (const TenantMetrics& t : r.workload.tenants) {
+      os << "  tenant " << t.name << ": offered="
+         << Table::num(t.offered_ops_per_sec, 0) << " ops/s, p50="
+         << Table::num(t.response_histogram.quantile(0.50) / 1000.0, 2)
+         << " ms, p99="
+         << Table::num(t.response_histogram.quantile(0.99) / 1000.0, 2)
+         << " ms, slo_viol="
+         << Table::num(t.slo_violation_fraction() * 100.0, 1) << "% of "
+         << t.completed_ops << "\n";
+    }
+  }
+
   if (per_osd) {
     Table t({"osd", "erases", "host_writes", "gc_moves", "util", "served",
              "busy(s)"});
@@ -169,10 +189,11 @@ void write_report(const RunResult& r, std::ostream& os, bool per_osd,
   }
 }
 
-void write_json(const RunResult& r, std::ostream& os) {
+void write_json(const RunResult& r, std::ostream& os,
+                const util::Provenance* provenance) {
   JsonWriter json(os);
   json.begin_object();
-  json.field("schema", std::string("edm-run-result/3"));
+  json.field("schema", std::string("edm-run-result/4"));
   json.field("trace", r.trace_name);
   json.field("policy", r.policy_name);
   json.field("num_osds", std::uint64_t{r.num_osds});
@@ -183,6 +204,7 @@ void write_json(const RunResult& r, std::ostream& os) {
   json.field("makespan_us", r.makespan_us);
   json.field("throughput_ops_per_sec", r.throughput_ops_per_sec());
   json.field("mean_response_us", r.mean_response_us);
+  json.field("p50_response_us", r.response_histogram.quantile(0.50));
   json.field("p99_response_us", r.response_histogram.quantile(0.99));
   json.field("p999_response_us", r.response_histogram.quantile(0.999));
   json.field("aggregate_erases", r.aggregate_erases());
@@ -260,6 +282,35 @@ void write_json(const RunResult& r, std::ostream& os) {
   json.field("drain_triggers", r.health.drain_triggers);
   json.field("drain_planned", r.health.drain_planned);
   json.field("drain_moved", r.health.drain_moved);
+  json.end_object();
+
+  // Schema /4: always-present workload section (same contract as health --
+  // a closed-loop run reports open_loop=0 and an empty tenant list, so
+  // consumers never branch on key presence).
+  json.key("workload");
+  json.begin_object();
+  json.field("open_loop", std::uint64_t{r.workload.open_loop ? 1u : 0u});
+  json.field("offered_ops_per_sec", r.workload.offered_ops_per_sec);
+  json.field("arrivals", r.workload.arrivals);
+  json.field("last_arrival_us", r.workload.last_arrival_us);
+  json.field("peak_queue_depth", r.workload.peak_queue_depth);
+  json.begin_array("tenants");
+  for (const TenantMetrics& t : r.workload.tenants) {
+    json.begin_object();
+    json.field("name", t.name);
+    json.field("offered_ops_per_sec", t.offered_ops_per_sec);
+    json.field("slo_us", t.slo_us);
+    json.field("arrivals", t.arrivals);
+    json.field("completed_ops", t.completed_ops);
+    json.field("slo_violations", t.slo_violations);
+    json.field("slo_violation_fraction", t.slo_violation_fraction());
+    json.field("mean_response_us", t.mean_response_us);
+    json.field("p50_response_us", t.response_histogram.quantile(0.50));
+    json.field("p99_response_us", t.response_histogram.quantile(0.99));
+    json.field("p999_response_us", t.response_histogram.quantile(0.999));
+    json.end_object();
+  }
+  json.end_array();
   json.end_object();
 
   json.begin_array("per_osd");
@@ -347,6 +398,19 @@ void write_json(const RunResult& r, std::ostream& os) {
   }
   json.end_object();
   json.end_object();
+
+  // Opt-in build attribution, last so the digest-pinned prefix is
+  // unchanged whether or not a caller stamps it.
+  if (provenance != nullptr) {
+    json.key("provenance");
+    json.begin_object();
+    json.field("compiler", provenance->compiler);
+    json.field("build_type", provenance->build_type);
+    json.field("cxx_flags", provenance->cxx_flags);
+    json.field("cpu_model", provenance->cpu_model);
+    json.field("commit", provenance->commit);
+    json.end_object();
+  }
 
   json.end_object();
   os << '\n';

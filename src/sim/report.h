@@ -9,6 +9,10 @@
 
 #include "sim/metrics.h"
 
+namespace edm::util {
+struct Provenance;
+}  // namespace edm::util
+
 namespace edm::sim {
 
 /// Pretty multi-section report (summary, migration, per-OSD, timeline).
@@ -17,6 +21,10 @@ void write_report(const RunResult& result, std::ostream& os,
 
 /// Single JSON object: {schema, summary{...}, migration{...}, per_osd[...],
 /// timeline[...]}.  Always emits every field; numbers only (no NaN/inf).
-void write_json(const RunResult& result, std::ostream& os);
+/// A non-null `provenance` appends a build-attribution section
+/// (util/provenance.h); it is deliberately OPT-IN and last so that
+/// digest-pinned report bytes stay machine-independent by default.
+void write_json(const RunResult& result, std::ostream& os,
+                const util::Provenance* provenance = nullptr);
 
 }  // namespace edm::sim

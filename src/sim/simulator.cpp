@@ -54,19 +54,29 @@ void SimConfig::validate(std::uint32_t num_osds) const {
 
 Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
                      const trace::Trace& trace, core::MigrationPolicy* policy)
-    : Simulator(std::move(config), cluster, &trace, nullptr, policy) {}
+    : Simulator(std::move(config), cluster, &trace, nullptr, nullptr, policy) {
+}
 
 Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
                      trace::TraceCursor& cursor, core::MigrationPolicy* policy)
-    : Simulator(std::move(config), cluster, nullptr, &cursor, policy) {}
+    : Simulator(std::move(config), cluster, nullptr, &cursor, nullptr,
+                policy) {}
+
+Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
+                     workload::OpenLoopSource& arrivals,
+                     core::MigrationPolicy* policy)
+    : Simulator(std::move(config), cluster, nullptr, nullptr, &arrivals,
+                policy) {}
 
 Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
                      const trace::Trace* trace, trace::TraceCursor* cursor,
+                     workload::OpenLoopSource* arrivals,
                      core::MigrationPolicy* policy)
     : cfg_(config),
       cluster_(cluster),
       trace_(trace),
       cursor_(cursor),
+      arrivals_(arrivals),
       policy_(policy),
       tracker_(config.temperature_cache_entries) {
   cfg_.validate(cluster_.num_osds());
@@ -90,8 +100,20 @@ Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
   }
   // Assign records to replay lanes by the trace's client tag, folded onto
   // the configured client count ("all trace records of multiple users are
-  // evenly assigned to each client").
-  clients_.resize(cfg_.num_clients);
+  // evenly assigned to each client").  Open-loop mode has no replay lanes:
+  // arrivals feed the OSD queues directly.
+  clients_.resize(arrivals_ != nullptr ? 0 : cfg_.num_clients);
+  if (arrivals_ != nullptr) {
+    tenants_.resize(arrivals_->tenant_count());
+    for (std::uint16_t t = 0; t < tenants_.size(); ++t) {
+      tenants_[t].slo_us = static_cast<SimDuration>(
+          arrivals_->spec(t).slo_ms * 1000.0);
+    }
+    if (cfg_.trigger == MigrationTrigger::kForcedMidpoint ||
+        cfg_.fail_osd >= 0) {
+      total_records_ = arrivals_->total_records();
+    }
+  }
   if (trace_ != nullptr) {
     total_records_ = trace_->records.size();
     // Two passes: count, reserve, then copy -- growing the per-client
@@ -107,8 +129,9 @@ Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
     for (const auto& rec : trace_->records) {
       clients_[rec.client % cfg_.num_clients].records.push_back(rec);
     }
-  } else if (cfg_.trigger == MigrationTrigger::kForcedMidpoint ||
-             cfg_.fail_osd >= 0) {
+  } else if (cursor_ != nullptr &&
+             (cfg_.trigger == MigrationTrigger::kForcedMidpoint ||
+              cfg_.fail_osd >= 0)) {
     // Streaming mode only needs the total for the fraction-triggered
     // hooks; the counting pre-pass is O(file_count) memory.
     total_records_ = cursor_->total_records();
@@ -137,6 +160,15 @@ void Simulator::setup_telemetry() {
     tel_requests_retried_ = metrics->counter("sim.requests_retried");
     tel_requests_abandoned_ = metrics->counter("sim.requests_abandoned");
     tel_response_hist_ = metrics->histogram("sim.response_us");
+    if (arrivals_ != nullptr) {
+      for (std::uint16_t t = 0; t < tenants_.size(); ++t) {
+        const std::string& name = arrivals_->tenant_name(t);
+        tenants_[t].tel_ops =
+            metrics->counter("tenant." + name + ".ops_completed");
+        tenants_[t].tel_hist =
+            metrics->histogram("tenant." + name + ".response_us");
+      }
+    }
   }
   if (tel_tracer_ != nullptr) {
     for (std::uint32_t c = 0; c < clients_.size(); ++c) {
@@ -153,6 +185,12 @@ void Simulator::setup_telemetry() {
     }
     tel_tracer_->name_track(telemetry::track_policy(), "policy");
     tel_tracer_->name_track(telemetry::track_fault(), "fault");
+    if (arrivals_ != nullptr) {
+      for (std::uint16_t t = 0; t < tenants_.size(); ++t) {
+        tel_tracer_->name_track(telemetry::track_tenant(t),
+                                "tenant:" + arrivals_->tenant_name(t));
+      }
+    }
   }
 }
 
@@ -165,6 +203,14 @@ RunResult Simulator::run() {
   if (ran_) throw std::logic_error("Simulator::run() called twice");
   ran_ = true;
 
+  if (arrivals_ != nullptr) {
+    // Open loop: prime the first arrival; everything else flows from the
+    // kArrival event chain.
+    arrival_pending_ = arrivals_->next(next_arrival_);
+    if (arrival_pending_) {
+      events_.push(next_arrival_.at, EventKind::kArrival, 0);
+    }
+  }
   // Kick off every replay lane at t = 0.  In streaming mode an empty lane
   // is discovered by its first fill (which marks it done and decrements).
   for (std::uint16_t c = 0; c < clients_.size(); ++c) {
@@ -239,6 +285,9 @@ RunResult Simulator::run() {
       case EventKind::kHedgeDeadline:
         on_hedge_deadline(e.payload, e.time);
         break;
+      case EventKind::kArrival:
+        on_arrival(e.time);
+        break;
     }
   }
   if (clients_active() || mover_active() || rebuild_running_) {
@@ -248,7 +297,10 @@ RunResult Simulator::run() {
 
   // --- assemble results ---
   RunResult out;
-  out.trace_name = trace_ != nullptr ? trace_->name : cursor_->name();
+  out.trace_name = trace_ != nullptr
+                       ? trace_->name
+                       : (cursor_ != nullptr ? cursor_->name()
+                                             : arrivals_->name());
   out.policy_name = policy_ ? policy_->name() : "baseline";
   out.num_osds = cluster_.num_osds();
   out.completed_ops = completed_ops_;
@@ -304,6 +356,28 @@ RunResult Simulator::run() {
   }
   out.health = health_;
 
+  if (arrivals_ != nullptr) {
+    out.workload.open_loop = true;
+    out.workload.offered_ops_per_sec = arrivals_->offered_ops_per_sec();
+    out.workload.last_arrival_us = last_arrival_at_;
+    out.workload.peak_queue_depth = openloop_peak_queue_;
+    out.workload.tenants.reserve(tenants_.size());
+    for (std::uint16_t t = 0; t < tenants_.size(); ++t) {
+      const TenantState& ts = tenants_[t];
+      TenantMetrics tm;
+      tm.name = arrivals_->tenant_name(t);
+      tm.offered_ops_per_sec = arrivals_->spec(t).rate_ops_per_sec;
+      tm.slo_us = ts.slo_us;
+      tm.arrivals = ts.arrivals;
+      tm.completed_ops = ts.completed;
+      tm.slo_violations = ts.slo_violations;
+      tm.mean_response_us = ts.stats.mean();
+      tm.response_histogram = ts.hist;
+      out.workload.arrivals += ts.arrivals;
+      out.workload.tenants.push_back(std::move(tm));
+    }
+  }
+
   if (tel_ != nullptr && tel_->config().sample_rss) {
     if (auto* metrics = tel_->metrics()) {
       metrics->gauge("process.peak_rss_bytes")
@@ -324,7 +398,7 @@ std::uint32_t Simulator::alloc_op(std::uint16_t client_id, SimTime now) {
     id = static_cast<std::uint32_t>(ops_.size());
     ops_.emplace_back();
   }
-  ops_[id] = OpState{client_id, 0, now};
+  ops_[id] = OpState{client_id, 0, 0, now};
   return id;
 }
 
@@ -374,6 +448,73 @@ void Simulator::fill_client_window(std::uint16_t client_id, SimTime now) {
   if (drained && c.in_flight == 0 && !c.done) {
     c.done = true;
     --active_clients_;
+  }
+}
+
+// ------------------------------------------------------- open-loop arrivals
+
+void Simulator::on_arrival(SimTime now) {
+  // Inject everything due at `now` (same-microsecond arrivals share one
+  // event), then schedule the next stamp.  No queue-depth gate anywhere:
+  // if the cluster is saturated the OSD queues simply grow.
+  while (arrival_pending_ && next_arrival_.at <= now) {
+    inject_arrival(next_arrival_, now);
+    arrival_pending_ = arrivals_->next(next_arrival_);
+  }
+  if (arrival_pending_) {
+    events_.push(next_arrival_.at, EventKind::kArrival, 0);
+  }
+}
+
+void Simulator::inject_arrival(const workload::Arrival& arrival, SimTime now) {
+  TenantState& ts = tenants_[arrival.tenant];
+  ++ts.arrivals;
+  last_arrival_at_ = arrival.at;
+  ++issued_records_;
+  // Same one-shot fraction hooks as the closed-loop replay (guarded at the
+  // call site; no-ops in most configurations).
+  if (cfg_.trigger == MigrationTrigger::kForcedMidpoint && !midpoint_fired_) {
+    maybe_trigger_midpoint(now);
+  }
+  if (cfg_.fail_osd >= 0 && !failure_injected_) maybe_inject_failure(now);
+
+  io_scratch_.clear();
+  cluster_.map_request(arrival.record, io_scratch_);
+  if (io_scratch_.empty()) {
+    // Metadata-only op (open/close): completes immediately.
+    ++completed_ops_;
+    record_response(now, 0);
+    account_tenant_completion(arrival.tenant, now, 0);
+    return;
+  }
+  const std::uint32_t op_id = alloc_op(0, now);
+  ops_[op_id].tenant = arrival.tenant;
+  ops_[op_id].outstanding = static_cast<std::uint32_t>(io_scratch_.size());
+  ++openloop_in_flight_;
+  for (const auto& io : io_scratch_) {
+    tracker_.on_access(io.oid, io.pages, io.is_write);
+    enqueue({SubRequest::Kind::kClient, op_id, io, now}, now);
+    const OsdServer& s = servers_[io.osd];
+    const std::uint64_t depth = s.queue.size() + (s.busy ? 1 : 0);
+    if (depth > openloop_peak_queue_) openloop_peak_queue_ = depth;
+  }
+}
+
+void Simulator::account_tenant_completion(std::uint16_t tenant, SimTime now,
+                                          SimDuration response_us) {
+  TenantState& ts = tenants_[tenant];
+  ++ts.completed;
+  ts.stats.add(static_cast<double>(response_us));
+  ts.hist.add(response_us);
+  if (response_us > ts.slo_us) ++ts.slo_violations;
+  if (ts.tel_ops != nullptr) {
+    ts.tel_ops->add(1);
+    ts.tel_hist->observe(static_cast<double>(response_us));
+  }
+  if (tel_tracer_ != nullptr && response_us > 0) {
+    tel_tracer_->complete(telemetry::Category::kRequest, "op",
+                          telemetry::track_tenant(tenant),
+                          now - response_us, response_us);
   }
 }
 
@@ -572,6 +713,14 @@ void Simulator::complete_client_subrequest(std::uint32_t op_id, SimTime now) {
   if (--op.outstanding == 0) {
     ++completed_ops_;
     record_response(now, now - op.start);
+    if (arrivals_ != nullptr) {
+      // Open-loop op: per-tenant SLO accounting, no replay lane to refill.
+      account_tenant_completion(op.tenant, now, now - op.start);
+      assert(openloop_in_flight_ > 0);
+      --openloop_in_flight_;
+      release_op(op_id);
+      return;
+    }
     if (tel_tracer_ != nullptr) {
       tel_tracer_->complete(telemetry::Category::kRequest, "op",
                             telemetry::track_client(op.client), op.start,

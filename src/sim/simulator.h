@@ -41,6 +41,7 @@
 #include "util/ewma.h"
 #include "util/ring_queue.h"
 #include "util/types.h"
+#include "workload/tenant.h"
 
 namespace edm::telemetry {
 class Recorder;
@@ -170,6 +171,15 @@ class Simulator {
   Simulator(SimConfig config, cluster::Cluster& cluster,
             trace::TraceCursor& cursor, core::MigrationPolicy* policy);
 
+  /// Open-loop variant: arrival events from the multi-tenant source feed
+  /// the OSD queues directly at their stamped absolute times -- no
+  /// per-client queue-depth gating, so offered load can exceed what the
+  /// cluster absorbs and queue growth is the measured signal.  num_clients
+  /// and client_queue_depth are ignored; per-tenant SLO accounting lands
+  /// in RunResult::workload.  Cluster and source must outlive run().
+  Simulator(SimConfig config, cluster::Cluster& cluster,
+            workload::OpenLoopSource& arrivals, core::MigrationPolicy* policy);
+
   /// Runs the replay to completion and returns the collected metrics.
   /// Must be called at most once per Simulator instance.
   RunResult run();
@@ -221,6 +231,7 @@ class Simulator {
   /// One in-flight file operation (a client may have several).
   struct OpState {
     std::uint16_t client = 0;
+    std::uint16_t tenant = 0;  // open-loop mode only (else 0)
     std::uint32_t outstanding = 0;
     SimTime start = 0;
   };
@@ -277,6 +288,15 @@ class Simulator {
     std::uint32_t gen = 0;  // bumped on abort; stale chunks are dropped
     SimTime start = 0;  // when the current object's copy began (trace spans)
   };
+
+  // --- open-loop injection ---
+  /// kArrival handler: injects every arrival due at `now`, then schedules
+  /// the next one.
+  void on_arrival(SimTime now);
+  void inject_arrival(const workload::Arrival& arrival, SimTime now);
+  /// Per-tenant completion accounting for an open-loop op.
+  void account_tenant_completion(std::uint16_t tenant, SimTime now,
+                                 SimDuration response_us);
 
   // --- client side ---
   void fill_client_window(std::uint16_t client_id, SimTime now);
@@ -364,18 +384,23 @@ class Simulator {
   // --- bookkeeping ---
   void on_epoch_tick(SimTime now);
   void record_response(SimTime now, SimDuration response_us);
-  bool clients_active() const { return active_clients_ > 0; }
+  /// "Foreground work remains": closed-loop lanes still replaying, or (open
+  /// loop) arrivals still pending / injected ops still in flight.
+  bool clients_active() const {
+    return active_clients_ > 0 || arrival_pending_ || openloop_in_flight_ > 0;
+  }
 
-  /// Shared body of both public constructors: exactly one of trace/cursor
-  /// is non-null.
+  /// Shared body of the public constructors: exactly one of
+  /// trace/cursor/arrivals is non-null.
   Simulator(SimConfig config, cluster::Cluster& cluster,
             const trace::Trace* trace, trace::TraceCursor* cursor,
-            core::MigrationPolicy* policy);
+            workload::OpenLoopSource* arrivals, core::MigrationPolicy* policy);
 
   SimConfig cfg_;
   cluster::Cluster& cluster_;
   const trace::Trace* trace_;        // materialised mode (else null)
   trace::TraceCursor* cursor_;       // streaming mode (else null)
+  workload::OpenLoopSource* arrivals_;  // open-loop mode (else null)
   std::uint64_t total_records_ = 0;  // for midpoint / fail-fraction hooks
   core::MigrationPolicy* policy_;
 
@@ -440,6 +465,24 @@ class Simulator {
   std::unordered_set<ObjectId> drain_oids_;
   std::vector<HealthMonitor::Transition> transition_scratch_;
   HealthMetrics health_;
+
+  // Open-loop injection state (all dormant in closed-loop mode).
+  struct TenantState {
+    util::StreamingStats stats;
+    util::LogHistogram hist;
+    std::uint64_t arrivals = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t slo_violations = 0;
+    SimDuration slo_us = 0;
+    telemetry::Counter* tel_ops = nullptr;
+    telemetry::Histogram* tel_hist = nullptr;
+  };
+  workload::Arrival next_arrival_;
+  bool arrival_pending_ = false;
+  std::uint64_t openloop_in_flight_ = 0;  // injected ops not yet completed
+  SimTime last_arrival_at_ = 0;
+  std::uint64_t openloop_peak_queue_ = 0;
+  std::vector<TenantState> tenants_;
 
   // Telemetry handles, resolved once by setup_telemetry() (all null when
   // the run has no recorder; hot paths guard with one pointer test).

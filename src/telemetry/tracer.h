@@ -50,6 +50,9 @@ constexpr std::uint32_t track_rebuild(std::uint32_t lane) {
 }
 constexpr std::uint32_t track_policy() { return 4000; }
 constexpr std::uint32_t track_fault() { return 4001; }
+constexpr std::uint32_t track_tenant(std::uint32_t tenant) {
+  return 5000 + tenant;
+}
 
 struct TraceEvent {
   const char* name = nullptr;

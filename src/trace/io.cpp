@@ -19,11 +19,15 @@ void put(std::ostream& os, const T& value) {
   os.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
+// Header reads: a short read here means the file ends inside the fixed
+// metadata (magic already checked), which is a different failure from a
+// short record chunk -- keep the messages distinct so callers can tell
+// "not even a complete header" from "records missing at the tail".
 template <typename T>
 T get(std::istream& is) {
   T value{};
   is.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!is) throw std::runtime_error("trace stream truncated");
+  if (!is) throw std::runtime_error("trace header truncated");
   return value;
 }
 
@@ -124,7 +128,7 @@ TraceReader::TraceReader(std::istream& is) : is_(is) {
   const auto name_len = get<std::uint32_t>(is_);
   name_.resize(name_len);
   is_.read(name_.data(), name_len);
-  if (!is_) throw std::runtime_error("trace stream truncated");
+  if (!is_) throw std::runtime_error("trace header truncated");
 
   const auto file_count = get<std::uint64_t>(is_);
   files_.reserve(file_count);
@@ -145,8 +149,16 @@ void TraceReader::refill() {
           std::min<std::uint64_t>(remaining, TraceWriter::kChunkRecords)) *
       kRecordWireBytes;
   is_.read(buf_.data(), static_cast<std::streamsize>(want));
-  if (static_cast<std::size_t>(is_.gcount()) != want) {
-    throw std::runtime_error("trace stream truncated");
+  const auto got = static_cast<std::size_t>(is_.gcount());
+  if (got != want) {
+    // Distinct from the header error: the header promised record_count_
+    // records but the chunk stream ran out early (truncated tail or a
+    // short final chunk).
+    throw std::runtime_error(
+        "trace chunk truncated: expected " + std::to_string(want) +
+        " bytes, got " + std::to_string(got) + " (" +
+        std::to_string(records_read_) + "/" + std::to_string(record_count_) +
+        " records read)");
   }
   buf_pos_ = 0;
   buf_len_ = want;

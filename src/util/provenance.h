@@ -1,10 +1,11 @@
-// Build/host provenance for committed benchmark JSON.
+// Build/host provenance for committed benchmark JSON and run reports.
 //
 // A wall-clock number is only comparable against another measured on the
 // same machine with the same toolchain; the committed BENCH_*.json files
-// therefore embed where their numbers came from: compiler + version, build
-// type and flags (injected by bench/CMakeLists.txt), the CPU model, and
-// the git commit (passed by tools/bench_*.sh via EDM_GIT_COMMIT -- the
+// and tools/edm_run JSON reports therefore embed where their numbers came
+// from: compiler + version, build type and flags (injected by
+// src/util/CMakeLists.txt as PUBLIC compile definitions), the CPU model,
+// and the git commit (passed by tools/bench_*.sh via EDM_GIT_COMMIT -- the
 // binary itself does not shell out to git).
 //
 // Fields that cannot be determined come out as "" rather than guessing.
@@ -15,7 +16,7 @@
 #include <ostream>
 #include <string>
 
-namespace edm::bench {
+namespace edm::util {
 
 struct Provenance {
   std::string compiler;    // e.g. "gcc 12.2.0"
@@ -55,7 +56,7 @@ inline Provenance collect_provenance() {
   return p;
 }
 
-inline std::string json_escape(const std::string& s) {
+inline std::string provenance_json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
@@ -71,13 +72,17 @@ inline std::string json_escape(const std::string& s) {
 inline void write_provenance_json(std::ostream& os, const Provenance& p,
                                   const std::string& indent) {
   os << indent << "\"provenance\": {\n"
-     << indent << "  \"compiler\": \"" << json_escape(p.compiler) << "\",\n"
-     << indent << "  \"build_type\": \"" << json_escape(p.build_type)
+     << indent << "  \"compiler\": \"" << provenance_json_escape(p.compiler)
      << "\",\n"
-     << indent << "  \"cxx_flags\": \"" << json_escape(p.cxx_flags) << "\",\n"
-     << indent << "  \"cpu_model\": \"" << json_escape(p.cpu_model) << "\",\n"
-     << indent << "  \"commit\": \"" << json_escape(p.commit) << "\"\n"
+     << indent << "  \"build_type\": \""
+     << provenance_json_escape(p.build_type) << "\",\n"
+     << indent << "  \"cxx_flags\": \"" << provenance_json_escape(p.cxx_flags)
+     << "\",\n"
+     << indent << "  \"cpu_model\": \"" << provenance_json_escape(p.cpu_model)
+     << "\",\n"
+     << indent << "  \"commit\": \"" << provenance_json_escape(p.commit)
+     << "\"\n"
      << indent << "}";
 }
 
-}  // namespace edm::bench
+}  // namespace edm::util

@@ -1,0 +1,129 @@
+#include "workload/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edm::workload {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+ArrivalKind arrival_kind_from(const std::string& name) {
+  if (name == "closed") return ArrivalKind::kClosed;
+  if (name == "poisson") return ArrivalKind::kPoisson;
+  if (name == "fixed") return ArrivalKind::kFixed;
+  throw std::invalid_argument("unknown arrival kind '" + name +
+                              "' (want closed|poisson|fixed)");
+}
+
+const char* arrival_kind_name(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kClosed: return "closed";
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kFixed: return "fixed";
+  }
+  return "?";
+}
+
+void BurstConfig::validate() const {
+  if (period_s < 0.0) {
+    throw std::invalid_argument("burst period must be >= 0");
+  }
+  if (duty <= 0.0 || duty > 1.0) {
+    throw std::invalid_argument("burst duty must be in (0, 1]");
+  }
+}
+
+void DiurnalConfig::validate() const {
+  if (period_s < 0.0) {
+    throw std::invalid_argument("diurnal period must be >= 0");
+  }
+  if (amplitude < 0.0 || amplitude >= 1.0) {
+    // amplitude 1 would zero the rate at the trough for a measure-zero
+    // instant only, but amplitudes >= 1 make lambda(t) negative.
+    throw std::invalid_argument("diurnal amplitude must be in [0, 1)");
+  }
+}
+
+ArrivalProcess::ArrivalProcess(ArrivalKind kind, double rate_ops_per_sec,
+                               std::uint64_t seed, BurstConfig burst,
+                               DiurnalConfig diurnal)
+    : kind_(kind),
+      rate_(rate_ops_per_sec),
+      burst_(burst),
+      diurnal_(diurnal),
+      rng_(seed) {
+  if (kind_ == ArrivalKind::kClosed) {
+    throw std::invalid_argument("ArrivalProcess requires an open kind");
+  }
+  if (!(rate_ > 0.0) || !std::isfinite(rate_)) {
+    throw std::invalid_argument("arrival rate must be > 0");
+  }
+  burst_.validate();
+  diurnal_.validate();
+  modulated_ = burst_.enabled() || diurnal_.enabled();
+  // The modulation grid must resolve the fastest feature: keep cells at
+  // most a quarter of the burst ON window (so ON cells always exist no
+  // matter how the grid phases against the train) and 1/64 of a diurnal
+  // period (so the sinusoid is tracked to a few percent).
+  if (burst_.enabled()) {
+    cell_us_ = std::min(cell_us_, burst_.period_s * burst_.duty * 1e6 / 4.0);
+  }
+  if (diurnal_.enabled()) {
+    cell_us_ = std::min(cell_us_, diurnal_.period_s * 1e6 / 64.0);
+  }
+  cell_us_ = std::max(cell_us_, 1.0);
+}
+
+double ArrivalProcess::rate_at(double t_us) const {
+  double mult = 1.0;
+  const double t_s = t_us / 1e6;
+  if (burst_.enabled()) {
+    const double phase = std::fmod(t_s, burst_.period_s);
+    if (phase < burst_.duty * burst_.period_s) {
+      mult /= burst_.duty;  // ON: compressed so the long-run mean holds
+    } else {
+      return 0.0;  // OFF
+    }
+  }
+  if (diurnal_.enabled()) {
+    mult *= 1.0 + diurnal_.amplitude *
+                      std::sin(2.0 * kPi * t_s / diurnal_.period_s);
+  }
+  return rate_ * std::max(mult, 0.0);
+}
+
+SimTime ArrivalProcess::next() {
+  // Unit-intensity target this arrival must consume.
+  double target = 1.0;
+  if (kind_ == ArrivalKind::kPoisson) {
+    target = -std::log(1.0 - rng_.next_double());
+  }
+  if (!modulated_) {
+    t_us_ += target * 1e6 / rate_;
+    return static_cast<SimTime>(t_us_);
+  }
+  // lambda(t) is constant within each grid cell: walk cells, spending the
+  // target against each cell's exactly-integrated intensity.
+  while (true) {
+    const double cell = std::floor(t_us_ / cell_us_);
+    const double cell_end = (cell + 1.0) * cell_us_;
+    const double rate = rate_at(cell * cell_us_);
+    if (rate <= 0.0) {
+      t_us_ = cell_end;  // silent cell: jump to the next boundary
+      continue;
+    }
+    const double capacity = rate * (cell_end - t_us_) / 1e6;
+    if (target <= capacity) {
+      t_us_ += target * 1e6 / rate;
+      break;
+    }
+    target -= capacity;
+    t_us_ = cell_end;
+  }
+  return static_cast<SimTime>(t_us_);
+}
+
+}  // namespace edm::workload

@@ -247,7 +247,7 @@ TEST(JsonRoundTrip, ParsesAndExposesSchemaFields) {
   const auto doc = parsed_result(/*with_telemetry=*/false);
   ASSERT_TRUE(doc->is_object());
   EXPECT_EQ(std::get<std::string>(field(*doc, "schema").v),
-            "edm-run-result/3");
+            "edm-run-result/4");
   const JsonValue& summary = field(*doc, "summary");
   field(summary, "throughput_ops_per_sec");
   field(summary, "completed_ops");

@@ -1,0 +1,137 @@
+// End-to-end open-loop injection: the simulator drives arrival-stamped
+// records from an OpenLoopSource through the OSD queues and reports
+// per-tenant SLO metrics.  The subsystem is strictly additive -- with
+// open_loop disabled the closed-loop replay must be untouched (the digest
+// fixtures pin those bytes separately).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "trace/generator.h"
+
+namespace edm::sim {
+namespace {
+
+ExperimentConfig open_loop_cell(double home_rate = 3000.0,
+                                double lair_rate = 1500.0) {
+  ExperimentConfig cfg;
+  cfg.scale = 0.01;
+  cfg.policy = core::PolicyKind::kHdf;
+
+  workload::TenantSpec home;
+  home.profile = "home02";
+  home.rate_ops_per_sec = home_rate;
+  home.slo_ms = 25.0;
+  workload::TenantSpec lair;
+  lair.profile = "lair62";
+  lair.rate_ops_per_sec = lair_rate;
+  lair.slo_ms = 50.0;
+  cfg.open_loop.tenants = {home, lair};
+  return cfg;
+}
+
+TEST(OpenLoopRun, CompletesEveryArrivalAndFillsTenantMetrics) {
+  const RunResult r = run_experiment(open_loop_cell());
+  const auto& w = r.workload;
+  ASSERT_TRUE(w.open_loop);
+  ASSERT_EQ(w.tenants.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.offered_ops_per_sec, 4500.0);
+  EXPECT_GT(w.arrivals, 0u);
+  EXPECT_GT(w.peak_queue_depth, 0u);
+  EXPECT_GE(r.makespan_us, w.last_arrival_us);
+
+  std::uint64_t tenant_arrivals = 0;
+  std::uint64_t tenant_completed = 0;
+  for (const auto& t : w.tenants) {
+    EXPECT_FALSE(t.name.empty());
+    EXPECT_GT(t.arrivals, 0u);
+    // Open loop never drops work: everything injected completes.
+    EXPECT_EQ(t.completed_ops, t.arrivals);
+    EXPECT_GT(t.mean_response_us, 0.0);
+    EXPECT_GT(t.response_histogram.count(), 0u);
+    tenant_arrivals += t.arrivals;
+    tenant_completed += t.completed_ops;
+  }
+  EXPECT_EQ(tenant_arrivals, w.arrivals);
+  EXPECT_EQ(tenant_completed, r.completed_ops);
+  EXPECT_EQ(w.tenants[0].name, "home02");
+  EXPECT_EQ(w.tenants[1].name, "lair62");
+  EXPECT_EQ(w.tenants[0].slo_us, 25'000u);
+  EXPECT_EQ(w.tenants[1].slo_us, 50'000u);
+}
+
+TEST(OpenLoopRun, IsDeterministic) {
+  const RunResult a = run_experiment(open_loop_cell());
+  const RunResult b = run_experiment(open_loop_cell());
+  EXPECT_EQ(a.makespan_us, b.makespan_us);
+  EXPECT_EQ(a.completed_ops, b.completed_ops);
+  ASSERT_EQ(a.workload.tenants.size(), b.workload.tenants.size());
+  for (std::size_t i = 0; i < a.workload.tenants.size(); ++i) {
+    EXPECT_EQ(a.workload.tenants[i].slo_violations,
+              b.workload.tenants[i].slo_violations);
+    EXPECT_DOUBLE_EQ(a.workload.tenants[i].mean_response_us,
+                     b.workload.tenants[i].mean_response_us);
+  }
+  std::ostringstream ja;
+  std::ostringstream jb;
+  write_json(a, ja);
+  write_json(b, jb);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(OpenLoopRun, OverloadGrowsQueuesBeyondClosedLoopBounds) {
+  // Closed-loop queues are bounded by clients x queue depth; an open-loop
+  // overload has no such bound.  Crank the offered load and watch the
+  // backlog grow well past what any closed-loop replay could produce.
+  const RunResult gentle = run_experiment(open_loop_cell(1000.0, 500.0));
+  const RunResult slammed = run_experiment(open_loop_cell(30000.0, 15000.0));
+  EXPECT_GT(slammed.workload.peak_queue_depth,
+            4 * gentle.workload.peak_queue_depth);
+  // Under overload the response tail blows out too.
+  EXPECT_GT(slammed.response_histogram.quantile(0.99),
+            gentle.response_histogram.quantile(0.99));
+}
+
+TEST(OpenLoopRun, ClosedLoopLeavesWorkloadSectionEmpty) {
+  ExperimentConfig cfg;
+  cfg.scale = 0.01;
+  const RunResult r = run_experiment(cfg);
+  EXPECT_FALSE(r.workload.open_loop);
+  EXPECT_TRUE(r.workload.tenants.empty());
+  EXPECT_EQ(r.workload.arrivals, 0u);
+  EXPECT_EQ(r.workload.peak_queue_depth, 0u);
+}
+
+TEST(OpenLoopRun, StreamingVariantDelegates) {
+  const RunResult a = run_experiment(open_loop_cell());
+  const RunResult b = run_experiment_streaming(open_loop_cell());
+  EXPECT_EQ(a.makespan_us, b.makespan_us);
+  EXPECT_EQ(a.completed_ops, b.completed_ops);
+}
+
+TEST(OpenLoopRun, PreGeneratedTraceVariantRejectsOpenLoop) {
+  const auto cfg = open_loop_cell();
+  const trace::Trace trace =
+      trace::TraceGenerator(trace::profile_by_name("home02").scaled(0.005), 2)
+          .generate();
+  EXPECT_THROW(run_experiment(cfg, trace), std::invalid_argument);
+}
+
+TEST(OpenLoopRun, TenantScaleInheritsExperimentScale) {
+  ExperimentConfig cfg = open_loop_cell();
+  cfg.scale = 0.02;
+  const ExperimentConfig fin = finalize(cfg);
+  for (const auto& t : fin.open_loop.tenants) {
+    EXPECT_DOUBLE_EQ(t.scale, 0.02);
+  }
+  // An explicit tenant scale wins over the experiment default.
+  cfg.open_loop.tenants[0].scale = 0.5;
+  const ExperimentConfig fin2 = finalize(cfg);
+  EXPECT_DOUBLE_EQ(fin2.open_loop.tenants[0].scale, 0.5);
+  EXPECT_DOUBLE_EQ(fin2.open_loop.tenants[1].scale, 0.02);
+}
+
+}  // namespace
+}  // namespace edm::sim

@@ -69,15 +69,19 @@ TEST(Report, JsonIsStructurallySound) {
 
   // Required fields present.
   for (const char* key :
-       {"\"schema\":\"edm-run-result/3\"", "\"summary\":", "\"migration\":",
+       {"\"schema\":\"edm-run-result/4\"", "\"summary\":", "\"migration\":",
         "\"per_osd\":", "\"timeline\":", "\"throughput_ops_per_sec\":",
         "\"moved_objects\":", "\"erase_rsd\":", "\"telemetry\":",
         "\"counters\":", "\"histograms\":"}) {
     EXPECT_NE(out.find(key), std::string::npos) << key;
   }
-  // No NaN/inf can appear in JSON.
-  EXPECT_EQ(out.find("nan"), std::string::npos);
-  EXPECT_EQ(out.find("inf"), std::string::npos);
+  // No NaN/inf can appear as a JSON value.  Match ":nan"/":-nan" rather
+  // than the bare substring -- key names may legitimately contain it
+  // ("tenants").
+  EXPECT_EQ(out.find(":nan"), std::string::npos);
+  EXPECT_EQ(out.find(":-nan"), std::string::npos);
+  EXPECT_EQ(out.find(":inf"), std::string::npos);
+  EXPECT_EQ(out.find(":-inf"), std::string::npos);
 }
 
 TEST(Report, JsonPerOsdArityMatchesCluster) {

@@ -150,6 +150,49 @@ TEST(TraceIo, StreamingChunkBoundaries) {
   }
 }
 
+// Error-path contract: the three corruption classes -- wrong magic,
+// truncation inside the header, and a short final record chunk -- must
+// produce distinct messages so a caller (or a human reading a failed
+// replay log) can tell what actually broke.
+std::string thrown_message(const std::string& bytes) {
+  std::stringstream buffer(bytes);
+  try {
+    load_trace(buffer);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(TraceIo, BadMagicErrorIsDistinct) {
+  const std::string msg = thrown_message("NOTATRACE_______________");
+  EXPECT_NE(msg.find("not an EDM trace stream"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, TruncatedHeaderErrorIsDistinct) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  // Cut inside the fixed header: past the 8-byte magic, mid-version.
+  const std::string msg = thrown_message(buffer.str().substr(0, 10));
+  EXPECT_NE(msg.find("trace header truncated"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("not an EDM trace stream"), std::string::npos);
+  EXPECT_EQ(msg.find("chunk"), std::string::npos);
+}
+
+TEST(TraceIo, ShortFinalChunkErrorIsDistinct) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  // Drop half a record off the tail: the header (including the record
+  // count) parses fine, but the last chunk comes up short.
+  const std::string full = buffer.str();
+  const std::string msg = thrown_message(full.substr(0, full.size() - 12));
+  EXPECT_NE(msg.find("trace chunk truncated"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("records read"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("header"), std::string::npos);
+}
+
 TEST(TraceIo, StreamingReaderRejectsTruncatedRecords) {
   const Trace original = sample_trace();
   std::stringstream buffer;

@@ -1,0 +1,175 @@
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace edm::workload {
+namespace {
+
+std::vector<SimTime> take(ArrivalProcess& p, std::size_t n) {
+  std::vector<SimTime> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(p.next());
+  return out;
+}
+
+TEST(ArrivalKind, ParsesAndRejects) {
+  EXPECT_EQ(arrival_kind_from("closed"), ArrivalKind::kClosed);
+  EXPECT_EQ(arrival_kind_from("poisson"), ArrivalKind::kPoisson);
+  EXPECT_EQ(arrival_kind_from("fixed"), ArrivalKind::kFixed);
+  EXPECT_THROW(arrival_kind_from("bursty"), std::invalid_argument);
+  EXPECT_STREQ(arrival_kind_name(ArrivalKind::kPoisson), "poisson");
+}
+
+TEST(ArrivalProcess, FixedRateSpacingIsExact) {
+  ArrivalProcess p(ArrivalKind::kFixed, 1000.0, 42);
+  EXPECT_EQ(p.next(), 1000u);
+  EXPECT_EQ(p.next(), 2000u);
+  EXPECT_EQ(p.next(), 3000u);
+}
+
+TEST(ArrivalProcess, PoissonLongRunRateConverges) {
+  const double rate = 5000.0;
+  ArrivalProcess p(ArrivalKind::kPoisson, rate, 7);
+  const std::size_t n = 50000;
+  SimTime last = 0;
+  for (std::size_t i = 0; i < n; ++i) last = p.next();
+  const double measured = static_cast<double>(n) * 1e6 /
+                          static_cast<double>(last);
+  EXPECT_NEAR(measured, rate, 0.05 * rate);
+}
+
+TEST(ArrivalProcess, ArrivalsAreNonDecreasing) {
+  BurstConfig burst;
+  burst.period_s = 0.5;
+  burst.duty = 0.2;
+  DiurnalConfig diurnal;
+  diurnal.period_s = 10.0;
+  diurnal.amplitude = 0.8;
+  ArrivalProcess p(ArrivalKind::kPoisson, 2000.0, 3, burst, diurnal);
+  SimTime prev = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const SimTime at = p.next();
+    EXPECT_GE(at, prev);
+    prev = at;
+  }
+}
+
+TEST(ArrivalProcess, SameSeedSameSequence) {
+  ArrivalProcess a(ArrivalKind::kPoisson, 1234.0, 99);
+  ArrivalProcess b(ArrivalKind::kPoisson, 1234.0, 99);
+  EXPECT_EQ(take(a, 1000), take(b, 1000));
+}
+
+TEST(ArrivalProcess, DifferentSeedDifferentSequence) {
+  ArrivalProcess a(ArrivalKind::kPoisson, 1234.0, 1);
+  ArrivalProcess b(ArrivalKind::kPoisson, 1234.0, 2);
+  EXPECT_NE(take(a, 100), take(b, 100));
+}
+
+TEST(ArrivalProcess, BurstConfinesArrivalsToOnWindows) {
+  BurstConfig burst;
+  burst.period_s = 1.0;
+  burst.duty = 0.25;
+  ArrivalProcess p(ArrivalKind::kFixed, 1000.0, 0, burst);
+  for (int i = 0; i < 5000; ++i) {
+    const double t_s = static_cast<double>(p.next()) / 1e6;
+    const double phase = std::fmod(t_s, burst.period_s);
+    // The last arrival of an ON window can land exactly on the boundary.
+    EXPECT_LE(phase, burst.duty * burst.period_s + 1e-9)
+        << "arrival outside the ON window at t=" << t_s << " s";
+  }
+}
+
+TEST(ArrivalProcess, BurstPreservesLongRunMeanRate) {
+  // Count arrivals over whole periods (ending mid-ON-window would bias
+  // the estimate up by the truncated OFF tail).
+  const double rate = 1000.0;
+  BurstConfig burst;
+  burst.period_s = 1.0;
+  burst.duty = 0.25;
+  ArrivalProcess p(ArrivalKind::kFixed, rate, 0, burst);
+  const double horizon_us = 10 * burst.period_s * 1e6;
+  std::size_t count = 0;
+  while (static_cast<double>(p.next()) < horizon_us) ++count;
+  EXPECT_NEAR(static_cast<double>(count), 10.0 * rate, 2.0);
+}
+
+TEST(ArrivalProcess, DiurnalSkewsArrivalsTowardThePeak) {
+  // sin is positive over the first half-period, so a fixed-rate process
+  // under diurnal modulation packs more arrivals into [0, P/2).
+  DiurnalConfig diurnal;
+  diurnal.period_s = 10.0;
+  diurnal.amplitude = 0.9;
+  ArrivalProcess p(ArrivalKind::kFixed, 1000.0, 0, {}, diurnal);
+  std::size_t first_half = 0;
+  std::size_t second_half = 0;
+  while (true) {
+    const double t_s = static_cast<double>(p.next()) / 1e6;
+    if (t_s >= diurnal.period_s) break;
+    (t_s < diurnal.period_s / 2.0 ? first_half : second_half)++;
+  }
+  EXPECT_GT(first_half, 2 * second_half);
+  EXPECT_GT(second_half, 0u);
+}
+
+TEST(ArrivalProcess, RateAtReflectsModulators) {
+  BurstConfig burst;
+  burst.period_s = 1.0;
+  burst.duty = 0.5;
+  ArrivalProcess bursty(ArrivalKind::kFixed, 100.0, 0, burst);
+  EXPECT_DOUBLE_EQ(bursty.rate_at(0.0), 200.0);       // ON: rate / duty
+  EXPECT_DOUBLE_EQ(bursty.rate_at(750'000.0), 0.0);   // OFF window
+
+  DiurnalConfig diurnal;
+  diurnal.period_s = 4.0;
+  diurnal.amplitude = 0.5;
+  ArrivalProcess wavy(ArrivalKind::kFixed, 100.0, 0, {}, diurnal);
+  EXPECT_NEAR(wavy.rate_at(1e6), 150.0, 1e-6);   // peak (t = P/4)
+  EXPECT_NEAR(wavy.rate_at(3e6), 50.0, 1e-6);    // trough (t = 3P/4)
+}
+
+TEST(ArrivalProcess, ValidatesConfiguration) {
+  EXPECT_THROW(ArrivalProcess(ArrivalKind::kClosed, 100.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(ArrivalProcess(ArrivalKind::kPoisson, 0.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(ArrivalProcess(ArrivalKind::kPoisson, -5.0, 0),
+               std::invalid_argument);
+
+  BurstConfig bad_duty;
+  bad_duty.period_s = 1.0;
+  bad_duty.duty = 0.0;
+  EXPECT_THROW(ArrivalProcess(ArrivalKind::kFixed, 1.0, 0, bad_duty),
+               std::invalid_argument);
+  bad_duty.duty = 1.5;
+  EXPECT_THROW(ArrivalProcess(ArrivalKind::kFixed, 1.0, 0, bad_duty),
+               std::invalid_argument);
+
+  DiurnalConfig bad_amp;
+  bad_amp.period_s = 1.0;
+  bad_amp.amplitude = 1.0;
+  EXPECT_THROW(ArrivalProcess(ArrivalKind::kFixed, 1.0, 0, {}, bad_amp),
+               std::invalid_argument);
+}
+
+// A burst ON window narrower than the default 10 ms grid cell must still
+// terminate (the grid adapts to a quarter of the ON window).
+TEST(ArrivalProcess, NarrowBurstWindowTerminates) {
+  BurstConfig burst;
+  burst.period_s = 0.02;  // ON window = 2 ms < 10 ms default cell
+  burst.duty = 0.1;
+  ArrivalProcess p(ArrivalKind::kPoisson, 500.0, 11, burst);
+  SimTime prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime at = p.next();
+    EXPECT_GE(at, prev);
+    prev = at;
+  }
+  EXPECT_GT(prev, 0u);
+}
+
+}  // namespace
+}  // namespace edm::workload

@@ -2,9 +2,11 @@
 # Full pre-merge check: documentation consistency (tools/check_docs.sh),
 # then build + test the normal config (plus perf_baseline and perf_scale
 # smoke runs that validate the edm-bench-result/1 JSON shape and the
-# streaming-replay RSS ceiling), then the asan-ubsan
-# config plus a fault smoke (ext_failslow --quick under the sanitizers,
-# asserting detector quality and the edm-run-result/3 health JSON shape),
+# streaming-replay RSS ceiling, plus an open-loop smoke asserting
+# per-tenant p99 separation under overload and the workload JSON shape),
+# then the asan-ubsan config plus fault and open-loop smokes
+# (ext_failslow/ext_openloop --quick under the sanitizers, asserting
+# detector quality and the edm-run-result/4 health JSON shape),
 # then the concurrency-sensitive tests (telemetry, thread pool,
 # sweep runner, logging) under ThreadSanitizer (CMakePresets.json).  Any
 # failure aborts.
@@ -83,6 +85,72 @@ EOF
   rm -f "$out"
 }
 
+# Open-loop smoke: the multi-tenant SLO bench and the runner's workload
+# JSON section.  Asserts the subsystem's headline property: per-tenant
+# p99s separate under overload, which the closed-loop reference cannot
+# express.
+openloop_smoke() {
+  local build_dir="${1:-build}"
+  echo "== open-loop smoke (ext_openloop --quick, $build_dir) =="
+  local out
+  out=$(mktemp)
+  "$build_dir/bench/ext_openloop" --quick --no-progress --out="$out" \
+      >/dev/null
+  python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d.get("schema") == "edm-bench-result/1", d.get("schema")
+assert d.get("bench") == "ext_openloop", d.get("bench")
+assert "provenance" in d, "missing provenance"
+assert d["sweep"], "no sweep cells"
+for cell in d["sweep"]:
+    assert len(cell["tenants"]) == 2, "expected a two-tenant overlay"
+    for t in cell["tenants"]:
+        assert t["completed_ops"] > 0, f"{t['name']}: nothing completed"
+        assert t["p99_response_us"] >= t["p50_response_us"] > 0
+ref = d["closed_loop_reference"]
+assert ref and not any(r["offered_load_expressible"] for r in ref)
+a = d["assertions"]
+assert a["tenant_p99_separated"], (
+    f"per-tenant p99s did not separate under overload "
+    f"(ratio {a['tenant_p99_separation']:.2f} at "
+    f"{a['separation_multiplier']}x)")
+print(f"open-loop smoke: {len(d['sweep'])} cells, tenant p99 separation "
+      f"{a['tenant_p99_separation']:.2f}x at {a['separation_multiplier']}x "
+      f"offered, JSON shape ok")
+EOF
+  "$build_dir/tools/edm_run" --scale=0.01 --arrival=poisson \
+      --tenants=home02:2000:25,lair62:1000:50 --json >"$out"
+  python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d.get("schema") == "edm-run-result/4", d.get("schema")
+assert "p50_response_us" in d["summary"], "missing p50"
+w = d["workload"]
+workload_keys = {"open_loop", "offered_ops_per_sec", "arrivals",
+                 "last_arrival_us", "peak_queue_depth", "tenants"}
+missing = workload_keys - w.keys()
+assert not missing, f"workload section missing {missing}"
+assert w["open_loop"] == 1, "open loop not active"
+assert len(w["tenants"]) == 2, "expected two tenants"
+tenant_keys = {"name", "offered_ops_per_sec", "slo_us", "arrivals",
+               "completed_ops", "slo_violations", "slo_violation_fraction",
+               "mean_response_us", "p50_response_us", "p99_response_us",
+               "p999_response_us"}
+for t in w["tenants"]:
+    missing = tenant_keys - t.keys()
+    assert not missing, f"tenant {t.get('name')} missing {missing}"
+    assert t["completed_ops"] == t["arrivals"], "dropped arrivals"
+assert "provenance" in d, "edm_run --json should stamp provenance"
+print(f"open-loop run smoke: {w['arrivals']} arrivals across "
+      f"{len(w['tenants'])} tenants, peak queue {w['peak_queue_depth']}, "
+      f"JSON shape ok")
+EOF
+  rm -f "$out"
+}
+
 # Fault smoke: the fail-slow bench and the runner's health JSON, under
 # whichever build "$1" points at (the sanitizer build in the full check).
 # The replay is deterministic, so the detector-quality assertions hold at
@@ -120,7 +188,7 @@ EOF
 import json, sys
 with open(sys.argv[1]) as f:
     d = json.load(f)
-assert d.get("schema") == "edm-run-result/3", d.get("schema")
+assert d.get("schema") == "edm-run-result/4", d.get("schema")
 health_keys = {"enabled", "mitigated", "checks", "flag_events",
                "clear_events", "flagged_osds", "first_flagged_at_us",
                "quarantined_at_end", "hedged_reads", "hedge_wins",
@@ -135,7 +203,7 @@ f = d["faults"]
 assert {"slowdown_events", "recover_events",
         "stalls_injected"} <= f.keys(), "missing fail-slow counters"
 assert f["slowdown_events"] == 1, f["slowdown_events"]
-print(f"run smoke: edm-run-result/3, {d['health']['checks']} health "
+print(f"run smoke: edm-run-result/4, {d['health']['checks']} health "
       f"checks, {f['stalls_injected']} stalls, JSON shape ok")
 EOF
   rm -f "$out"
@@ -157,9 +225,11 @@ tools/check_docs.sh
 run_preset default
 bench_smoke
 scale_smoke
+openloop_smoke build
 if [[ "${1:-}" != "--fast" ]]; then
   run_preset asan-ubsan
   fault_smoke build-asan
+  openloop_smoke build-asan
   run_preset tsan
 else
   fault_smoke build

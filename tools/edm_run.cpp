@@ -35,14 +35,27 @@
 //     --health              enable the online fail-slow health monitor
 //     --mitigate            hedged reads + quarantine-and-drain (implies
 //                           --health)
+//     --arrival=<k>         closed | poisson | fixed (default closed);
+//                           open kinds switch to open-loop injection
+//     --rate=<r>            offered load per tenant in ops/s (open loop)
+//     --slo=<ms>            per-op response-time SLO in ms (default 100)
+//     --burst=<d:p>         burst train: duty d in (0,1], period p seconds
+//     --diurnal=<a:p>       diurnal curve: amplitude a in [0,1), period p s
+//     --drift=<p[:s]>       popularity drift: rotate step s (default 1/16)
+//                           of the hot set every p simulated seconds
+//     --tenants=<specs>     comma-separated profile[:rate[:slo_ms[:scale]]]
+//                           overlays (repeatable); default = one tenant
+//                           from --trace
+//     --arrival-seed=<n>    extra seed salt for the arrival draws
 //     --trace-out=<path>    write a Chrome trace-event JSON (Perfetto)
 //     --timeseries-out=<p>  write a per-OSD time-series CSV
 //     --sample-interval=<s> sampling interval in simulated seconds
 //     --seeds=<n>           run n seed-derived replicas as one sweep
 //     --base-seed=<s>       base seed for the per-replica derivation
 //     --jobs=<n>            sweep workers (0 = hardware threads, 1 = serial)
-//     --json                JSON output (schema edm-run-result/3; with
-//                           --seeds>1, edm-sweep-result/1)
+//     --json                JSON output (schema edm-run-result/4 with a
+//                           build-provenance stamp; with --seeds>1,
+//                           edm-sweep-result/1)
 //     --quiet               summary only (no per-OSD table / timeline)
 #include <algorithm>
 #include <cstdlib>
@@ -59,6 +72,8 @@
 #include "trace/io.h"
 #include "trace/text_io.h"
 #include "util/flags.h"
+#include "util/provenance.h"
+#include "workload/tenant.h"
 
 namespace {
 
@@ -87,6 +102,14 @@ struct Options {
   std::uint32_t fault_seed = 0;
   bool health = false;
   bool mitigate = false;
+  std::string arrival = "closed";
+  double rate = 0.0;
+  double slo_ms = 100.0;
+  std::string burst;
+  std::string diurnal;
+  std::string drift;
+  std::vector<std::string> tenants;
+  std::uint32_t arrival_seed = 0;
   std::string trace_out;
   std::string timeseries_out;
   double sample_interval_s = 1.0;
@@ -139,6 +162,23 @@ edm::util::FlagParser make_parser(Options& opt) {
                   "enable the online fail-slow health monitor");
   parser.add_bool("--mitigate", &opt.mitigate,
                   "hedged reads + quarantine-and-drain (implies --health)");
+  parser.add_string("--arrival", &opt.arrival,
+                    "closed | poisson | fixed (open-loop injection)");
+  parser.add_double("--rate", &opt.rate,
+                    "offered load per tenant in ops/s (open loop)");
+  parser.add_double("--slo", &opt.slo_ms,
+                    "per-op response-time SLO in ms (open loop)");
+  parser.add_string("--burst", &opt.burst,
+                    "burst train duty:period_s (open loop)");
+  parser.add_string("--diurnal", &opt.diurnal,
+                    "diurnal curve amplitude:period_s (open loop)");
+  parser.add_string("--drift", &opt.drift,
+                    "popularity drift period_s[:step] (open loop)");
+  parser.add_string_list(
+      "--tenants", &opt.tenants,
+      "comma-separated profile[:rate[:slo_ms[:scale]]] overlays");
+  parser.add_uint32("--arrival-seed", &opt.arrival_seed,
+                    "extra seed salt for the arrival draws");
   parser.add_string("--trace-out", &opt.trace_out,
                     "write Chrome trace-event JSON (Perfetto-loadable)");
   parser.add_string("--timeseries-out", &opt.timeseries_out,
@@ -151,7 +191,7 @@ edm::util::FlagParser make_parser(Options& opt) {
                     "base seed for the per-replica derivation");
   parser.add_uint32("--jobs", &opt.jobs,
                     "sweep workers (0 = hardware threads, 1 = serial)");
-  parser.add_bool("--json", &opt.json, "JSON output (schema edm-run-result/3)");
+  parser.add_bool("--json", &opt.json, "JSON output (schema edm-run-result/4)");
   parser.add_bool("--quiet", &opt.quiet,
                   "summary only (no per-OSD table / timeline)");
   return parser;
@@ -265,6 +305,71 @@ edm::trace::Trace load_trace_any(const std::string& path) {
   }
 }
 
+/// Builds the open-loop config from --arrival/--rate/--burst/--tenants.
+/// Returns a disabled config (empty tenants) for --arrival=closed.
+edm::workload::OpenLoopConfig open_loop_from(const Options& opt) {
+  namespace wl = edm::workload;
+  edm::workload::OpenLoopConfig open_loop;
+  const wl::ArrivalKind kind = wl::arrival_kind_from(opt.arrival);
+  if (kind == wl::ArrivalKind::kClosed) {
+    if (!opt.tenants.empty()) {
+      throw std::invalid_argument(
+          "--tenants needs an open arrival process "
+          "(--arrival=poisson|fixed)");
+    }
+    return open_loop;
+  }
+  // Defaults every tenant spec inherits; per-tenant fields override.
+  wl::TenantSpec defaults;
+  defaults.profile = opt.trace;
+  defaults.rate_ops_per_sec = opt.rate;
+  defaults.slo_ms = opt.slo_ms;
+  defaults.arrival = kind;
+  if (!opt.burst.empty()) {
+    const auto f = split_fields(opt.burst);
+    if (f.size() != 2) {
+      throw std::invalid_argument("--burst: expected duty:period_s");
+    }
+    defaults.burst.duty = parse_num("--burst", f[0]);
+    defaults.burst.period_s = parse_num("--burst", f[1]);
+  }
+  if (!opt.diurnal.empty()) {
+    const auto f = split_fields(opt.diurnal);
+    if (f.size() != 2) {
+      throw std::invalid_argument("--diurnal: expected amplitude:period_s");
+    }
+    defaults.diurnal.amplitude = parse_num("--diurnal", f[0]);
+    defaults.diurnal.period_s = parse_num("--diurnal", f[1]);
+  }
+  if (!opt.drift.empty()) {
+    const auto f = split_fields(opt.drift);
+    if (f.empty() || f.size() > 2) {
+      throw std::invalid_argument("--drift: expected period_s[:step]");
+    }
+    defaults.drift.period_s = parse_num("--drift", f[0]);
+    if (f.size() > 1) defaults.drift.step = parse_num("--drift", f[1]);
+  }
+  if (opt.tenants.empty()) {
+    open_loop.tenants.push_back(defaults);
+  } else {
+    for (const std::string& flag_value : opt.tenants) {
+      std::string::size_type start = 0;
+      while (start <= flag_value.size()) {
+        const auto comma = flag_value.find(',', start);
+        const std::string spec =
+            flag_value.substr(start, comma - start);
+        if (!spec.empty()) {
+          open_loop.tenants.push_back(wl::parse_tenant_spec(spec, defaults));
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    }
+  }
+  open_loop.arrival_seed = opt.arrival_seed;
+  return open_loop;
+}
+
 edm::runner::TelemetrySinks sinks_from(const Options& opt) {
   edm::runner::TelemetrySinks sinks;
   sinks.trace_out = opt.trace_out;
@@ -300,6 +405,12 @@ int main(int argc, char** argv) {
     cfg.sim.faults.validate(opt.osds);
     cfg.sim.health.enabled = opt.health || opt.mitigate;
     cfg.sim.health.mitigate = opt.mitigate;
+    cfg.open_loop = open_loop_from(opt);
+    if (cfg.open_loop.enabled() && !opt.trace_file.empty()) {
+      std::cerr << "edm_run: open-loop mode generates per-tenant streams "
+                   "and cannot replay --trace-file\n";
+      return 2;
+    }
     edm::runner::apply_telemetry(cfg, sinks_from(opt));
     if (opt.trigger == "monitor") {
       cfg.sim.trigger = edm::sim::MigrationTrigger::kMonitor;
@@ -357,7 +468,11 @@ int main(int argc, char** argv) {
 
     edm::runner::write_run_outputs(result, sinks_from(opt), 0, 1);
     if (opt.json) {
-      edm::sim::write_json(result, std::cout);
+      // Single-run JSON is stamped with build provenance so committed
+      // results are as attributable as bench output (EDM_GIT_COMMIT is
+      // picked up from the environment when set).
+      const edm::util::Provenance prov = edm::util::collect_provenance();
+      edm::sim::write_json(result, std::cout, &prov);
     } else {
       edm::sim::write_report(result, std::cout, !opt.quiet, !opt.quiet);
     }
