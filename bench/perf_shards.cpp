@@ -1,0 +1,242 @@
+// Continuous benchmark for the sharded replay (SimConfig::shards > 1):
+// wall-clock event-loop throughput of one large replay at increasing shard
+// counts, against the serial loop as its own A-side.
+//
+// Timing methodology (docs/PERFORMANCE.md "Parallel replay"):
+//   * one cell per shard count on ONE fixed workload cell -- the subject
+//     is the engine, not the modelled cluster;
+//   * repeats are INTERLEAVED across shard counts (repeat 0 of every count,
+//     then repeat 1 of every count, ...) so slow machine drift -- thermal
+//     throttling, a backup job -- hits all counts evenly instead of biasing
+//     whichever ran last;
+//   * the fastest replay per count is kept (best-of-N discards scheduler
+//     noise, which only ever slows a run down);
+//   * events_processed and completed_ops must be identical across every
+//     shard count and repeat -- the determinism contract -- and the bench
+//     aborts loudly if they are not;
+//   * hardware_threads is stamped into the JSON: a speedup is only
+//     meaningful when the box actually has cores for the shards (on a
+//     single-core runner the sharded cells measure pure overhead).
+//
+//   ./build/bench/perf_shards [--scale=4] [--repeat=3] [--quick]
+//                             [--out=BENCH_shards.json]
+//
+// --quick shrinks the scale for a seconds-long smoke run used by
+// tools/check.sh; its numbers are not comparable with full-scale baselines.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/policy.h"
+#include "sim/experiment.h"
+#include "trace/generator.h"
+#include "util/flags.h"
+#include "util/provenance.h"
+#include "util/table.h"
+
+namespace {
+
+struct Args {
+  double scale = 4.0;
+  std::uint32_t repeat = 3;
+  bool quick = false;
+  bool csv = false;
+  std::string out;
+};
+
+struct CellResult {
+  std::uint32_t shards = 1;
+  std::uint64_t events_processed = 0;  // deterministic, shard-invariant
+  std::uint64_t completed_ops = 0;     // deterministic, shard-invariant
+  std::uint64_t spec_batches = 0;      // deterministic per shard count
+  std::uint64_t speculated_ios = 0;    // deterministic per shard count
+  double replay_wall_s = 0.0;          // best of --repeat
+  double setup_wall_s = 0.0;
+  double events_per_sec() const {
+    return replay_wall_s > 0.0
+               ? static_cast<double>(events_processed) / replay_wall_s
+               : 0.0;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  edm::util::FlagParser parser;
+  parser.add_double("--scale", &args.scale,
+                    "linear trace scale (1.0 = paper-size counts)");
+  parser.add_uint32("--repeat", &args.repeat,
+                    "timed repeats per shard count, interleaved; fastest kept");
+  parser.add_bool("--quick", &args.quick,
+                  "seconds-long smoke run for tools/check.sh");
+  parser.add_bool("--csv", &args.csv, "emit CSV instead of a table");
+  parser.add_string("--out", &args.out,
+                    "write edm-bench-result/1 JSON to this path");
+  switch (parser.parse(argc, argv)) {
+    case edm::util::FlagParser::Result::kOk:
+      break;
+    case edm::util::FlagParser::Result::kHelp:
+      parser.print_usage(std::cerr, argv[0]);
+      std::exit(0);
+    case edm::util::FlagParser::Result::kError:
+      std::cerr << parser.error() << "\n";
+      parser.print_usage(std::cerr, argv[0]);
+      std::exit(2);
+  }
+  if (args.repeat == 0) args.repeat = 1;
+  return args;
+}
+
+/// Generates the trace exactly as run_experiment(config) would, once,
+/// shared across every shard count and repeat.
+edm::trace::Trace make_trace(const edm::sim::ExperimentConfig& config) {
+  const edm::sim::ExperimentConfig cfg = edm::sim::finalize(config);
+  edm::trace::WorkloadProfile profile =
+      edm::trace::profile_by_name(cfg.trace_name).scaled(cfg.scale);
+  profile.seed ^= cfg.trace_seed_offset;
+  return edm::trace::TraceGenerator(profile, cfg.num_clients).generate();
+}
+
+void write_json(const std::vector<CellResult>& cells,
+                const edm::sim::ExperimentConfig& proto, const Args& args,
+                double scale, std::uint32_t repeat, std::ostream& os) {
+  const double serial_best =
+      cells.empty() ? 0.0 : cells.front().replay_wall_s;
+  os << "{\n";
+  os << "  \"schema\": \"edm-bench-result/1\",\n";
+  os << "  \"bench\": \"perf_shards\",\n";
+  os << "  \"trace\": \"" << proto.trace_name << "\",\n";
+  os << "  \"num_osds\": " << proto.num_osds << ",\n";
+  os << "  \"scale\": " << scale << ",\n";
+  os << "  \"repeat\": " << repeat << ",\n";
+  os << "  \"quick\": " << (args.quick ? "true" : "false") << ",\n";
+  os << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << ",\n";
+  edm::util::write_provenance_json(os, edm::util::collect_provenance(), "  ");
+  os << ",\n";
+  os << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    const double speedup =
+        c.replay_wall_s > 0.0 ? serial_best / c.replay_wall_s : 0.0;
+    os << "    {\"shards\": " << c.shards
+       << ", \"events_processed\": " << c.events_processed
+       << ", \"completed_ops\": " << c.completed_ops
+       << ", \"spec_batches\": " << c.spec_batches
+       << ", \"speculated_ios\": " << c.speculated_ios
+       << ", \"replay_wall_s\": " << c.replay_wall_s
+       << ", \"setup_wall_s\": " << c.setup_wall_s
+       << ", \"events_per_sec\": " << c.events_per_sec()
+       << ", \"speedup_vs_serial\": " << speedup << "}"
+       << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  using edm::util::Table;
+
+  // One fixed cell: the read-heavy Table I workload with migration off, so
+  // the calm certificate holds from the first event and speculation
+  // coverage is maximal -- this is the engine's best case by design; the
+  // shard_replay tests cover the rest of the scenario space for identity.
+  const double scale = args.quick ? std::min(args.scale, 0.02) : args.scale;
+  const std::uint32_t repeat = args.quick ? 1 : args.repeat;
+  edm::sim::ExperimentConfig proto;
+  proto.trace_name = "home02";
+  proto.num_osds = 16;
+  proto.scale = scale;
+  proto.policy = edm::core::PolicyKind::kNone;
+  proto.sim.trigger = edm::sim::MigrationTrigger::kNone;
+  const edm::trace::Trace trace = make_trace(proto);
+
+  const std::vector<std::uint32_t> shard_counts = {1, 2, 4};
+  std::vector<CellResult> cells(shard_counts.size());
+  for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+    cells[i].shards = shard_counts[i];
+  }
+  // Interleave: repeat r of every shard count before repeat r+1 of any.
+  for (std::uint32_t r = 0; r < repeat; ++r) {
+    for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+      edm::sim::ExperimentConfig cfg = proto;
+      cfg.sim.shards = shard_counts[i];
+      const edm::sim::RunResult res = edm::sim::run_experiment(cfg, trace);
+      CellResult& c = cells[i];
+      if (r == 0) {
+        c.events_processed = res.perf.events_processed;
+        c.completed_ops = res.completed_ops;
+        c.spec_batches = res.perf.spec_batches;
+        c.speculated_ios = res.perf.speculated_ios;
+        c.replay_wall_s = res.perf.replay_wall_s;
+        c.setup_wall_s = res.perf.setup_wall_s;
+      } else {
+        if (res.perf.events_processed != c.events_processed ||
+            res.completed_ops != c.completed_ops) {
+          std::cerr << "nondeterministic replay at shards "
+                    << shard_counts[i] << "\n";
+          return 1;
+        }
+        c.replay_wall_s = std::min(c.replay_wall_s, res.perf.replay_wall_s);
+        c.setup_wall_s = std::min(c.setup_wall_s, res.perf.setup_wall_s);
+      }
+      std::cerr << "perf_shards: repeat " << r << " shards "
+                << shard_counts[i] << " replay "
+                << res.perf.replay_wall_s << "s\n";
+    }
+  }
+  // The determinism contract across shard counts: identical event counts.
+  for (const CellResult& c : cells) {
+    if (c.events_processed != cells.front().events_processed ||
+        c.completed_ops != cells.front().completed_ops) {
+      std::cerr << "shard count changed the replay: events "
+                << c.events_processed << " at shards " << c.shards << " vs "
+                << cells.front().events_processed << " serial\n";
+      return 1;
+    }
+  }
+
+  Table table({"shards", "events", "spec-ios", "replay(s)", "events/s",
+               "speedup"});
+  const double serial_best = cells.front().replay_wall_s;
+  for (const CellResult& c : cells) {
+    table.add_row({
+        std::to_string(c.shards),
+        std::to_string(c.events_processed),
+        std::to_string(c.speculated_ios),
+        Table::num(c.replay_wall_s, 3),
+        Table::num(c.events_per_sec(), 0),
+        Table::num(c.replay_wall_s > 0.0 ? serial_best / c.replay_wall_s
+                                         : 0.0,
+                   2),
+    });
+  }
+  if (args.csv) {
+    table.write_csv(std::cout);
+  } else {
+    std::cout << "perf shards -- sharded replay throughput (home02 scale="
+              << scale << ", best of " << repeat << ", "
+              << std::thread::hardware_concurrency()
+              << " hardware threads)\n";
+    table.print(std::cout);
+    std::cout << "\nSpeedup needs cores: on a box with fewer hardware "
+                 "threads than shards the\nsharded cells measure pure "
+                 "barrier/handoff overhead (docs/PERFORMANCE.md).\n";
+  }
+
+  if (!args.out.empty()) {
+    std::ofstream os(args.out);
+    if (!os.is_open()) {
+      std::cerr << "cannot write " << args.out << "\n";
+      return 1;
+    }
+    write_json(cells, proto, args, scale, repeat, os);
+  }
+  return 0;
+}

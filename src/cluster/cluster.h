@@ -6,6 +6,7 @@
 // invariant (paper SIII.A/D).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -122,6 +123,24 @@ class Cluster {
     std::uint32_t pages = 0;  // 0 => fall back to the extent store
   };
   const FastExtent& fast_extent(ObjectId oid) const { return fast_[oid]; }
+
+  /// Device time for an I/O resolved through `fe` (== fast_extent(io.oid),
+  /// honoured: fe.pages != 0 and fe.osd == io.osd).  Range clamping mirrors
+  /// ObjectStore::map_range; an out-of-range or empty request costs nothing.
+  ///
+  /// Shard-safety: this touches exactly one OSD's flash device and reads
+  /// nothing mutable elsewhere, so the sharded replay may call it from the
+  /// worker that owns io.osd's shard while other shards run concurrently --
+  /// provided no two threads ever address the same OSD (the osd % shards
+  /// partition guarantees that) and no cluster mutation overlaps the batch
+  /// (the simulator's calm certificate guarantees that).
+  SimDuration fast_extent_io(const FastExtent& fe, const OsdIo& io) {
+    if (io.first_page >= fe.pages || io.pages == 0) return 0;
+    const std::uint32_t n = std::min(io.pages, fe.pages - io.first_page);
+    flash::Ssd& ssd = osd(io.osd).ssd();
+    return io.is_write ? ssd.write_range(fe.first + io.first_page, n)
+                       : ssd.read_range(fe.first + io.first_page, n);
+  }
 
   std::uint32_t object_pages(ObjectId oid) const;
 

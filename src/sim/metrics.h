@@ -141,6 +141,11 @@ struct PerfMetrics {
   std::uint64_t events_processed = 0;
   double setup_wall_s = 0.0;   // cluster build + populate + GC warm-up
   double replay_wall_s = 0.0;  // Simulator::run() wall time
+
+  // Sharded-replay accounting (SimConfig::shards > 1; all deterministic).
+  std::uint32_t shards = 1;          // shard count the run used
+  std::uint64_t spec_batches = 0;    // batches that ran shard workers
+  std::uint64_t speculated_ios = 0;  // device I/Os pre-executed on shards
 };
 
 struct RunResult {

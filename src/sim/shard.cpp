@@ -1,0 +1,25 @@
+#include "sim/shard.h"
+
+#include <stdexcept>
+
+namespace edm::sim {
+
+ShardPool::ShardPool(std::uint32_t shards) : pool_(shards), buckets_(shards) {
+  if (shards < 2) {
+    throw std::invalid_argument("ShardPool: shards must be >= 2");
+  }
+}
+
+void ShardPool::run_batch(const std::vector<OsdId>& candidates,
+                          const std::function<void(OsdId)>& fn) {
+  const std::uint32_t n = shards();
+  for (auto& bucket : buckets_) bucket.clear();
+  for (OsdId osd : candidates) {
+    buckets_[static_cast<std::uint32_t>(osd) % n].push_back(osd);
+  }
+  pool_.parallel_for(n, [&](std::size_t shard) {
+    for (OsdId osd : buckets_[shard]) fn(osd);
+  });
+}
+
+}  // namespace edm::sim

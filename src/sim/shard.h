@@ -1,0 +1,50 @@
+// Worker-thread arm of the sharded replay (SimConfig::shards > 1).
+//
+// The sharded engine keeps the event loop itself serial -- event pop order
+// is the determinism contract and must stay byte-identical at any shard
+// count -- and parallelises the one component that is provably
+// order-independent: flash device work the replay is already committed to.
+// The simulator computes, per batch, the set of OSDs whose queued client
+// I/O will certainly execute before the batch barrier (see
+// Simulator::speculate_batch and docs/internals/sim.md "Sharded replay");
+// this pool runs that per-OSD work on shard workers, partitioned by
+// osd % shards so no two threads ever touch the same device.
+//
+// run_batch() is a barrier: it returns only after every shard has finished,
+// so worker-side flash mutation never overlaps the serial replay.  With the
+// partition disjoint and the barrier strict, the workers need no locks --
+// each OSD's flash state is owned by exactly one thread at a time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/thread_pool.h"
+#include "util/types.h"
+
+namespace edm::sim {
+
+class ShardPool {
+ public:
+  /// Spawns `shards` workers (>= 2; shards == 1 means "serial replay, no
+  /// pool" and callers must not construct one).
+  explicit ShardPool(std::uint32_t shards);
+
+  std::uint32_t shards() const {
+    return static_cast<std::uint32_t>(pool_.size());
+  }
+
+  /// Runs fn(osd) for every candidate on the worker owning shard
+  /// osd % shards(), and blocks until all shards are done.  fn must touch
+  /// only state owned by its OSD (plus immutable shared state); exceptions
+  /// propagate from the lowest failed shard index.
+  void run_batch(const std::vector<OsdId>& candidates,
+                 const std::function<void(OsdId)>& fn);
+
+ private:
+  util::ThreadPool pool_;
+  std::vector<std::vector<OsdId>> buckets_;  // per-shard work, reused
+};
+
+}  // namespace edm::sim

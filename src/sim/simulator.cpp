@@ -32,6 +32,9 @@ void SimConfig::validate(std::uint32_t num_osds) const {
   if (num_clients == 0) {
     throw std::invalid_argument("SimConfig: num_clients must be > 0");
   }
+  if (shards == 0) {
+    throw std::invalid_argument("SimConfig: shards must be >= 1");
+  }
   if (mover_concurrency == 0 || mover_chunk_pages == 0) {
     throw std::invalid_argument("SimConfig: mover parameters must be > 0");
   }
@@ -226,6 +229,7 @@ RunResult Simulator::run() {
   if (clients_active() || mover_active()) {
     events_.push(cfg_.epoch_length_us, EventKind::kEpochTick, 0);
     epoch_tick_scheduled_ = true;
+    next_epoch_tick_ = cfg_.epoch_length_us;
   }
   if (tel_sampler_ != nullptr && (clients_active() || mover_active())) {
     events_.push(tel_sampler_->interval_us(), EventKind::kTelemetrySample, 0);
@@ -235,60 +239,12 @@ RunResult Simulator::run() {
   }
   schedule_next_fault();
 
-  std::uint64_t events_processed = 0;
-  while (!events_.empty()) {
-    const Event e = events_.pop();
-    ++events_processed;
-    // The recorder's clock shadows the DES clock so passive layers (flash,
-    // cluster, policies) can timestamp without being handed `now`.
-    if (tel_ != nullptr) tel_->set_now(e.time);
-    switch (e.kind()) {
-      case EventKind::kOsdComplete:
-        on_osd_complete(static_cast<OsdId>(e.payload), e.time);
-        break;
-      case EventKind::kEpochTick:
-        on_epoch_tick(e.time);
-        break;
-      case EventKind::kMoverResume: {
-        const auto lane_id =
-            static_cast<std::uint16_t>(payload_lane(e.payload));
-        if (payload_gen(e.payload) != lanes_[lane_id].gen) break;  // aborted
-        if (lanes_[lane_id].active) {
-          issue_mover_chunk(lane_id, e.time);
-        } else {
-          advance_lane(lane_id, e.time);
-        }
-        break;
-      }
-      case EventKind::kFault:
-        on_fault_event(e.time);
-        break;
-      case EventKind::kRetryResume:
-        on_retry_resume(e.payload, e.time);
-        break;
-      case EventKind::kRebuildResume: {
-        const std::uint32_t lane_id = payload_lane(e.payload);
-        if (payload_gen(e.payload) != rebuild_lanes_[lane_id].gen) break;
-        if (rebuild_lanes_[lane_id].active) {
-          issue_rebuild_chunk(lane_id, e.time);
-        } else {
-          advance_rebuild_lane(lane_id, e.time);
-        }
-        break;
-      }
-      case EventKind::kTelemetrySample:
-        on_telemetry_sample(e.time);
-        break;
-      case EventKind::kHealthCheck:
-        on_health_check(e.time);
-        break;
-      case EventKind::kHedgeDeadline:
-        on_hedge_deadline(e.payload, e.time);
-        break;
-      case EventKind::kArrival:
-        on_arrival(e.time);
-        break;
-    }
+  if (cfg_.shards > 1) {
+    shard_pool_ = std::make_unique<ShardPool>(cfg_.shards);
+    spec_.resize(servers_.size());
+    run_sharded();
+  } else {
+    run_serial();
   }
   if (clients_active() || mover_active() || rebuild_running_) {
     throw std::logic_error(
@@ -305,7 +261,10 @@ RunResult Simulator::run() {
   out.num_osds = cluster_.num_osds();
   out.completed_ops = completed_ops_;
   out.makespan_us = last_completion_;
-  out.perf.events_processed = events_processed;
+  out.perf.events_processed = events_processed_;
+  out.perf.shards = cfg_.shards;
+  out.perf.spec_batches = spec_batches_;
+  out.perf.speculated_ios = spec_ios_;
   out.total_objects = cluster_.object_count();
 
   out.per_osd.resize(servers_.size());
@@ -385,6 +344,218 @@ RunResult Simulator::run() {
     }
   }
   return out;
+}
+
+// ------------------------------------------------------------- event loop
+
+void Simulator::handle_event(const Event& e) {
+  switch (e.kind()) {
+    case EventKind::kOsdComplete:
+      on_osd_complete(static_cast<OsdId>(e.payload), e.time);
+      break;
+    case EventKind::kEpochTick:
+      on_epoch_tick(e.time);
+      break;
+    case EventKind::kMoverResume: {
+      const auto lane_id = static_cast<std::uint16_t>(payload_lane(e.payload));
+      if (payload_gen(e.payload) != lanes_[lane_id].gen) break;  // aborted
+      if (lanes_[lane_id].active) {
+        issue_mover_chunk(lane_id, e.time);
+      } else {
+        advance_lane(lane_id, e.time);
+      }
+      break;
+    }
+    case EventKind::kFault:
+      on_fault_event(e.time);
+      break;
+    case EventKind::kRetryResume:
+      on_retry_resume(e.payload, e.time);
+      break;
+    case EventKind::kRebuildResume: {
+      const std::uint32_t lane_id = payload_lane(e.payload);
+      if (payload_gen(e.payload) != rebuild_lanes_[lane_id].gen) break;
+      if (rebuild_lanes_[lane_id].active) {
+        issue_rebuild_chunk(lane_id, e.time);
+      } else {
+        advance_rebuild_lane(lane_id, e.time);
+      }
+      break;
+    }
+    case EventKind::kTelemetrySample:
+      on_telemetry_sample(e.time);
+      break;
+    case EventKind::kHealthCheck:
+      on_health_check(e.time);
+      break;
+    case EventKind::kHedgeDeadline:
+      on_hedge_deadline(e.payload, e.time);
+      break;
+    case EventKind::kArrival:
+      on_arrival(e.time);
+      break;
+  }
+}
+
+void Simulator::run_serial() {
+  while (!events_.empty()) {
+    const Event e = events_.pop();
+    ++events_processed_;
+    // The recorder's clock shadows the DES clock so passive layers (flash,
+    // cluster, policies) can timestamp without being handed `now`.
+    if (tel_ != nullptr) tel_->set_now(e.time);
+    handle_event(e);
+  }
+}
+
+// Sharded replay.  The event loop itself stays serial -- pop order is the
+// determinism contract -- and the shards pre-execute the flash device work
+// that order has already committed to.  Per batch:
+//
+//   1. Size the window: batch_end = head.time + span, clamped to the next
+//      epoch tick (the tick observes flash wear counters -- adaptive sigma,
+//      monitor-trigger migration -- so flash state at the tick must equal
+//      "every dispatch before the tick executed, none after").
+//   2. Under the calm certificate, find busy OSDs whose in-service request
+//      completes inside the window and whose queue is non-empty.  For each,
+//      a shard worker walks the queued client I/O in FIFO order, replaying
+//      the dispatch-time arithmetic process_one will do (t starts at the
+//      in-service completion; each entry adds overhead + device) and
+//      pre-executing each entry's flash work at its exact dispatch time,
+//      stopping at the first entry that dispatches at/after batch_end or
+//      that the fast-extent path cannot serve.  Barrier.
+//   3. Drain events with time < batch_end serially; process_one consumes
+//      the cached device times in FIFO order (strict identity check).
+//   4. Every cached entry must be consumed by the batch end -- the chains
+//      were sized so their dispatches land inside the window; a leftover
+//      means the prediction diverged, which is a logic error.
+//
+// Why this is exact: under calm, nothing that can change placement,
+// blocking, failure state or service arithmetic fires inside the window,
+// queues only grow at the tail, and an OSD's flash device is touched by
+// exactly one thread (its shard worker at the barrier, the master after
+// it).  Work that lands behind a fully-speculated prefix mid-batch simply
+// falls back to live execution -- still in per-OSD FIFO order.
+void Simulator::run_sharded() {
+  // Window span: ~64 service floors.  Long enough to amortise the barrier
+  // over many completions, short enough that per-OSD chains (queue walks)
+  // stay shallow.  The floor guards degenerate zero-overhead configs.
+  const SimDuration span =
+      64 * std::max<SimDuration>(cfg_.request_overhead_us, 25);
+  while (!events_.empty()) {
+    const SimTime head_time = events_.peek().time;
+    SimTime batch_end = head_time + span;
+    if (epoch_tick_scheduled_ && next_epoch_tick_ < batch_end) {
+      batch_end = next_epoch_tick_;
+    }
+    if (batch_end <= head_time) {
+      // The head event IS the barrier (an epoch tick): run it alone.
+      const Event e = events_.pop();
+      ++events_processed_;
+      if (tel_ != nullptr) tel_->set_now(e.time);
+      handle_event(e);
+      continue;
+    }
+    if (calm()) speculate_batch(batch_end);
+    while (!events_.empty() && events_.peek().time < batch_end) {
+      const Event e = events_.pop();
+      ++events_processed_;
+      if (tel_ != nullptr) tel_->set_now(e.time);
+      handle_event(e);
+    }
+    if (spec_live_ != 0) {
+      throw std::logic_error(
+          "Simulator: sharded replay left speculated device work unconsumed "
+          "at a batch boundary (prediction diverged)");
+    }
+  }
+}
+
+bool Simulator::calm() const {
+  // Anything that can change object placement, blocking/parking, failure
+  // or slowdown state, or the service-time arithmetic mid-window forfeits
+  // speculation for this batch.  One-shot hooks (midpoint, legacy
+  // fail_osd) count until they have fired; epoch ticks are handled by the
+  // window clamp, not here.  The adaptive-sigma estimator reads flash wear
+  // counters only at epoch ticks, which the clamp makes batch boundaries,
+  // so it needs no entry of its own.
+  return tel_ == nullptr && monitor_ == nullptr && injector_ == nullptr &&
+         !cluster_.any_failed() && blocked_.empty() && parked_.empty() &&
+         !mover_active() && !rebuild_running_ && pending_rebuilds_.empty() &&
+         (cfg_.trigger != MigrationTrigger::kForcedMidpoint ||
+          midpoint_fired_) &&
+         (cfg_.fail_osd < 0 || failure_injected_);
+}
+
+void Simulator::speculate_batch(SimTime batch_end) {
+  spec_candidates_.clear();
+  for (OsdId i = 0; i < servers_.size(); ++i) {
+    const OsdServer& s = servers_[i];
+    if (s.busy && s.complete_at < batch_end && !s.queue.empty()) {
+      spec_candidates_.push_back(i);
+    }
+  }
+  // One busy OSD gains nothing from a barrier round-trip; the serial
+  // drain executes it just as fast without the handoff.
+  if (spec_candidates_.size() < 2) return;
+  shard_pool_->run_batch(spec_candidates_, [this, batch_end](OsdId osd) {
+    speculate_osd(osd, batch_end);
+  });
+  for (OsdId osd : spec_candidates_) {
+    spec_live_ += spec_[osd].results.size();
+    spec_ios_ += spec_[osd].results.size();
+  }
+  ++spec_batches_;
+}
+
+void Simulator::speculate_osd(OsdId osd, SimTime batch_end) {
+  // Worker context: this thread owns `osd`'s flash device for the batch
+  // and may read immutable-for-the-batch shared state (locate, fast
+  // extents -- the calm certificate froze them).  It must not touch the
+  // event queue, metrics, telemetry, or any other OSD.
+  OsdServer& s = servers_[osd];
+  SpecLane& lane = spec_[osd];
+  lane.results.clear();
+  lane.next = 0;
+  SimTime t = s.complete_at;  // dispatch time of the next queue entry
+  const std::size_t depth = s.queue.size();
+  for (std::size_t i = 0; i < depth && t < batch_end; ++i) {
+    const SubRequest& req = s.queue.at(i);
+    // Only plain client I/O is chain-predictable; under calm nothing else
+    // should be queued, but break (never skip) so any surprise simply
+    // ends speculation with per-OSD FIFO order intact.
+    if (req.kind != SubRequest::Kind::kClient || req.hedge != kNoHedge) break;
+    const cluster::OsdIo& io = req.io;
+    if (cluster_.locate(io.oid) != osd) continue;  // redirects cost no time here
+    const cluster::Cluster::FastExtent& fe = cluster_.fast_extent(io.oid);
+    if (fe.pages == 0 || fe.osd != osd) break;  // store path stays serial
+    const SimDuration device = cluster_.fast_extent_io(fe, io);
+    lane.results.push_back({req.owner, req.enqueue_time, io.oid, io.first_page,
+                            io.pages, io.is_write, device});
+    t += cfg_.request_overhead_us + device;
+  }
+}
+
+SimDuration Simulator::consume_speculated(const SubRequest& req, OsdId osd) {
+  SpecLane& lane = spec_[osd];
+  if (lane.next >= lane.results.size()) {
+    // Not speculated: an OSD outside this batch's candidate set, or work
+    // that landed behind the speculated prefix mid-batch.  Either way it
+    // executes live, after every pre-executed entry of this OSD -- FIFO
+    // order on the device is preserved.
+    return execute(req.io);
+  }
+  const SpecResult& r = lane.results[lane.next];
+  if (r.owner != req.owner || r.enqueue_time != req.enqueue_time ||
+      r.oid != req.io.oid || r.first_page != req.io.first_page ||
+      r.pages != req.io.pages || r.is_write != req.io.is_write) {
+    throw std::logic_error(
+        "Simulator: sharded replay dispatched a request that does not match "
+        "the speculated queue entry (prediction diverged)");
+  }
+  ++lane.next;
+  --spec_live_;
+  return r.device_us;
 }
 
 // ---------------------------------------------------------------- clients
@@ -596,7 +767,13 @@ void Simulator::process_one(SubRequest req, OsdId osd, SimTime now) {
     resolve_degraded_client(std::move(req), now);
     return;
   }
-  SimDuration service = cfg_.request_overhead_us + execute(req.io);
+  // Sharded batches pre-execute committed device work on shard workers;
+  // while any of that is live, the cached result -- not a second device
+  // execution -- is the service-time source (spec_live_ is always 0 in
+  // serial mode, so this is one predictable branch).
+  const SimDuration device =
+      spec_live_ != 0 ? consume_speculated(req, osd) : execute(req.io);
+  SimDuration service = cfg_.request_overhead_us + device;
   // Fail-slow degradation: a slowed device multiplies its service time
   // (and may add a seeded intermittent stall).  any_slow() keeps the
   // healthy-cluster fast path to one predictable branch.
@@ -607,6 +784,7 @@ void Simulator::process_one(SubRequest req, OsdId osd, SimTime now) {
   s.busy_us += service;
   s.current = std::move(req);
   s.service_start = now;
+  s.complete_at = now + service;
   events_.push(now + service, EventKind::kOsdComplete, osd);
 }
 
@@ -619,11 +797,7 @@ SimDuration Simulator::execute(const cluster::OsdIo& io) {
   // is the ground truth.  Clamping mirrors ObjectStore::map_range.
   const cluster::Cluster::FastExtent& fe = cluster_.fast_extent(io.oid);
   if (fe.pages != 0 && fe.osd == io.osd) {
-    if (io.first_page >= fe.pages || io.pages == 0) return 0;
-    const std::uint32_t n = std::min(io.pages, fe.pages - io.first_page);
-    flash::Ssd& ssd = cluster_.osd(io.osd).ssd();
-    return io.is_write ? ssd.write_range(fe.first + io.first_page, n)
-                       : ssd.read_range(fe.first + io.first_page, n);
+    return cluster_.fast_extent_io(fe, io);
   }
   cluster::Osd& osd = cluster_.osd(io.osd);
   return io.is_write ? osd.write(io.oid, io.first_page, io.pages)
@@ -1586,6 +1760,7 @@ void Simulator::on_epoch_tick(SimTime now) {
   if (clients_active() || mover_active()) {
     events_.push(now + cfg_.epoch_length_us, EventKind::kEpochTick, 0);
     epoch_tick_scheduled_ = true;
+    next_epoch_tick_ = now + cfg_.epoch_length_us;
   }
 }
 

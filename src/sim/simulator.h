@@ -17,8 +17,12 @@
 //  * An epoch tick advances object-temperature decay every simulated
 //    minute and, in monitor mode, evaluates the wear-imbalance trigger.
 //
-// The simulator is single-threaded and fully deterministic; parallelism
-// lives one level up, across independent experiment cells.
+// The event loop is serial and fully deterministic; parallelism lives one
+// level up, across independent experiment cells (src/runner), and -- with
+// SimConfig::shards > 1 -- one level down, where shard workers pre-execute
+// flash device work the replay is already committed to without touching
+// event order (see docs/internals/sim.md "Sharded replay" for the
+// determinism contract: identical bytes at any shard count).
 #pragma once
 
 #include <cstdint>
@@ -37,6 +41,7 @@
 #include "sim/health_monitor.h"
 #include "sim/metrics.h"
 #include "sim/retry_policy.h"
+#include "sim/shard.h"
 #include "trace/record.h"
 #include "util/ewma.h"
 #include "util/ring_queue.h"
@@ -73,6 +78,13 @@ struct SimConfig {
 
   /// Software + network time per OSD sub-request on top of device time.
   SimDuration request_overhead_us = 100;
+
+  /// Replay shard workers.  1 (default) = the historical fully-serial
+  /// event loop.  N > 1 partitions OSDs onto N worker threads that
+  /// pre-execute committed flash device work in conservative time-windowed
+  /// batches; event pop order -- and therefore every report byte -- is
+  /// identical at any shard count.  See docs/internals/sim.md.
+  std::uint32_t shards = 1;
 
   /// Temperature epoch length; the paper evaluates the wear model "every
   /// minute".
@@ -243,6 +255,7 @@ class Simulator {
     bool busy = false;
     SubRequest current;
     SimTime service_start = 0;  // when `current` entered service
+    SimTime complete_at = 0;    // when `current` will complete (busy only)
     util::Ewma load;
     std::uint64_t served = 0;
     SimDuration busy_us = 0;  // total service time (overhead + device)
@@ -381,6 +394,31 @@ class Simulator {
   void setup_telemetry();
   void on_telemetry_sample(SimTime now);
 
+  // --- sharded replay (cfg_.shards > 1; see docs/internals/sim.md) ---
+  /// Dispatches one popped event to its handler (the switch shared by the
+  /// serial and sharded drains).
+  void handle_event(const Event& e);
+  void run_serial();
+  void run_sharded();
+  /// The calm certificate: true when nothing that could change placement,
+  /// blocking state, failure state or service-time computation can fire
+  /// inside a batch, so queued client I/O at a busy OSD is committed work
+  /// whose device times the shard workers may compute ahead of time.
+  bool calm() const;
+  /// Master side of one batch: collect busy OSDs whose head-of-line work
+  /// certainly dispatches before `batch_end`, fan the chains out to the
+  /// shard workers (barrier), and arm the per-OSD result lanes.
+  void speculate_batch(SimTime batch_end);
+  /// Worker side: chain-pre-execute `osd`'s queued client I/O at exactly
+  /// the dispatch times the serial drain will use, caching device times.
+  void speculate_osd(OsdId osd, SimTime batch_end);
+  /// process_one's service-time source while a batch has live speculation:
+  /// returns the cached device time for the request the worker predicted
+  /// here, or falls back to live execution for work that arrived after the
+  /// speculated prefix.  Throws if the replay dispatches anything else --
+  /// divergence is a bug, never something to paper over.
+  SimDuration consume_speculated(const SubRequest& req, OsdId osd);
+
   // --- bookkeeping ---
   void on_epoch_tick(SimTime now);
   void record_response(SimTime now, SimDuration response_us);
@@ -504,6 +542,35 @@ class Simulator {
 
   // scratch to avoid per-op allocation
   std::vector<cluster::OsdIo> io_scratch_;
+
+  // --- sharded-replay state (dormant at cfg_.shards == 1) ---
+  /// One pre-executed queue entry: the identity of the request the worker
+  /// saw (owner + enqueue stamp + io) and the device time it computed.
+  /// consume_speculated checks the identity before trusting the time.
+  struct SpecResult {
+    std::uint32_t owner = 0;
+    SimTime enqueue_time = 0;
+    ObjectId oid = 0;
+    std::uint32_t first_page = 0;
+    std::uint32_t pages = 0;
+    bool is_write = false;
+    SimDuration device_us = 0;
+  };
+  /// Per-OSD FIFO of speculated results; `next` is the consume cursor.
+  /// A lane left over from a previous batch is always fully consumed
+  /// (next == results.size()) -- enforced at every batch end.
+  struct SpecLane {
+    std::vector<SpecResult> results;
+    std::size_t next = 0;
+  };
+  std::unique_ptr<ShardPool> shard_pool_;  // null at shards == 1
+  std::vector<SpecLane> spec_;             // indexed by OSD
+  std::vector<OsdId> spec_candidates_;     // scratch, reused per batch
+  std::uint64_t spec_live_ = 0;  // speculated entries not yet consumed
+  SimTime next_epoch_tick_ = 0;  // valid while epoch_tick_scheduled_
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t spec_batches_ = 0;  // batches that ran shard workers
+  std::uint64_t spec_ios_ = 0;      // device I/Os pre-executed on shards
 };
 
 }  // namespace edm::sim

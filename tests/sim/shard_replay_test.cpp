@@ -1,0 +1,210 @@
+// Sharded-replay determinism contract (docs/internals/sim.md): for any
+// SimConfig::shards value the report JSON must be byte-identical to the
+// serial event loop -- sharding pre-executes committed flash device work,
+// it never reorders events.  Every scenario family the simulator supports
+// is replayed at shards {1, 2, 4} here, plus the partition edge cases
+// (shards > OSDs, one OSD per shard) and window-boundary stress (service
+// floors far above and below the default).
+//
+// The existing digest fixtures pin shards == 1 against the pre-shard
+// tree; these tests pin shards > 1 against shards == 1.  Together:
+// identical bytes at any shard count, equal to the historical serial loop.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/experiment.h"
+#include "sim/report.h"
+
+namespace edm::sim {
+namespace {
+
+std::string report_json(const RunResult& result) {
+  std::ostringstream os;
+  write_json(result, os);
+  return os.str();
+}
+
+ExperimentConfig base_cell(const std::string& trace, core::PolicyKind policy) {
+  ExperimentConfig cfg;
+  cfg.trace_name = trace;
+  cfg.policy = policy;
+  cfg.scale = 0.01;
+  cfg.num_osds = 8;
+  cfg.num_groups = 4;
+  return cfg;
+}
+
+/// Runs `cfg` at shards 1 and at each entry of `shard_counts`; every
+/// sharded replay must render the identical report bytes.
+void expect_identical_at_any_shards(
+    ExperimentConfig cfg, std::initializer_list<std::uint32_t> shard_counts = {
+                              2, 4}) {
+  cfg.sim.shards = 1;
+  const std::string expected = report_json(run_experiment(cfg));
+  for (const std::uint32_t shards : shard_counts) {
+    ExperimentConfig sharded = cfg;
+    sharded.sim.shards = shards;
+    ASSERT_EQ(expected, report_json(run_experiment(sharded)))
+        << "sharded replay diverged from serial at --shards " << shards;
+  }
+}
+
+// --- scenario families ------------------------------------------------
+
+TEST(ShardReplay, BaselineHome02) {
+  expect_identical_at_any_shards(
+      base_cell("home02", core::PolicyKind::kNone));
+}
+
+TEST(ShardReplay, HdfHome02Midpoint) {
+  // Forced-midpoint HDF: blocking migration mid-run.  Speculation is off
+  // until the midpoint fires and the mover drains, then kicks in.
+  expect_identical_at_any_shards(base_cell("home02", core::PolicyKind::kHdf));
+}
+
+TEST(ShardReplay, CdfLair62MonitorAdaptive) {
+  // Monitor trigger + adaptive sigma: epoch ticks both observe flash wear
+  // counters and can start migrations, so every tick must act as a batch
+  // barrier (the window clamp under test here).
+  ExperimentConfig cfg = base_cell("lair62", core::PolicyKind::kCdf);
+  cfg.sim.trigger = MigrationTrigger::kMonitor;
+  cfg.sim.adaptive_sigma = true;
+  expect_identical_at_any_shards(cfg);
+}
+
+TEST(ShardReplay, HdfDeasnaFaults) {
+  // Scheduled fail + online rebuild + transient errors: the injector
+  // forfeits speculation entirely (calm is false), so this pins that the
+  // sharded loop's batch framing alone cannot perturb a fault replay.
+  ExperimentConfig cfg = base_cell("deasna", core::PolicyKind::kHdf);
+  cfg.sim.faults.fail(2, 30ull * 1000 * 1000)
+      .rebuild(2, 120ull * 1000 * 1000);
+  cfg.sim.faults.transient_error_rate = 0.002;
+  expect_identical_at_any_shards(cfg);
+}
+
+TEST(ShardReplay, FailSlowWithHealthMitigation) {
+  // Fail-slow onset + online health monitor with hedged reads and
+  // quarantine-and-drain -- the most event-kind-diverse configuration.
+  ExperimentConfig cfg = base_cell("home02", core::PolicyKind::kCdf);
+  cfg.sim.faults.slow(3, 10ull * 1000 * 1000, 4.0);
+  cfg.sim.health.enabled = true;
+  cfg.sim.health.mitigate = true;
+  expect_identical_at_any_shards(cfg);
+}
+
+TEST(ShardReplay, OpenLoopMultiTenant) {
+  // Open-loop arrivals land on OSD queues mid-batch, behind any
+  // speculated prefix; they must fall back to live execution without
+  // disturbing the cached chain.
+  ExperimentConfig cfg;
+  cfg.scale = 0.01;
+  cfg.policy = core::PolicyKind::kHdf;
+  workload::TenantSpec home;
+  home.profile = "home02";
+  home.rate_ops_per_sec = 3000.0;
+  home.slo_ms = 25.0;
+  workload::TenantSpec lair;
+  lair.profile = "lair62";
+  lair.rate_ops_per_sec = 1500.0;
+  lair.slo_ms = 50.0;
+  cfg.open_loop.tenants = {home, lair};
+  expect_identical_at_any_shards(cfg);
+}
+
+TEST(ShardReplay, StreamingMatchesMaterialisedAtFourShards) {
+  // Streaming trace lanes + sharding compose: both replay the identical
+  // event sequence, so streaming-at-4-shards must equal
+  // materialised-at-1-shard byte for byte.
+  ExperimentConfig cfg = base_cell("home02", core::PolicyKind::kHdf);
+  cfg.sim.shards = 1;
+  const std::string expected = report_json(run_experiment(cfg));
+  cfg.sim.shards = 4;
+  ASSERT_EQ(expected, report_json(run_experiment_streaming(cfg)));
+}
+
+// --- speculation actually engages ------------------------------------
+
+TEST(ShardReplay, SpeculationEngagesOnCalmRuns) {
+  // A no-trigger run is calm from the first event; if the shard workers
+  // never pre-execute anything the whole subsystem is dead weight and
+  // this test is the alarm.  (perf.* is deterministic but never
+  // serialised, so the identity checks above cannot see these counters.)
+  ExperimentConfig cfg = base_cell("home02", core::PolicyKind::kNone);
+  cfg.sim.trigger = MigrationTrigger::kNone;
+  cfg.sim.shards = 2;
+  const RunResult r = run_experiment(cfg);
+  EXPECT_EQ(r.perf.shards, 2u);
+  EXPECT_GT(r.perf.spec_batches, 0u);
+  EXPECT_GT(r.perf.speculated_ios, 0u);
+}
+
+TEST(ShardReplay, SerialRunsNeverSpeculate) {
+  ExperimentConfig cfg = base_cell("home02", core::PolicyKind::kNone);
+  cfg.sim.trigger = MigrationTrigger::kNone;
+  const RunResult r = run_experiment(cfg);
+  EXPECT_EQ(r.perf.shards, 1u);
+  EXPECT_EQ(r.perf.spec_batches, 0u);
+  EXPECT_EQ(r.perf.speculated_ios, 0u);
+}
+
+// --- partition edge cases ---------------------------------------------
+
+TEST(ShardReplay, MoreShardsThanOsds) {
+  // 8 OSDs on 16 shards: half the shards own nothing.  Partitioning must
+  // tolerate empty shards and still produce identical bytes.
+  ExperimentConfig cfg = base_cell("home02", core::PolicyKind::kHdf);
+  expect_identical_at_any_shards(cfg, {16});
+}
+
+TEST(ShardReplay, OneOsdPerShard) {
+  ExperimentConfig cfg = base_cell("home02", core::PolicyKind::kHdf);
+  expect_identical_at_any_shards(cfg, {8});
+}
+
+TEST(ShardReplay, TinyClusterSingleOsdShards) {
+  // The smallest legal cluster (one OSD per RAID group) at one OSD per
+  // shard: tiny candidate sets, so many batches skip speculation as
+  // not-worth-a-barrier -- the skip path must be byte-neutral too.
+  ExperimentConfig cfg = base_cell("home02", core::PolicyKind::kNone);
+  cfg.num_osds = 4;
+  cfg.num_groups = 4;
+  expect_identical_at_any_shards(cfg, {4});
+}
+
+// --- window-boundary stress -------------------------------------------
+
+TEST(ShardReplay, TinyServiceFloorWindows) {
+  // request_overhead_us = 1 shrinks the batch window to the 25 us floor
+  // x 64: completions land exactly on batch boundaries far more often
+  // (an event at batch_end belongs to the next batch -- the strict-<
+  // contract under test).
+  ExperimentConfig cfg = base_cell("home02", core::PolicyKind::kNone);
+  cfg.sim.trigger = MigrationTrigger::kNone;
+  cfg.sim.request_overhead_us = 1;
+  expect_identical_at_any_shards(cfg, {2, 4});
+}
+
+TEST(ShardReplay, HugeServiceFloorWindows) {
+  // A 10 ms overhead makes the window ~640 ms of simulated time, so
+  // per-OSD chains run deep and whole client round-trips complete inside
+  // one batch.
+  ExperimentConfig cfg = base_cell("home02", core::PolicyKind::kNone);
+  cfg.sim.trigger = MigrationTrigger::kNone;
+  cfg.sim.request_overhead_us = 10'000;
+  expect_identical_at_any_shards(cfg, {2});
+}
+
+// --- config validation -------------------------------------------------
+
+TEST(ShardReplay, ZeroShardsRejected) {
+  ExperimentConfig cfg = base_cell("home02", core::PolicyKind::kNone);
+  cfg.sim.shards = 0;
+  EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edm::sim

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Builds the default preset and runs bench/perf_shards (sharded-replay
+# throughput at --shards 1/2/4), writing the machine-readable result to
+# BENCH_shards.json at the repo root (the committed reference; see
+# docs/PERFORMANCE.md "Parallel replay" for the methodology — in
+# particular, only run this for the record on a host with at least as
+# many hardware threads as the largest shard count).
+#
+#   tools/bench_shards.sh [perf_shards flags...]
+#
+# Flags are passed straight through, so e.g.
+#   tools/bench_shards.sh --quick            # smoke run (don't commit)
+#   tools/bench_shards.sh --scale=8 --repeat=5
+#   tools/bench_shards.sh --out=/tmp/s.json  # redirect the JSON
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs" --target perf_shards >/dev/null
+
+# Default output lands at the repo root unless the caller overrode --out.
+out_args=()
+case " $* " in
+  *" --out="*) ;;
+  *) out_args=(--out=BENCH_shards.json) ;;
+esac
+
+# Provenance: the binary embeds compiler/flags/CPU itself; the commit has
+# to come from us (the binary never shells out to git).
+EDM_GIT_COMMIT=$(git rev-parse HEAD 2>/dev/null || echo "")
+export EDM_GIT_COMMIT
+
+# Give the machine a moment to go quiet after the build: timing right
+# after compilation is one of the noise sources the methodology bans.
+sleep 3
+exec ./build/bench/perf_shards "${out_args[@]}" "$@"

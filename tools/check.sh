@@ -4,12 +4,13 @@
 # smoke runs that validate the edm-bench-result/1 JSON shape and the
 # streaming-replay RSS ceiling, plus an open-loop smoke asserting
 # per-tenant p99 separation under overload and the workload JSON shape),
-# then the asan-ubsan config plus fault and open-loop smokes
+# then the asan-ubsan config plus fault, open-loop, and shards smokes
 # (ext_failslow/ext_openloop --quick under the sanitizers, asserting
-# detector quality and the edm-run-result/4 health JSON shape),
-# then the concurrency-sensitive tests (telemetry, thread pool,
-# sweep runner, logging) under ThreadSanitizer (CMakePresets.json).  Any
-# failure aborts.
+# detector quality and the edm-run-result/4 health JSON shape, plus a
+# --shards 4 vs --shards 1 byte-identity check and a perf_shards --quick
+# JSON-shape run), then the concurrency-sensitive tests (telemetry,
+# thread pool, sweep runner, logging, sharded replay) under
+# ThreadSanitizer (CMakePresets.json).  Any failure aborts.
 #
 #   tools/check.sh [--fast]   # --fast skips the sanitizer configs
 set -euo pipefail
@@ -209,6 +210,60 @@ EOF
   rm -f "$out"
 }
 
+# Shards smoke: the sharded-replay determinism contract, end to end
+# through the CLI, under whichever build "$1" points at.  A --shards 4
+# replay must emit byte-identical JSON to --shards 1 (docs/internals/
+# sim.md), and perf_shards --quick must emit schema-valid JSON with the
+# shard cell fields (docs/PERFORMANCE.md "Parallel replay").
+shards_smoke() {
+  local build_dir="$1"
+  echo "== shards smoke (--shards 4 identity + perf_shards --quick, $build_dir) =="
+  local serial sharded
+  serial=$(mktemp)
+  sharded=$(mktemp)
+  "$build_dir/tools/edm_run" --trace=home02 --scale=0.01 --json --quiet \
+      >"$serial"
+  "$build_dir/tools/edm_run" --trace=home02 --scale=0.01 --shards=4 \
+      --json --quiet >"$sharded"
+  if ! cmp -s "$serial" "$sharded"; then
+    echo "shards smoke: --shards 4 JSON differs from --shards 1" >&2
+    diff "$serial" "$sharded" >&2 || true
+    rm -f "$serial" "$sharded"
+    return 1
+  fi
+  echo "shards smoke: --shards 4 byte-identical to --shards 1"
+  local out
+  out=$(mktemp)
+  "$build_dir/bench/perf_shards" --quick --out="$out" >/dev/null
+  python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d.get("schema") == "edm-bench-result/1", d.get("schema")
+assert d.get("bench") == "perf_shards", d.get("bench")
+assert "provenance" in d, "missing provenance"
+assert "hardware_threads" in d, "missing hardware_threads"
+assert d["cells"], "no cells"
+cell_keys = {"shards", "events_processed", "completed_ops",
+             "spec_batches", "speculated_ios", "replay_wall_s",
+             "setup_wall_s", "events_per_sec", "speedup_vs_serial"}
+counts = set()
+for c in d["cells"]:
+    missing = cell_keys - c.keys()
+    assert not missing, f"cell missing {missing}"
+    assert c["events_processed"] > 0, "empty replay"
+    counts.add((c["events_processed"], c["completed_ops"]))
+assert len(counts) == 1, f"shard counts disagree on the replay: {counts}"
+sharded = [c for c in d["cells"] if c["shards"] > 1]
+assert sharded and all(c["speculated_ios"] > 0 for c in sharded), (
+    "sharded cells speculated nothing -- the shard workers are dead weight")
+print(f"shards smoke: {len(d['cells'])} cells, "
+      f"{d['cells'][0]['events_processed']} events at every shard count, "
+      f"JSON shape ok")
+EOF
+  rm -f "$serial" "$sharded" "$out"
+}
+
 run_preset() {
   local preset="$1"
   echo "== configure ($preset) =="
@@ -230,8 +285,10 @@ if [[ "${1:-}" != "--fast" ]]; then
   run_preset asan-ubsan
   fault_smoke build-asan
   openloop_smoke build-asan
+  shards_smoke build-asan
   run_preset tsan
 else
   fault_smoke build
+  shards_smoke build
 fi
 echo "== all checks passed =="

@@ -33,9 +33,23 @@ done
 # its own.
 [[ -f docs/internals/fault.md ]] || err "docs/internals/fault.md missing"
 
-# The performance methodology page must exist and be reachable from the
-# entry-point docs (its intra-repo links are checked with every other
-# markdown file in step 3).
+# Every internals page must have a row in the internals README index --
+# a page nobody can discover from the index might as well not exist.
+for page in docs/internals/*.md; do
+  name=$(basename "$page")
+  [[ "$name" == "README.md" ]] && continue
+  grep -q "($name)" docs/internals/README.md ||
+    err "docs/internals/README.md has no index entry for $name"
+done
+
+# The architecture overview and the performance methodology page must
+# exist and be reachable from the entry-point docs (their intra-repo
+# links are checked with every other markdown file in step 3).
+[[ -f docs/ARCHITECTURE.md ]] || err "docs/ARCHITECTURE.md missing"
+grep -q "ARCHITECTURE.md" README.md ||
+  err "README.md does not link docs/ARCHITECTURE.md"
+grep -q "ARCHITECTURE.md" docs/MANUAL.md ||
+  err "docs/MANUAL.md does not link ARCHITECTURE.md"
 [[ -f docs/PERFORMANCE.md ]] || err "docs/PERFORMANCE.md missing"
 grep -q "PERFORMANCE.md" README.md ||
   err "README.md does not link docs/PERFORMANCE.md"
