@@ -1,0 +1,243 @@
+// Extension benchmark: flash internal parallelism (channel/die/plane
+// geometry, docs/internals/flash.md "Parallel timing model") under
+// increasing per-OSD queue depth.
+//
+// The subject is SIMULATED throughput, not wall clock: every cell replays
+// the same closed-loop workload and reports completed_ops / makespan of
+// the modelled cluster, so the committed JSON is bit-stable across
+// machines.  The sweep crosses device geometry (the paper's flat model, a
+// SATA-class 4x2x1, an NVMe-class 8x4x2) with the OSD dispatch depth
+// (SimConfig::osd_queue_depth):
+//
+//   * flat devices are definitionally serial -- the replay is IDENTICAL at
+//     every queue depth, and the bench aborts if it is not;
+//   * parallel geometries convert extra queue depth into die/plane overlap,
+//     so throughput must scale with depth (nvme more than sata).
+//
+// request_overhead_us is zeroed: the fixed software overhead otherwise
+// overlaps across a client's sub-requests and would mimic device
+// parallelism even on the flat model.
+//
+//   ./build/bench/ext_parallelism [--scale=0.1] [--quick] [--csv]
+//                                 [--out=BENCH_parallelism.json]
+//
+// --quick shrinks the scale and the sweep for the tools/check.sh smoke.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "sim/experiment.h"
+#include "trace/generator.h"
+#include "util/flags.h"
+#include "util/provenance.h"
+#include "util/table.h"
+
+namespace {
+
+struct Args {
+  double scale = 0.1;
+  bool quick = false;
+  bool csv = false;
+  std::string out;
+};
+
+struct Geometry {
+  const char* name;
+  edm::flash::FlashGeometry geom;
+  edm::SimDuration bus_ctrl_us = 0;
+  edm::SimDuration bus_data_us = 0;
+};
+
+struct CellResult {
+  const Geometry* geometry = nullptr;
+  std::uint32_t osd_qd = 1;
+  std::uint64_t completed_ops = 0;
+  std::uint64_t makespan_us = 0;
+  double throughput_ops_s = 0.0;
+  double speedup_vs_qd1 = 0.0;  // same geometry, depth-1 cell as baseline
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  edm::util::FlagParser parser;
+  parser.add_double("--scale", &args.scale,
+                    "linear trace scale (1.0 = paper-size counts)");
+  parser.add_bool("--quick", &args.quick,
+                  "seconds-long smoke run for tools/check.sh");
+  parser.add_bool("--csv", &args.csv, "emit CSV instead of a table");
+  parser.add_string("--out", &args.out,
+                    "write edm-bench-result/1 JSON to this path");
+  switch (parser.parse(argc, argv)) {
+    case edm::util::FlagParser::Result::kOk:
+      break;
+    case edm::util::FlagParser::Result::kHelp:
+      parser.print_usage(std::cerr, argv[0]);
+      std::exit(0);
+    case edm::util::FlagParser::Result::kError:
+      std::cerr << parser.error() << "\n";
+      parser.print_usage(std::cerr, argv[0]);
+      std::exit(2);
+  }
+  return args;
+}
+
+/// Generates the trace exactly as run_experiment(config) would, once,
+/// shared across every geometry and depth.
+edm::trace::Trace make_trace(const edm::sim::ExperimentConfig& config) {
+  const edm::sim::ExperimentConfig cfg = edm::sim::finalize(config);
+  edm::trace::WorkloadProfile profile =
+      edm::trace::profile_by_name(cfg.trace_name).scaled(cfg.scale);
+  profile.seed ^= cfg.trace_seed_offset;
+  return edm::trace::TraceGenerator(profile, cfg.num_clients).generate();
+}
+
+void write_json(const std::vector<CellResult>& cells,
+                const edm::sim::ExperimentConfig& proto, const Args& args,
+                double scale, std::ostream& os) {
+  os << "{\n";
+  os << "  \"schema\": \"edm-bench-result/1\",\n";
+  os << "  \"bench\": \"ext_parallelism\",\n";
+  os << "  \"trace\": \"" << proto.trace_name << "\",\n";
+  os << "  \"num_osds\": " << proto.num_osds << ",\n";
+  os << "  \"scale\": " << scale << ",\n";
+  os << "  \"quick\": " << (args.quick ? "true" : "false") << ",\n";
+  edm::util::write_provenance_json(os, edm::util::collect_provenance(), "  ");
+  os << ",\n";
+  os << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    os << "    {\"geometry\": \"" << c.geometry->name << "\""
+       << ", \"channels\": " << c.geometry->geom.channels
+       << ", \"dies_per_channel\": " << c.geometry->geom.dies_per_channel
+       << ", \"planes_per_die\": " << c.geometry->geom.planes_per_die
+       << ", \"bus_ctrl_us\": " << c.geometry->bus_ctrl_us
+       << ", \"bus_data_us\": " << c.geometry->bus_data_us
+       << ", \"osd_qd\": " << c.osd_qd
+       << ", \"completed_ops\": " << c.completed_ops
+       << ", \"makespan_us\": " << c.makespan_us
+       << ", \"throughput_ops_s\": " << c.throughput_ops_s
+       << ", \"speedup_vs_qd1\": " << c.speedup_vs_qd1 << "}"
+       << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  using edm::util::Table;
+
+  const double scale = args.quick ? std::min(args.scale, 0.02) : args.scale;
+  edm::sim::ExperimentConfig proto;
+  proto.trace_name = "home02";
+  proto.num_osds = 8;
+  proto.scale = scale;
+  proto.policy = edm::core::PolicyKind::kNone;
+  proto.sim.trigger = edm::sim::MigrationTrigger::kNone;
+  // Zero software overhead (see file header) and a deep client window so
+  // the OSD queues actually hold work the device could overlap.
+  proto.sim.request_overhead_us = 0;
+  proto.sim.client_queue_depth = 32;
+  const edm::trace::Trace trace = make_trace(proto);
+
+  const std::vector<Geometry> geometries = {
+      {"flat", {1, 1, 1}, 0, 0},
+      {"sata", {4, 2, 1}, 5, 40},
+      {"nvme", {8, 4, 2}, 2, 10},
+  };
+  const std::vector<std::uint32_t> depths =
+      args.quick ? std::vector<std::uint32_t>{1, 4}
+                 : std::vector<std::uint32_t>{1, 2, 4, 8};
+
+  std::vector<CellResult> cells;
+  for (const Geometry& g : geometries) {
+    if (args.quick && std::string(g.name) == "sata") continue;
+    double qd1_throughput = 0.0;
+    std::uint64_t qd1_makespan = 0;
+    for (const std::uint32_t qd : depths) {
+      edm::sim::ExperimentConfig cfg = proto;
+      cfg.flash.geometry = g.geom;
+      cfg.flash.bus_ctrl_us = g.bus_ctrl_us;
+      cfg.flash.bus_data_us = g.bus_data_us;
+      cfg.sim.osd_queue_depth = qd;
+      const edm::sim::RunResult res = edm::sim::run_experiment(cfg, trace);
+      CellResult c;
+      c.geometry = &g;
+      c.osd_qd = qd;
+      c.completed_ops = res.completed_ops;
+      c.makespan_us = res.makespan_us;
+      c.throughput_ops_s = res.throughput_ops_per_sec();
+      if (qd == depths.front()) {
+        qd1_throughput = c.throughput_ops_s;
+        qd1_makespan = c.makespan_us;
+      }
+      c.speedup_vs_qd1 =
+          qd1_throughput > 0.0 ? c.throughput_ops_s / qd1_throughput : 0.0;
+      // Flat devices clamp to serial service: any depth must replay the
+      // exact same simulation.  A drift here is a determinism bug, not a
+      // measurement artifact.
+      if (g.geom.luns() == 1 && g.bus_ctrl_us == 0 && g.bus_data_us == 0 &&
+          c.makespan_us != qd1_makespan) {
+        std::cerr << "ext_parallelism: flat geometry scaled with queue "
+                     "depth (makespan "
+                  << c.makespan_us << " at qd " << qd << " vs "
+                  << qd1_makespan << " at qd " << depths.front() << ")\n";
+        return 1;
+      }
+      cells.push_back(c);
+      std::cerr << "ext_parallelism: " << g.name << " qd " << qd
+                << " makespan " << c.makespan_us << "us\n";
+    }
+  }
+
+  // The headline claim: a multi-die geometry converts queue depth into
+  // throughput.  Guard it so the committed JSON can never quietly regress.
+  for (const CellResult& c : cells) {
+    const bool parallel = c.geometry->geom.luns() > 1;
+    if (parallel && c.osd_qd == depths.back() && c.speedup_vs_qd1 < 1.1) {
+      std::cerr << "ext_parallelism: " << c.geometry->name << " at qd "
+                << c.osd_qd << " speedup " << c.speedup_vs_qd1
+                << " < 1.1 -- geometry stopped buying throughput\n";
+      return 1;
+    }
+  }
+
+  Table table({"geometry", "qd", "ops", "makespan(s)", "ops/s", "speedup"});
+  for (const CellResult& c : cells) {
+    table.add_row({
+        c.geometry->name,
+        std::to_string(c.osd_qd),
+        std::to_string(c.completed_ops),
+        Table::num(static_cast<double>(c.makespan_us) / 1e6, 3),
+        Table::num(c.throughput_ops_s, 0),
+        Table::num(c.speedup_vs_qd1, 2),
+    });
+  }
+  if (args.csv) {
+    table.write_csv(std::cout);
+  } else {
+    std::cout << "ext parallelism -- simulated throughput vs queue depth "
+                 "(home02 scale="
+              << scale << ", overhead 0us)\n";
+    table.print(std::cout);
+    std::cout << "\nSpeedup is simulated completed_ops/makespan against the "
+                 "same geometry's\ndepth-1 cell; flat must stay at 1.00 by "
+                 "construction (docs/internals/flash.md).\n";
+  }
+
+  if (!args.out.empty()) {
+    std::ofstream os(args.out);
+    if (!os.is_open()) {
+      std::cerr << "cannot write " << args.out << "\n";
+      return 1;
+    }
+    write_json(cells, proto, args, scale, os);
+  }
+  return 0;
+}

@@ -240,7 +240,12 @@ SimDuration Cluster::steady_state_warmup() {
 }
 
 void Cluster::reset_flash_stats() {
-  for (auto& osd : osds_) osd.ssd().reset_stats();
+  for (auto& osd : osds_) {
+    osd.ssd().reset_stats();
+    // Warm-up traffic ran through the untimed path; clear any busy
+    // horizons so the measured window starts from an idle device.
+    osd.ssd().reset_timeline();
+  }
 }
 
 Cluster::MigrationAdmit Cluster::admit_migration(ObjectId oid, OsdId dst) {

@@ -142,6 +142,22 @@ class Cluster {
                        : ssd.read_range(fe.first + io.first_page, n);
   }
 
+  /// Timed twin of fast_extent_io for parallel-geometry devices: `at` is
+  /// the absolute time the I/O is dispatched into the device.  Same
+  /// shard-safety contract; flat devices behave identically to the untimed
+  /// form.  Note the speculation path deliberately does NOT use this --
+  /// predicting dispatch through die queues requires the device-time
+  /// ordering the serial replay provides, so parallel-geometry OSDs
+  /// forfeit the calm certificate instead (see Simulator::calm()).
+  SimDuration fast_extent_io_at(const FastExtent& fe, const OsdIo& io,
+                                SimTime at) {
+    if (io.first_page >= fe.pages || io.pages == 0) return 0;
+    const std::uint32_t n = std::min(io.pages, fe.pages - io.first_page);
+    flash::Ssd& ssd = osd(io.osd).ssd();
+    return io.is_write ? ssd.write_range_at(at, fe.first + io.first_page, n)
+                       : ssd.read_range_at(at, fe.first + io.first_page, n);
+  }
+
   std::uint32_t object_pages(ObjectId oid) const;
 
   // --- File I/O mapping ---

@@ -1,5 +1,7 @@
 #include "cluster/osd.h"
 
+#include <algorithm>
+
 namespace edm::cluster {
 
 Osd::Osd(OsdId id, const flash::FlashConfig& config)
@@ -33,6 +35,30 @@ SimDuration Osd::write(ObjectId oid, std::uint32_t first_page,
     total += ssd_.write_range(e.first, e.pages);
   }
   return total;
+}
+
+SimDuration Osd::read_at(SimTime at, ObjectId oid, std::uint32_t first_page,
+                         std::uint32_t pages) {
+  if (!ssd_.parallel_timing()) return read(oid, first_page, pages);
+  // Extents dispatch concurrently into the device at `at`; the request
+  // completes when the slowest extent does.
+  SimDuration span = 0;
+  store_.map_range(oid, first_page, pages, extent_scratch_);
+  for (const Extent& e : extent_scratch_) {
+    span = std::max(span, ssd_.read_range_at(at, e.first, e.pages));
+  }
+  return span;
+}
+
+SimDuration Osd::write_at(SimTime at, ObjectId oid, std::uint32_t first_page,
+                          std::uint32_t pages) {
+  if (!ssd_.parallel_timing()) return write(oid, first_page, pages);
+  SimDuration span = 0;
+  store_.map_range(oid, first_page, pages, extent_scratch_);
+  for (const Extent& e : extent_scratch_) {
+    span = std::max(span, ssd_.write_range_at(at, e.first, e.pages));
+  }
+  return span;
 }
 
 void Osd::attach_telemetry(telemetry::Recorder* recorder) {

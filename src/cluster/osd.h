@@ -44,6 +44,15 @@ class Osd {
   SimDuration write(ObjectId oid, std::uint32_t first_page,
                     std::uint32_t pages);
 
+  /// Timed variants for parallel-geometry devices: `at` is the absolute
+  /// device time the request is dispatched, and the result spans until the
+  /// last extent completes (dispatch through the SSD's channel buses and
+  /// die queues).  Flat devices forward to the untimed ops above.
+  SimDuration read_at(SimTime at, ObjectId oid, std::uint32_t first_page,
+                      std::uint32_t pages);
+  SimDuration write_at(SimTime at, ObjectId oid, std::uint32_t first_page,
+                       std::uint32_t pages);
+
   /// Writes every allocated page once: the pre-create-and-populate step of
   /// the paper's replay setup.  Returns device time consumed.
   SimDuration populate_all();

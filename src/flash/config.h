@@ -5,11 +5,32 @@
 // page-level FTL with greedy garbage collection.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "util/types.h"
 
 namespace edm::flash {
+
+/// Internal-parallelism geometry: channels x dies/channel x planes/die.
+/// The unit of parallel timing is one plane (a "LUN" here): every LUN has
+/// its own array timeline, every die serialises command acceptance across
+/// its planes, and every channel serialises bus transfers across its dies.
+/// The flat paper model is the 1x1x1 geometry with zero bus delays.
+///
+/// Striping (documented in docs/internals/flash.md): physical block b
+/// belongs to LUN b % luns(); LUN l sits on channel l % channels and on
+/// die l % dies() (channel-first order, so consecutive LUNs alternate
+/// channels before doubling up on a die).
+struct FlashGeometry {
+  std::uint32_t channels = 1;
+  std::uint32_t dies_per_channel = 1;
+  std::uint32_t planes_per_die = 1;
+
+  std::uint32_t dies() const { return channels * dies_per_channel; }
+  std::uint32_t luns() const { return dies() * planes_per_die; }
+  bool flat() const { return luns() == 1; }
+};
 
 struct FlashConfig {
   /// Bytes per flash page (read/program unit).
@@ -39,7 +60,50 @@ struct FlashConfig {
   /// channels, so an N-page range takes ceil(N/channels) page times of
   /// wall clock (GC stalls stay serial -- the FTL blocks).  1 = the
   /// paper's single-stream timing.
+  ///
+  /// This is the *legacy* overlap knob (digest-pinned semantics); it is
+  /// mutually exclusive with the parallel `geometry` below, which models
+  /// channels as shared buses instead of free N-way overlap.
   std::uint32_t num_channels = 1;
+
+  /// Internal-parallelism geometry (channels x dies x planes).  The flat
+  /// default (1x1x1 with zero bus delays) is byte-identical to the paper's
+  /// serial model; any larger geometry -- or a non-zero bus delay --
+  /// switches the device onto the timed dispatch path (per-die command
+  /// queues, plane interleaving, per-LUN allocation domains, multi-stream
+  /// GC).  See docs/internals/flash.md "Parallel timing model".
+  FlashGeometry geometry;
+
+  /// Shared per-channel bus delays (simulated microseconds): `bus_ctrl_us`
+  /// is charged per command (read command issue, write command+address),
+  /// `bus_data_us` per page transferred over the channel (data-out after an
+  /// array read, data-in before a program).  EagleTree's reference config
+  /// uses 5 / 100; both 0 keeps even a 1x1x1 geometry on the flat path.
+  SimDuration bus_ctrl_us = 0;
+  SimDuration bus_data_us = 0;
+
+  /// True when this device uses the timed parallel dispatch path: a
+  /// multi-LUN geometry, or bus delays that make even one LUN a pipeline.
+  bool parallel_timing() const {
+    return !geometry.flat() || bus_ctrl_us > 0 || bus_data_us > 0;
+  }
+
+  /// Block-allocation domains (one per LUN under parallel timing, one for
+  /// the whole device otherwise).  Physical block b belongs to domain
+  /// b % allocation_domains(); each domain keeps its own log head, free
+  /// pool and GC stream, so GC only ever occupies the LUN it erases.
+  std::uint32_t allocation_domains() const {
+    return parallel_timing() ? geometry.luns() : 1;
+  }
+
+  /// Per-domain GC low-water mark.  The flat device uses gc_low_water
+  /// verbatim; parallel domains divide it (floored at 2 so every domain
+  /// always has a relocation destination plus one block of slack).
+  std::uint32_t domain_low_water() const {
+    const std::uint32_t domains = allocation_domains();
+    if (domains <= 1) return gc_low_water;
+    return std::max<std::uint32_t>(2, gc_low_water / domains);
+  }
 
   /// Hot/cold separation: when true, GC relocations are appended to their
   /// own open block instead of the host log head.  Mixing relocated (cold,

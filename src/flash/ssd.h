@@ -63,6 +63,27 @@ class Ssd {
   SimDuration write_range(Lpn first, std::uint32_t pages);
   SimDuration trim_range(Lpn first, std::uint32_t pages);
 
+  /// Timed range ops for the parallel dispatch path: the caller supplies
+  /// the absolute device time the request reaches the device, and the
+  /// returned duration is completion - `at`, including any wait on busy
+  /// channel buses, die command queues, plane arrays, or in-domain GC.
+  /// On a flat device (parallel_timing() == false) these forward to the
+  /// untimed ops above, so callers can use them unconditionally -- the
+  /// flat path stays byte-identical to the paper's model.
+  ///
+  /// Submission times must be non-decreasing across calls (the DES pops
+  /// events in time order, so every caller satisfies this for free).
+  SimDuration read_range_at(SimTime at, Lpn first, std::uint32_t pages);
+  SimDuration write_range_at(SimTime at, Lpn first, std::uint32_t pages);
+
+  /// Whether this device runs the timed parallel dispatch path.
+  bool parallel_timing() const { return parallel_; }
+
+  /// Forgets all channel/die/plane busy horizons (the mapping and wear
+  /// state stay).  Called when the measured window starts so warm-up
+  /// traffic cannot leak into run timing.
+  void reset_timeline();
+
   bool is_mapped(Lpn lpn) const { return l2p_.get(lpn) != l2p_.max_value(); }
 
   /// Live data as a fraction of *physical* capacity -- the "u" that drives
@@ -74,9 +95,7 @@ class Ssd {
   double logical_utilization() const;
 
   std::uint64_t valid_pages() const { return valid_pages_; }
-  std::uint32_t free_blocks() const {
-    return static_cast<std::uint32_t>(free_blocks_.size());
-  }
+  std::uint32_t free_blocks() const;
 
   const FlashConfig& config() const { return config_; }
   const FlashStats& stats() const { return stats_; }
@@ -123,21 +142,44 @@ class Ssd {
  private:
   std::uint32_t block_of(Ppn ppn) const { return ppn / config_.pages_per_block; }
 
-  /// Appends a page to a log head (the host stream, or the GC stream when
-  /// `gc_stream` and the config separates them), opening a fresh block when
-  /// needed.  Precondition: a free page exists (GC policy + reserve).
-  Ppn append_page(Lpn lpn, bool gc_stream = false);
+  /// Block-allocation domain of a physical block (block id modulo the
+  /// domain count; always 0 on a flat device, where the branch keeps the
+  /// hot path division-free).
+  std::uint32_t domain_of(std::uint32_t block) const {
+    return num_domains_ == 1 ? 0 : block % num_domains_;
+  }
+  /// Dense per-domain block index (used by the per-domain victim queues).
+  std::uint32_t local_of(std::uint32_t block) const {
+    return num_domains_ == 1 ? block : block / num_domains_;
+  }
+  /// Inverse of (domain_of, local_of).
+  std::uint32_t global_of(std::uint32_t local, std::uint32_t domain) const {
+    return local * num_domains_ + domain;
+  }
+  std::uint32_t blocks_in_domain(std::uint32_t domain) const {
+    return (config_.num_blocks - domain + num_domains_ - 1) / num_domains_;
+  }
 
-  /// Runs GC until the free pool is back above the low-water mark.
-  /// Returns the time spent (valid-page relocations + erases).
-  SimDuration collect_garbage();
+  /// Appends a page to one of domain `dom`'s log heads (the host stream, or
+  /// the GC stream when `gc_stream` and the config separates them), opening
+  /// a fresh block when needed.  Precondition: a free page exists in the
+  /// domain (GC policy + per-domain reserve).
+  Ppn append_page(Lpn lpn, std::uint32_t dom, bool gc_stream = false);
 
-  /// The low-water check + GC + GC telemetry that precedes a host write.
-  /// Returns the stall charged to that write (0 when the pool is fine).
-  SimDuration maybe_collect_for_write();
+  /// Runs GC in domain `dom` until its free pool is back above the
+  /// per-domain low-water mark.  Relocations stay inside the domain (the
+  /// multi-stream GC rule: GC only occupies the LUN it erases).  Returns
+  /// the time spent (valid-page relocations + erases).
+  SimDuration collect_garbage(std::uint32_t dom);
 
-  /// Victim choice under the configured policy; -1 when no candidate.
-  std::int64_t pick_victim();
+  /// The low-water check + GC + GC telemetry that precedes a host write
+  /// into domain `dom`.  Returns the stall charged to that write (0 when
+  /// the pool is fine).
+  SimDuration maybe_collect_for_write(std::uint32_t dom);
+
+  /// Victim choice in domain `dom` under the configured policy; -1 when no
+  /// candidate.  Returns a *global* block id.
+  std::int64_t pick_victim(std::uint32_t dom);
 
   /// Converts a serial per-page duration sum into the channel-parallel
   /// wall-clock time for an N-page transfer (GC components stay serial).
@@ -146,6 +188,14 @@ class Ssd {
 
   /// Invalidates the physical page currently mapped to `lpn`, if any.
   void invalidate(Lpn lpn);
+
+  /// Timed single-page ops on LUN `lun` starting no earlier than `t`;
+  /// return the absolute completion time and advance the bus/die/plane
+  /// busy horizons (docs/internals/flash.md "Parallel timing model").
+  /// `gc_us` is on-die GC work (copybacks + erases) that must finish on
+  /// the plane before the program starts.
+  SimTime read_page_at(SimTime t, std::uint32_t lun);
+  SimTime write_page_at(SimTime t, std::uint32_t lun, SimDuration gc_us);
 
   FlashConfig config_;
   FlashStats stats_;
@@ -167,16 +217,36 @@ class Ssd {
   std::vector<std::uint64_t> block_sealed_at_;  // write clock at seal
   util::BitVector block_open_;                  // currently a log head
 
-  std::vector<std::uint32_t> free_blocks_;  // stack of free block ids
-  VictimQueue victims_;               // full blocks, by valid count
-  std::uint32_t open_block_ = 0;
   static constexpr std::uint32_t kNoBlock = 0xFFFFFFFFu;
-  std::uint32_t gc_open_block_ = kNoBlock;  // lazily opened GC stream head
+
+  // Block allocation is partitioned into per-LUN domains under parallel
+  // timing (one domain on a flat device -- then this is exactly the old
+  // single-pool layout).  Block b belongs to domain b % num_domains_; the
+  // victim queue indexes blocks by their dense in-domain id.
+  struct Domain {
+    std::vector<std::uint32_t> free_blocks;  // stack of *global* block ids
+    VictimQueue victims;                     // full blocks, by valid count
+    std::uint32_t open_block = kNoBlock;
+    std::uint32_t gc_open_block = kNoBlock;  // lazily opened GC stream head
+    std::uint32_t scan_cursor = 0;  // cost-benefit stride-sampling cursor
+  };
+  std::vector<Domain> domains_;
+  std::uint32_t num_domains_ = 1;
+  std::uint32_t next_domain_ = 0;  // round-robin host-append cursor
+
   std::uint64_t valid_pages_ = 0;
   std::vector<std::uint32_t> block_erases_;  // lifetime, per block
   std::uint64_t write_clock_ = 0;  // host+GC pages programmed (age base)
-  std::uint32_t scan_cursor_ = 0;  // cost-benefit stride-sampling cursor
   bool gc_active_ = false;  // re-entrancy guard: GC writes must not trigger GC
+
+  // Parallel timing state: absolute busy horizons per channel bus, per die
+  // (command acceptance) and per plane (array operation).  Empty vectors on
+  // a flat device.
+  bool parallel_ = false;
+  std::uint32_t dies_total_ = 1;
+  std::vector<SimTime> bus_ready_;
+  std::vector<SimTime> die_ready_;
+  std::vector<SimTime> plane_ready_;
 
   // Telemetry (null = off; the hot-path guard is one pointer test).
   telemetry::Recorder* tel_ = nullptr;

@@ -50,6 +50,7 @@ enum class EventKind : std::uint8_t {
   kHealthCheck = 7,      // periodic health-monitor evaluation (payload unused)
   kHedgeDeadline = 8,    // payload = hedge slot | generation<<32
   kArrival = 9,          // open-loop arrival is due (payload unused)
+  kDeviceComplete = 10,  // payload = device-slot index (multi-inflight OSDs)
 };
 
 struct Event {

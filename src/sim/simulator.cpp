@@ -35,6 +35,9 @@ void SimConfig::validate(std::uint32_t num_osds) const {
   if (shards == 0) {
     throw std::invalid_argument("SimConfig: shards must be >= 1");
   }
+  if (osd_queue_depth == 0) {
+    throw std::invalid_argument("SimConfig: osd_queue_depth must be >= 1");
+  }
   if (mover_concurrency == 0 || mover_chunk_pages == 0) {
     throw std::invalid_argument("SimConfig: mover parameters must be > 0");
   }
@@ -98,8 +101,16 @@ Simulator::Simulator(SimConfig config, cluster::Cluster& cluster,
   }
   rebuild_lanes_.resize(cfg_.rebuild_lanes);
   servers_.reserve(cluster_.num_osds());
+  osd_qd_.reserve(cluster_.num_osds());
   for (std::uint32_t i = 0; i < cluster_.num_osds(); ++i) {
     servers_.emplace_back(cfg_.load_ewma_alpha);
+    // Flat (paper-model) devices are definitionally serial: depth 1 no
+    // matter the knob.  Parallel-geometry devices honour the configured
+    // depth and forfeit the sharded replay's speculation (fast_extent_io
+    // cannot predict dispatch through die queues out of order).
+    const bool parallel = cluster_.osd(i).ssd().parallel_timing();
+    osd_qd_.push_back(parallel ? cfg_.osd_queue_depth : 1);
+    if (parallel) spec_forfeit_ = true;
   }
   // Assign records to replay lanes by the trace's client tag, folded onto
   // the configured client count ("all trace records of multiple users are
@@ -394,6 +405,9 @@ void Simulator::handle_event(const Event& e) {
     case EventKind::kArrival:
       on_arrival(e.time);
       break;
+    case EventKind::kDeviceComplete:
+      on_device_complete(e.payload, e.time);
+      break;
   }
 }
 
@@ -478,8 +492,11 @@ bool Simulator::calm() const {
   // fail_osd) count until they have fired; epoch ticks are handled by the
   // window clamp, not here.  The adaptive-sigma estimator reads flash wear
   // counters only at epoch ticks, which the clamp makes batch boundaries,
-  // so it needs no entry of its own.
-  return tel_ == nullptr && monitor_ == nullptr && injector_ == nullptr &&
+  // so it needs no entry of its own.  spec_forfeit_ (any parallel-geometry
+  // device in the cluster) is permanent: the fast-extent predictor has no
+  // model of die queues, so those runs always drain serially.
+  return !spec_forfeit_ && tel_ == nullptr && monitor_ == nullptr &&
+         injector_ == nullptr &&
          !cluster_.any_failed() && blocked_.empty() && parked_.empty() &&
          !mover_active() && !rebuild_running_ && pending_rebuilds_.empty() &&
          (cfg_.trigger != MigrationTrigger::kForcedMidpoint ||
@@ -536,14 +553,15 @@ void Simulator::speculate_osd(OsdId osd, SimTime batch_end) {
   }
 }
 
-SimDuration Simulator::consume_speculated(const SubRequest& req, OsdId osd) {
+SimDuration Simulator::consume_speculated(const SubRequest& req, OsdId osd,
+                                          SimTime now) {
   SpecLane& lane = spec_[osd];
   if (lane.next >= lane.results.size()) {
     // Not speculated: an OSD outside this batch's candidate set, or work
     // that landed behind the speculated prefix mid-batch.  Either way it
     // executes live, after every pre-executed entry of this OSD -- FIFO
     // order on the device is preserved.
-    return execute(req.io);
+    return execute(req.io, now);
   }
   const SpecResult& r = lane.results[lane.next];
   if (r.owner != req.owner || r.enqueue_time != req.enqueue_time ||
@@ -666,7 +684,8 @@ void Simulator::inject_arrival(const workload::Arrival& arrival, SimTime now) {
     tracker_.on_access(io.oid, io.pages, io.is_write);
     enqueue({SubRequest::Kind::kClient, op_id, io, now}, now);
     const OsdServer& s = servers_[io.osd];
-    const std::uint64_t depth = s.queue.size() + (s.busy ? 1 : 0);
+    const std::uint64_t depth =
+        s.queue.size() + (s.busy ? 1 : 0) + s.inflight;
     if (depth > openloop_peak_queue_) openloop_peak_queue_ = depth;
   }
 }
@@ -702,13 +721,13 @@ void Simulator::enqueue(SubRequest req, SimTime now) {
   }
   const OsdId osd = req.io.osd;
   OsdServer& s = servers_[osd];
-  if (!s.busy && s.queue.empty()) {
-    // Idle server, empty queue: dispatch() would pop this request right
-    // back off, so skip the queue round-trip.  process_one applies the
-    // exact same park/redirect/degraded checks either way.
+  if (can_accept(osd) && s.queue.empty()) {
+    // Server with spare capacity, empty queue: dispatch() would pop this
+    // request right back off, so skip the queue round-trip.  process_one
+    // applies the exact same park/redirect/degraded checks either way.
     process_one(std::move(req), osd, now);
-    if (s.busy || s.queue.empty()) return;
-    // process_one left the server idle but something landed on its queue
+    if (!can_accept(osd) || s.queue.empty()) return;
+    // process_one left capacity free but something landed on its queue
     // (reentrant enqueue): fall through and drain, as dispatch() always
     // did when enqueue unconditionally routed through it.
   } else {
@@ -719,7 +738,7 @@ void Simulator::enqueue(SubRequest req, SimTime now) {
 
 void Simulator::dispatch(OsdId osd, SimTime now) {
   OsdServer& s = servers_[osd];
-  while (!s.busy && !s.queue.empty()) {
+  while (can_accept(osd) && !s.queue.empty()) {
     SubRequest req = std::move(s.queue.front());
     s.queue.pop_front();
     process_one(std::move(req), osd, now);
@@ -772,7 +791,7 @@ void Simulator::process_one(SubRequest req, OsdId osd, SimTime now) {
   // execution -- is the service-time source (spec_live_ is always 0 in
   // serial mode, so this is one predictable branch).
   const SimDuration device =
-      spec_live_ != 0 ? consume_speculated(req, osd) : execute(req.io);
+      spec_live_ != 0 ? consume_speculated(req, osd, now) : execute(req.io, now);
   SimDuration service = cfg_.request_overhead_us + device;
   // Fail-slow degradation: a slowed device multiplies its service time
   // (and may add a seeded intermittent stall).  any_slow() keeps the
@@ -780,15 +799,35 @@ void Simulator::process_one(SubRequest req, OsdId osd, SimTime now) {
   if (injector_ != nullptr && injector_->any_slow()) {
     service = injector_->degrade(osd, service);
   }
-  s.busy = true;
+  if (osd_qd_[osd] <= 1) {
+    s.busy = true;
+    s.busy_us += service;
+    s.current = std::move(req);
+    s.service_start = now;
+    s.complete_at = now + service;
+    events_.push(now + service, EventKind::kOsdComplete, osd);
+    return;
+  }
+  // Multi-inflight (parallel-geometry device): the request rides a device
+  // slot instead of the server's single `current` register; the device's
+  // own bus/die/plane timelines already serialised whatever had to be, so
+  // `device` includes any internal queueing delay.
+  ++s.inflight;
   s.busy_us += service;
-  s.current = std::move(req);
-  s.service_start = now;
-  s.complete_at = now + service;
-  events_.push(now + service, EventKind::kOsdComplete, osd);
+  std::uint32_t slot;
+  if (!free_device_slots_.empty()) {
+    slot = free_device_slots_.back();
+    free_device_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(device_slots_.size());
+    device_slots_.emplace_back();
+  }
+  device_slots_[slot].req = std::move(req);
+  device_slots_[slot].service_start = now;
+  events_.push(now + service, EventKind::kDeviceComplete, slot);
 }
 
-SimDuration Simulator::execute(const cluster::OsdIo& io) {
+SimDuration Simulator::execute(const cluster::OsdIo& io, SimTime now) {
   // Fast path: the object still sits as one extent at its original home
   // and this I/O targets that device -- resolve the lpn range with a
   // single table load instead of probing the OSD's extent store.  The
@@ -797,11 +836,11 @@ SimDuration Simulator::execute(const cluster::OsdIo& io) {
   // is the ground truth.  Clamping mirrors ObjectStore::map_range.
   const cluster::Cluster::FastExtent& fe = cluster_.fast_extent(io.oid);
   if (fe.pages != 0 && fe.osd == io.osd) {
-    return cluster_.fast_extent_io(fe, io);
+    return cluster_.fast_extent_io_at(fe, io, now);
   }
   cluster::Osd& osd = cluster_.osd(io.osd);
-  return io.is_write ? osd.write(io.oid, io.first_page, io.pages)
-                     : osd.read(io.oid, io.first_page, io.pages);
+  return io.is_write ? osd.write_at(now, io.oid, io.first_page, io.pages)
+                     : osd.read_at(now, io.oid, io.first_page, io.pages);
 }
 
 void Simulator::on_osd_complete(OsdId osd, SimTime now) {
@@ -809,6 +848,24 @@ void Simulator::on_osd_complete(OsdId osd, SimTime now) {
   assert(s.busy);
   s.busy = false;
   SubRequest req = std::move(s.current);
+  finish_service(std::move(req), osd, s.service_start, now);
+}
+
+void Simulator::on_device_complete(std::uint64_t payload, SimTime now) {
+  const auto slot = static_cast<std::uint32_t>(payload);
+  SubRequest req = std::move(device_slots_[slot].req);
+  const SimTime service_start = device_slots_[slot].service_start;
+  free_device_slots_.push_back(slot);
+  const OsdId osd = req.io.osd;
+  OsdServer& s = servers_[osd];
+  assert(s.inflight > 0);
+  --s.inflight;
+  finish_service(std::move(req), osd, service_start, now);
+}
+
+void Simulator::finish_service(SubRequest req, OsdId osd, SimTime service_start,
+                               SimTime now) {
+  OsdServer& s = servers_[osd];
   s.load.add(static_cast<double>(now - req.enqueue_time));
   ++s.served;
   // The health monitor scores whatever the cluster actually produces --
@@ -820,7 +877,7 @@ void Simulator::on_osd_complete(OsdId osd, SimTime now) {
   // comparable units -- mover/rebuild chunks are orders of magnitude
   // larger and would flag every migration destination.
   if (monitor_ != nullptr && req.kind == SubRequest::Kind::kClient) {
-    monitor_->observe(osd, now - s.service_start);
+    monitor_->observe(osd, now - service_start);
   }
 
   if (stale(req)) {
@@ -1719,8 +1776,8 @@ void Simulator::on_telemetry_sample(SimTime now) {
   for (std::uint32_t i = 0; i < servers_.size(); ++i) {
     const OsdServer& s = servers_[i];
     telemetry::OsdSample& o = row.osds[i];
-    o.queue_depth =
-        static_cast<std::uint32_t>(s.queue.size()) + (s.busy ? 1u : 0u);
+    o.queue_depth = static_cast<std::uint32_t>(s.queue.size()) +
+                    (s.busy ? 1u : 0u) + s.inflight;
     o.utilization = cluster_.osd(i).utilization();
     o.load_ewma_us = s.load.value();
     o.erases = cluster_.osd(i).flash_stats().erase_count;

@@ -79,6 +79,15 @@ struct SimConfig {
   /// Software + network time per OSD sub-request on top of device time.
   SimDuration request_overhead_us = 100;
 
+  /// Concurrent in-service requests per OSD.  The paper's OSD "handles
+  /// them serially", and flat (paper-model) devices always serve at depth
+  /// 1 regardless of this knob -- a serial device has nothing to overlap.
+  /// Parallel-geometry devices (FlashConfig::parallel_timing()) honour
+  /// depths > 1: up to this many requests are dispatched into the
+  /// device's channel/die/plane pipeline concurrently, which is what
+  /// makes geometry actually buy throughput (bench/ext_parallelism).
+  std::uint32_t osd_queue_depth = 1;
+
   /// Replay shard workers.  1 (default) = the historical fully-serial
   /// event loop.  N > 1 partitions OSDs onto N worker threads that
   /// pre-execute committed flash device work in conservative time-windowed
@@ -256,6 +265,10 @@ class Simulator {
     SubRequest current;
     SimTime service_start = 0;  // when `current` entered service
     SimTime complete_at = 0;    // when `current` will complete (busy only)
+    // Multi-inflight accounting (parallel-geometry devices served at
+    // osd_queue_depth > 1); always 0 on the serial depth-1 path, where
+    // busy/current/complete_at carry the single in-service request.
+    std::uint32_t inflight = 0;
     util::Ewma load;
     std::uint64_t served = 0;
     SimDuration busy_us = 0;  // total service time (overhead + device)
@@ -324,7 +337,23 @@ class Simulator {
   void dispatch(OsdId osd, SimTime now);
   void process_one(SubRequest req, OsdId osd, SimTime now);
   void on_osd_complete(OsdId osd, SimTime now);
-  SimDuration execute(const cluster::OsdIo& io);
+  /// kDeviceComplete handler: one of a multi-inflight OSD's concurrent
+  /// requests finished; payload is its device-slot index.
+  void on_device_complete(std::uint64_t payload, SimTime now);
+  /// Completion tail shared by the serial (on_osd_complete) and
+  /// multi-inflight (on_device_complete) paths: load/served accounting,
+  /// health observation, transient-error retries, kind dispatch, and the
+  /// follow-up dispatch() of the freed capacity.
+  void finish_service(SubRequest req, OsdId osd, SimTime service_start,
+                      SimTime now);
+  /// Whether `osd` can put another request into service right now.
+  bool can_accept(OsdId osd) const {
+    const OsdServer& s = servers_[osd];
+    return osd_qd_[osd] <= 1 ? !s.busy : s.inflight < osd_qd_[osd];
+  }
+  /// `now` is the dispatch time handed to parallel-geometry devices (their
+  /// bus/die/plane timelines are absolute); flat devices ignore it.
+  SimDuration execute(const cluster::OsdIo& io, SimTime now);
   /// True when a mover/rebuild sub-request belongs to an aborted lane
   /// incarnation and must be dropped instead of acted on.
   bool stale(const SubRequest& req) const;
@@ -417,7 +446,8 @@ class Simulator {
   /// here, or falls back to live execution for work that arrived after the
   /// speculated prefix.  Throws if the replay dispatches anything else --
   /// divergence is a bug, never something to paper over.
-  SimDuration consume_speculated(const SubRequest& req, OsdId osd);
+  SimDuration consume_speculated(const SubRequest& req, OsdId osd,
+                                 SimTime now);
 
   // --- bookkeeping ---
   void on_epoch_tick(SimTime now);
@@ -444,6 +474,22 @@ class Simulator {
 
   EventQueue events_;
   std::vector<OsdServer> servers_;
+  /// Effective service depth per OSD: cfg_.osd_queue_depth for devices on
+  /// the parallel timing path, 1 for flat devices (definitionally serial).
+  std::vector<std::uint32_t> osd_qd_;
+  /// Parked in-service requests of multi-inflight OSDs; the slot index
+  /// rides the kDeviceComplete event payload.
+  struct DeviceSlot {
+    SubRequest req;
+    SimTime service_start = 0;
+  };
+  std::vector<DeviceSlot> device_slots_;
+  std::vector<std::uint32_t> free_device_slots_;
+  /// Any parallel-geometry device in the cluster forfeits the sharded
+  /// replay's calm certificate: fast_extent_io cannot predict dispatch
+  /// through die queues without the device-time ordering the serial drain
+  /// provides.
+  bool spec_forfeit_ = false;
   std::vector<Client> clients_;
   std::vector<MoverLane> lanes_;
   std::vector<OpState> ops_;          // op-slot pool

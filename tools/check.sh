@@ -7,8 +7,10 @@
 # then the asan-ubsan config plus fault, open-loop, and shards smokes
 # (ext_failslow/ext_openloop --quick under the sanitizers, asserting
 # detector quality and the edm-run-result/4 health JSON shape, plus a
-# --shards 4 vs --shards 1 byte-identity check and a perf_shards --quick
-# JSON-shape run), then the concurrency-sensitive tests (telemetry,
+# --shards 4 vs --shards 1 byte-identity check, a perf_shards --quick
+# JSON-shape run, and a parallelism smoke: --flash-geometry=flat
+# byte-identity plus ext_parallelism --quick queue-depth scaling), then
+# the concurrency-sensitive tests (telemetry,
 # thread pool, sweep runner, logging, sharded replay) under
 # ThreadSanitizer (CMakePresets.json).  Any failure aborts.
 #
@@ -264,6 +266,62 @@ EOF
   rm -f "$serial" "$sharded" "$out"
 }
 
+# Parallelism smoke: the flash internal-parallelism model, end to end
+# through the CLI and the ext_parallelism bench, under whichever build
+# "$1" points at.  --flash-geometry=flat must be byte-identical to the
+# default flat model (the 1x1x1 equivalence contract,
+# docs/internals/flash.md), and ext_parallelism --quick must emit
+# schema-valid JSON whose nvme cells scale with queue depth while the
+# flat cells replay identically at every depth.
+parallelism_smoke() {
+  local build_dir="$1"
+  echo "== parallelism smoke (1x1x1 identity + ext_parallelism --quick, $build_dir) =="
+  local flat explicit
+  flat=$(mktemp)
+  explicit=$(mktemp)
+  "$build_dir/tools/edm_run" --trace=home02 --scale=0.01 --json --quiet \
+      >"$flat"
+  "$build_dir/tools/edm_run" --trace=home02 --scale=0.01 \
+      --flash-geometry=flat --json --quiet >"$explicit"
+  if ! cmp -s "$flat" "$explicit"; then
+    echo "parallelism smoke: --flash-geometry=flat JSON differs from default" >&2
+    diff "$flat" "$explicit" >&2 || true
+    rm -f "$flat" "$explicit"
+    return 1
+  fi
+  echo "parallelism smoke: --flash-geometry=flat byte-identical to default"
+  local out
+  out=$(mktemp)
+  "$build_dir/bench/ext_parallelism" --quick --out="$out" >/dev/null 2>&1
+  python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d.get("schema") == "edm-bench-result/1", d.get("schema")
+assert d.get("bench") == "ext_parallelism", d.get("bench")
+assert "provenance" in d, "missing provenance"
+assert d["cells"], "no cells"
+cell_keys = {"geometry", "channels", "dies_per_channel", "planes_per_die",
+             "bus_ctrl_us", "bus_data_us", "osd_qd", "completed_ops",
+             "makespan_us", "throughput_ops_s", "speedup_vs_qd1"}
+for c in d["cells"]:
+    missing = cell_keys - c.keys()
+    assert not missing, f"cell missing {missing}"
+    assert c["completed_ops"] > 0, "empty replay"
+flat = {c["makespan_us"] for c in d["cells"] if c["geometry"] == "flat"}
+assert len(flat) == 1, f"flat geometry scaled with queue depth: {flat}"
+nvme = [c for c in d["cells"] if c["geometry"] == "nvme"]
+deepest = max(nvme, key=lambda c: c["osd_qd"])
+assert deepest["speedup_vs_qd1"] > 1.1, (
+    f"nvme speedup {deepest['speedup_vs_qd1']:.2f} at qd "
+    f"{deepest['osd_qd']}: queue depth bought no throughput")
+print(f"parallelism smoke: {len(d['cells'])} cells, flat invariant at "
+      f"every depth, nvme x{deepest['speedup_vs_qd1']:.2f} at qd "
+      f"{deepest['osd_qd']}, JSON shape ok")
+EOF
+  rm -f "$flat" "$explicit" "$out"
+}
+
 run_preset() {
   local preset="$1"
   echo "== configure ($preset) =="
@@ -286,9 +344,11 @@ if [[ "${1:-}" != "--fast" ]]; then
   fault_smoke build-asan
   openloop_smoke build-asan
   shards_smoke build-asan
+  parallelism_smoke build-asan
   run_preset tsan
 else
   fault_smoke build
   shards_smoke build
+  parallelism_smoke build
 fi
 echo "== all checks passed =="

@@ -56,6 +56,17 @@ grep -q "PERFORMANCE.md" README.md ||
 grep -q "PERFORMANCE.md" docs/MANUAL.md ||
   err "docs/MANUAL.md does not link PERFORMANCE.md"
 
+# The model catalogue must exist and be reachable from every entry-point
+# doc -- it is the map from "what does a run simulate" to the page and
+# knobs, so burying it defeats its purpose.
+[[ -f docs/MODELS.md ]] || err "docs/MODELS.md missing"
+grep -q "MODELS.md" README.md ||
+  err "README.md does not link docs/MODELS.md"
+grep -q "MODELS.md" docs/ARCHITECTURE.md ||
+  err "docs/ARCHITECTURE.md does not link MODELS.md"
+grep -q "MODELS.md" docs/MANUAL.md ||
+  err "docs/MANUAL.md does not link MODELS.md"
+
 # -- 2. every registered flag is documented in the manual -----------------
 flags=$(grep -rhoE '"--[a-z0-9-]+"' bench tools src/util src/runner 2>/dev/null |
   tr -d '"' | sort -u)
@@ -64,6 +75,18 @@ for flag in $flags; do
   grep -q -- "\`$flag" docs/MANUAL.md ||
     err "flag $flag is not documented in docs/MANUAL.md"
 done
+
+# Belt and braces for the flash parallelism surface: every --flash-*
+# flag the CLI registers must appear in the manual's edm_run table (the
+# generic scan above finds string literals; this asserts the family is
+# never renamed out from under the docs).
+for flag in $(grep -rhoE '"--flash-[a-z0-9-]+"' tools 2>/dev/null |
+  tr -d '"' | sort -u); do
+  grep -q -- "\`$flag" docs/MANUAL.md ||
+    err "flash flag $flag is not documented in docs/MANUAL.md"
+done
+[[ -n $(grep -rhoE '"--flash-[a-z0-9-]+"' tools 2>/dev/null) ]] ||
+  err "no --flash-* flags registered in tools/ (expected --flash-geometry)"
 
 # -- 3. intra-repo markdown links resolve ---------------------------------
 while IFS= read -r md; do

@@ -20,6 +20,13 @@
 //     --sigma=<f>           wear-model impact factor (default 0.28)
 //     --utilization=<f>     max post-population utilization (default 0.76)
 //     --channels=<n>        flash channels (default 1)
+//     --flash-geometry=<g>  flat | sata | nvme | CxDxP internal-parallelism
+//                           geometry (channels x dies x planes; the named
+//                           presets also set bus delays)
+//     --bus-delays=<c:d>    per-channel bus delays in us (ctrl:data);
+//                           overrides a preset's bus timings
+//     --osd-qd=<n>          concurrent requests dispatched into each
+//                           parallel-geometry OSD (flat devices stay serial)
 //     --separate-gc         enable the hot/cold-separating GC stream
 //     --adaptive            online sigma calibration (monitor runs)
 //     --fail-osd=<id>       inject an OSD failure mid-replay
@@ -92,6 +99,9 @@ struct Options {
   double sigma = 0.28;
   double utilization = 0.76;
   std::uint32_t channels = 1;
+  std::string flash_geometry;
+  std::string bus_delays;
+  std::uint32_t osd_qd = 1;
   bool separate_gc = false;
   bool adaptive = false;
   std::int32_t fail_osd = -1;
@@ -140,6 +150,12 @@ edm::util::FlagParser make_parser(Options& opt) {
   parser.add_double("--utilization", &opt.utilization,
                     "max post-population utilization");
   parser.add_uint32("--channels", &opt.channels, "flash channels");
+  parser.add_string("--flash-geometry", &opt.flash_geometry,
+                    "flat | sata | nvme | CxDxP (channels x dies x planes)");
+  parser.add_string("--bus-delays", &opt.bus_delays,
+                    "per-channel bus delays in us (ctrl:data)");
+  parser.add_uint32("--osd-qd", &opt.osd_qd,
+                    "concurrent requests per parallel-geometry OSD");
   parser.add_bool("--separate-gc", &opt.separate_gc,
                   "enable the hot/cold-separating GC stream");
   parser.add_bool("--adaptive", &opt.adaptive,
@@ -219,15 +235,16 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
-/// Splits "a:b:c" on ':'.
-std::vector<std::string> split_fields(const std::string& spec) {
+/// Splits "a:b:c" on `delim` (':' for event specs, 'x' for geometries).
+std::vector<std::string> split_fields(const std::string& spec,
+                                      char delim = ':') {
   std::vector<std::string> out;
   std::string::size_type start = 0;
   while (true) {
-    const auto colon = spec.find(':', start);
-    out.push_back(spec.substr(start, colon - start));
-    if (colon == std::string::npos) break;
-    start = colon + 1;
+    const auto pos = spec.find(delim, start);
+    out.push_back(spec.substr(start, pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
   }
   return out;
 }
@@ -375,6 +392,52 @@ edm::workload::OpenLoopConfig open_loop_from(const Options& opt) {
   return open_loop;
 }
 
+/// Applies --flash-geometry/--bus-delays/--osd-qd.  Named presets (SATA- vs
+/// NVMe-class internal parallelism) set both the geometry and bus delays;
+/// an explicit --bus-delays always wins.  "flat" is the paper's 1x1x1
+/// serial model -- with zero bus delays it is byte-identical to omitting
+/// the flag entirely.
+void apply_flash_geometry(edm::sim::ExperimentConfig& cfg,
+                          const Options& opt) {
+  if (!opt.flash_geometry.empty()) {
+    if (opt.flash_geometry == "flat") {
+      cfg.flash.geometry = edm::flash::FlashGeometry{};
+    } else if (opt.flash_geometry == "sata") {
+      cfg.flash.geometry = edm::flash::FlashGeometry{4, 2, 1};
+      cfg.flash.bus_ctrl_us = 5;
+      cfg.flash.bus_data_us = 40;
+    } else if (opt.flash_geometry == "nvme") {
+      cfg.flash.geometry = edm::flash::FlashGeometry{8, 4, 2};
+      cfg.flash.bus_ctrl_us = 2;
+      cfg.flash.bus_data_us = 10;
+    } else {
+      const auto f = split_fields(opt.flash_geometry, 'x');
+      if (f.size() != 3) {
+        throw std::invalid_argument(
+            "--flash-geometry: expected flat|sata|nvme or CxDxP "
+            "(e.g. 4x2x2)");
+      }
+      cfg.flash.geometry.channels =
+          static_cast<std::uint32_t>(parse_num("--flash-geometry", f[0]));
+      cfg.flash.geometry.dies_per_channel =
+          static_cast<std::uint32_t>(parse_num("--flash-geometry", f[1]));
+      cfg.flash.geometry.planes_per_die =
+          static_cast<std::uint32_t>(parse_num("--flash-geometry", f[2]));
+    }
+  }
+  if (!opt.bus_delays.empty()) {
+    const auto f = split_fields(opt.bus_delays);
+    if (f.size() != 2) {
+      throw std::invalid_argument("--bus-delays: expected ctrl_us:data_us");
+    }
+    cfg.flash.bus_ctrl_us =
+        static_cast<edm::SimDuration>(parse_num("--bus-delays", f[0]));
+    cfg.flash.bus_data_us =
+        static_cast<edm::SimDuration>(parse_num("--bus-delays", f[1]));
+  }
+  cfg.sim.osd_queue_depth = opt.osd_qd;
+}
+
 edm::runner::TelemetrySinks sinks_from(const Options& opt) {
   edm::runner::TelemetrySinks sinks;
   sinks.trace_out = opt.trace_out;
@@ -400,6 +463,7 @@ int main(int argc, char** argv) {
         edm::core::WearModel(cfg.flash.pages_per_block, opt.sigma);
     cfg.target_max_utilization = opt.utilization;
     cfg.flash.num_channels = opt.channels;
+    apply_flash_geometry(cfg, opt);
     cfg.flash.separate_gc_stream = opt.separate_gc;
     cfg.sim.adaptive_sigma = opt.adaptive;
     cfg.sim.shards = opt.shards;
