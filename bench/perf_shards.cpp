@@ -49,11 +49,20 @@ struct Args {
 };
 
 struct CellResult {
+  std::string mode;                    // "calm" | "monitor"
   std::uint32_t shards = 1;
   std::uint64_t events_processed = 0;  // deterministic, shard-invariant
   std::uint64_t completed_ops = 0;     // deterministic, shard-invariant
   std::uint64_t spec_batches = 0;      // deterministic per shard count
   std::uint64_t speculated_ios = 0;    // deterministic per shard count
+  // Forfeit-reason / restriction counters (PerfMetrics; deterministic).
+  std::uint64_t spec_forfeit_geometry = 0;
+  std::uint64_t spec_forfeit_faults = 0;
+  std::uint64_t spec_forfeit_failure = 0;
+  std::uint64_t spec_forfeit_rebuild = 0;
+  std::uint64_t spec_forfeit_trigger = 0;
+  std::uint64_t spec_excluded_osds = 0;
+  std::uint64_t spec_tainted_breaks = 0;
   double replay_wall_s = 0.0;          // best of --repeat
   double setup_wall_s = 0.0;
   double events_per_sec() const {
@@ -100,11 +109,19 @@ edm::trace::Trace make_trace(const edm::sim::ExperimentConfig& config) {
   return edm::trace::TraceGenerator(profile, cfg.num_clients).generate();
 }
 
+/// Serial (shards == 1) best wall time of `mode` -- the A-side every cell
+/// of that mode compares against.
+double serial_best_of(const std::vector<CellResult>& cells,
+                      const std::string& mode) {
+  for (const CellResult& c : cells) {
+    if (c.mode == mode && c.shards == 1) return c.replay_wall_s;
+  }
+  return 0.0;
+}
+
 void write_json(const std::vector<CellResult>& cells,
                 const edm::sim::ExperimentConfig& proto, const Args& args,
                 double scale, std::uint32_t repeat, std::ostream& os) {
-  const double serial_best =
-      cells.empty() ? 0.0 : cells.front().replay_wall_s;
   os << "{\n";
   os << "  \"schema\": \"edm-bench-result/1\",\n";
   os << "  \"bench\": \"perf_shards\",\n";
@@ -120,13 +137,22 @@ void write_json(const std::vector<CellResult>& cells,
   os << "  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const CellResult& c = cells[i];
+    const double serial_best = serial_best_of(cells, c.mode);
     const double speedup =
         c.replay_wall_s > 0.0 ? serial_best / c.replay_wall_s : 0.0;
-    os << "    {\"shards\": " << c.shards
+    os << "    {\"mode\": \"" << c.mode << "\""
+       << ", \"shards\": " << c.shards
        << ", \"events_processed\": " << c.events_processed
        << ", \"completed_ops\": " << c.completed_ops
        << ", \"spec_batches\": " << c.spec_batches
        << ", \"speculated_ios\": " << c.speculated_ios
+       << ", \"spec_forfeit_geometry\": " << c.spec_forfeit_geometry
+       << ", \"spec_forfeit_faults\": " << c.spec_forfeit_faults
+       << ", \"spec_forfeit_failure\": " << c.spec_forfeit_failure
+       << ", \"spec_forfeit_rebuild\": " << c.spec_forfeit_rebuild
+       << ", \"spec_forfeit_trigger\": " << c.spec_forfeit_trigger
+       << ", \"spec_excluded_osds\": " << c.spec_excluded_osds
+       << ", \"spec_tainted_breaks\": " << c.spec_tainted_breaks
        << ", \"replay_wall_s\": " << c.replay_wall_s
        << ", \"setup_wall_s\": " << c.setup_wall_s
        << ", \"events_per_sec\": " << c.events_per_sec()
@@ -143,10 +169,18 @@ int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
   using edm::util::Table;
 
-  // One fixed cell: the read-heavy Table I workload with migration off, so
-  // the calm certificate holds from the first event and speculation
-  // coverage is maximal -- this is the engine's best case by design; the
-  // shard_replay tests cover the rest of the scenario space for identity.
+  // Two grids on one fixed workload cell (the subject is the engine, not
+  // the modelled cluster):
+  //   calm    -- migration off, no monitor, no telemetry: the calm
+  //              certificate holds from the first event and speculation
+  //              coverage is maximal (the engine's best case by design);
+  //   monitor -- the EDM paper's endurance-aware hot path: CDF policy on
+  //              the wear-monitor trigger with adaptive sigma, the online
+  //              health monitor with mitigation, and full telemetry
+  //              (trace + counters + time-series).  Speculation must
+  //              survive here -- the widened certificate's whole point --
+  //              and the bench aborts if a sharded monitor cell
+  //              speculated nothing.
   const double scale = args.quick ? std::min(args.scale, 0.02) : args.scale;
   const std::uint32_t repeat = args.quick ? 1 : args.repeat;
   edm::sim::ExperimentConfig proto;
@@ -157,59 +191,105 @@ int main(int argc, char** argv) {
   proto.sim.trigger = edm::sim::MigrationTrigger::kNone;
   const edm::trace::Trace trace = make_trace(proto);
 
+  edm::sim::ExperimentConfig monitor_proto = proto;
+  monitor_proto.policy = edm::core::PolicyKind::kCdf;
+  monitor_proto.policy_config.lambda = 0.01;  // eager trigger: mover active
+  monitor_proto.sim.trigger = edm::sim::MigrationTrigger::kMonitor;
+  monitor_proto.sim.adaptive_sigma = true;
+  monitor_proto.sim.health.enabled = true;
+  monitor_proto.sim.health.mitigate = true;
+  monitor_proto.telemetry.trace_enabled = true;
+  monitor_proto.telemetry.metrics_enabled = true;
+  monitor_proto.telemetry.sample_interval_us = 1'000'000;  // 1 s sim time
+
+  struct Mode {
+    const char* name;
+    const edm::sim::ExperimentConfig* proto;
+  };
+  const Mode modes[] = {{"calm", &proto}, {"monitor", &monitor_proto}};
   const std::vector<std::uint32_t> shard_counts = {1, 2, 4};
-  std::vector<CellResult> cells(shard_counts.size());
-  for (std::size_t i = 0; i < shard_counts.size(); ++i) {
-    cells[i].shards = shard_counts[i];
-  }
-  // Interleave: repeat r of every shard count before repeat r+1 of any.
-  for (std::uint32_t r = 0; r < repeat; ++r) {
-    for (std::size_t i = 0; i < shard_counts.size(); ++i) {
-      edm::sim::ExperimentConfig cfg = proto;
-      cfg.sim.shards = shard_counts[i];
-      const edm::sim::RunResult res = edm::sim::run_experiment(cfg, trace);
-      CellResult& c = cells[i];
-      if (r == 0) {
-        c.events_processed = res.perf.events_processed;
-        c.completed_ops = res.completed_ops;
-        c.spec_batches = res.perf.spec_batches;
-        c.speculated_ios = res.perf.speculated_ios;
-        c.replay_wall_s = res.perf.replay_wall_s;
-        c.setup_wall_s = res.perf.setup_wall_s;
-      } else {
-        if (res.perf.events_processed != c.events_processed ||
-            res.completed_ops != c.completed_ops) {
-          std::cerr << "nondeterministic replay at shards "
-                    << shard_counts[i] << "\n";
-          return 1;
-        }
-        c.replay_wall_s = std::min(c.replay_wall_s, res.perf.replay_wall_s);
-        c.setup_wall_s = std::min(c.setup_wall_s, res.perf.setup_wall_s);
-      }
-      std::cerr << "perf_shards: repeat " << r << " shards "
-                << shard_counts[i] << " replay "
-                << res.perf.replay_wall_s << "s\n";
+  std::vector<CellResult> cells;
+  for (const Mode& m : modes) {
+    for (std::uint32_t shards : shard_counts) {
+      CellResult c;
+      c.mode = m.name;
+      c.shards = shards;
+      cells.push_back(c);
     }
   }
-  // The determinism contract across shard counts: identical event counts.
+  // Interleave: repeat r of every cell before repeat r+1 of any.
+  for (std::uint32_t r = 0; r < repeat; ++r) {
+    std::size_t idx = 0;
+    for (const Mode& m : modes) {
+      for (std::uint32_t shards : shard_counts) {
+        edm::sim::ExperimentConfig cfg = *m.proto;
+        cfg.sim.shards = shards;
+        const edm::sim::RunResult res = edm::sim::run_experiment(cfg, trace);
+        CellResult& c = cells[idx++];
+        if (r == 0) {
+          c.events_processed = res.perf.events_processed;
+          c.completed_ops = res.completed_ops;
+          c.spec_batches = res.perf.spec_batches;
+          c.speculated_ios = res.perf.speculated_ios;
+          c.spec_forfeit_geometry = res.perf.spec_forfeit_geometry;
+          c.spec_forfeit_faults = res.perf.spec_forfeit_faults;
+          c.spec_forfeit_failure = res.perf.spec_forfeit_failure;
+          c.spec_forfeit_rebuild = res.perf.spec_forfeit_rebuild;
+          c.spec_forfeit_trigger = res.perf.spec_forfeit_trigger;
+          c.spec_excluded_osds = res.perf.spec_excluded_osds;
+          c.spec_tainted_breaks = res.perf.spec_tainted_breaks;
+          c.replay_wall_s = res.perf.replay_wall_s;
+          c.setup_wall_s = res.perf.setup_wall_s;
+        } else {
+          if (res.perf.events_processed != c.events_processed ||
+              res.completed_ops != c.completed_ops) {
+            std::cerr << "nondeterministic replay at " << c.mode
+                      << " shards " << shards << "\n";
+            return 1;
+          }
+          c.replay_wall_s = std::min(c.replay_wall_s, res.perf.replay_wall_s);
+          c.setup_wall_s = std::min(c.setup_wall_s, res.perf.setup_wall_s);
+        }
+        std::cerr << "perf_shards: repeat " << r << " " << c.mode
+                  << " shards " << shards << " replay "
+                  << res.perf.replay_wall_s << "s\n";
+      }
+    }
+  }
+  // The determinism contract across shard counts, per mode: identical
+  // event counts -- and the widened certificate's engagement contract:
+  // sharded monitor-mode cells must actually speculate.
   for (const CellResult& c : cells) {
-    if (c.events_processed != cells.front().events_processed ||
-        c.completed_ops != cells.front().completed_ops) {
-      std::cerr << "shard count changed the replay: events "
-                << c.events_processed << " at shards " << c.shards << " vs "
-                << cells.front().events_processed << " serial\n";
+    const CellResult* serial = nullptr;
+    for (const CellResult& s : cells) {
+      if (s.mode == c.mode && s.shards == 1) serial = &s;
+    }
+    if (serial == nullptr ||
+        c.events_processed != serial->events_processed ||
+        c.completed_ops != serial->completed_ops) {
+      std::cerr << "shard count changed the replay: " << c.mode
+                << " events " << c.events_processed << " at shards "
+                << c.shards << "\n";
+      return 1;
+    }
+    if (c.shards > 1 && c.speculated_ios == 0) {
+      std::cerr << c.mode << " cell at shards " << c.shards
+                << " speculated nothing -- the shard workers are dead "
+                   "weight\n";
       return 1;
     }
   }
 
-  Table table({"shards", "events", "spec-ios", "replay(s)", "events/s",
-               "speedup"});
-  const double serial_best = cells.front().replay_wall_s;
+  Table table({"mode", "shards", "events", "spec-ios", "excl-osds",
+               "replay(s)", "events/s", "speedup"});
   for (const CellResult& c : cells) {
+    const double serial_best = serial_best_of(cells, c.mode);
     table.add_row({
+        c.mode,
         std::to_string(c.shards),
         std::to_string(c.events_processed),
         std::to_string(c.speculated_ios),
+        std::to_string(c.spec_excluded_osds),
         Table::num(c.replay_wall_s, 3),
         Table::num(c.events_per_sec(), 0),
         Table::num(c.replay_wall_s > 0.0 ? serial_best / c.replay_wall_s

@@ -429,11 +429,26 @@ class Simulator {
   void handle_event(const Event& e);
   void run_serial();
   void run_sharded();
-  /// The calm certificate: true when nothing that could change placement,
-  /// blocking state, failure state or service-time computation can fire
-  /// inside a batch, so queued client I/O at a busy OSD is committed work
-  /// whose device times the shard workers may compute ahead of time.
-  bool calm() const;
+  /// The calm certificate, fine-grained: a bitmask of reasons the next
+  /// batch must stay serial (0 = fully calm).  Anything that could change
+  /// placement, blocking state, failure state or service-time computation
+  /// *unpredictably* inside a batch forfeits; conditions the batch window
+  /// already barriers (epoch ticks, telemetry samples, health checks) or
+  /// that restrict only part of the cluster (an in-flight migration's
+  /// endpoint OSDs, blocked/parked objects) do not.
+  enum SpecForfeit : std::uint32_t {
+    kSpecForfeitGeometry = 1u << 0,  // parallel flash geometry (permanent)
+    kSpecForfeitFaults = 1u << 1,    // fail-slow injector attached
+    kSpecForfeitFailure = 1u << 2,   // a failed OSD in the cluster
+    kSpecForfeitRebuild = 1u << 3,   // rebuild running or pending
+    kSpecForfeitTrigger = 1u << 4,   // scripted trigger still unfired
+  };
+  std::uint32_t batch_forfeit_mask() const;
+  /// Rebuilds spec_tainted_oids_ / spec_excluded_osd_ from the mover
+  /// lanes.  Cached: start_migration / start_drain invalidate; mid-batch
+  /// lane advance only shrinks the true sets, so a stale cache is a safe
+  /// over-approximation.
+  void refresh_mover_spec_cache();
   /// Master side of one batch: collect busy OSDs whose head-of-line work
   /// certainly dispatches before `batch_end`, fan the chains out to the
   /// shard workers (barrier), and arm the per-OSD result lanes.
@@ -601,22 +616,55 @@ class Simulator {
     std::uint32_t pages = 0;
     bool is_write = false;
     SimDuration device_us = 0;
+    /// Half-open range into SpecLane::gc_events: GC telemetry the device
+    /// produced while pre-executing this I/O, buffered by the worker and
+    /// emitted by the master at consume time (when tel_->now() equals the
+    /// serial emission time).
+    std::uint32_t gc_begin = 0;
+    std::uint32_t gc_end = 0;
   };
   /// Per-OSD FIFO of speculated results; `next` is the consume cursor.
   /// A lane left over from a previous batch is always fully consumed
   /// (next == results.size()) -- enforced at every batch end.
+  /// gc_events / tainted_breaks are written only by the one worker that
+  /// owns this OSD during the batch barrier, read only by the master
+  /// afterwards -- no lock needed.
   struct SpecLane {
     std::vector<SpecResult> results;
     std::size_t next = 0;
+    std::vector<flash::Ssd::GcTelemetryEvent> gc_events;
+    std::uint64_t tainted_breaks = 0;
   };
   std::unique_ptr<ShardPool> shard_pool_;  // null at shards == 1
   std::vector<SpecLane> spec_;             // indexed by OSD
   std::vector<OsdId> spec_candidates_;     // scratch, reused per batch
   std::uint64_t spec_live_ = 0;  // speculated entries not yet consumed
   SimTime next_epoch_tick_ = 0;  // valid while epoch_tick_scheduled_
+  /// Batch-window clamps mirroring next_epoch_tick_: telemetry sample rows
+  /// read flash state and health checks spawn mover work, so both must be
+  /// barriers (speculation never spans them).  Asserted in their handlers.
+  SimTime next_sample_tick_ = 0;   // valid while sample_tick_scheduled_
+  bool sample_tick_scheduled_ = false;
+  SimTime next_health_tick_ = 0;   // valid while health_tick_scheduled_
+  bool health_tick_scheduled_ = false;
+  /// Mover-window speculation cache (refresh_mover_spec_cache): objects
+  /// whose chains the workers must cut, and OSDs excluded from candidacy
+  /// because an in-flight or queued migration touches their flash state.
+  std::unordered_set<ObjectId> spec_tainted_oids_;
+  std::vector<char> spec_excluded_osd_;  // indexed by OSD; 1 = excluded
+  bool spec_mover_cache_valid_ = false;
+  bool spec_restricted_ = false;  // cache has any taint/exclusion entries
   std::uint64_t events_processed_ = 0;
   std::uint64_t spec_batches_ = 0;  // batches that ran shard workers
   std::uint64_t spec_ios_ = 0;      // device I/Os pre-executed on shards
+  // Forfeit-reason / restriction accounting (PerfMetrics; deterministic).
+  std::uint64_t spec_forfeit_geometry_n_ = 0;
+  std::uint64_t spec_forfeit_faults_n_ = 0;
+  std::uint64_t spec_forfeit_failure_n_ = 0;
+  std::uint64_t spec_forfeit_rebuild_n_ = 0;
+  std::uint64_t spec_forfeit_trigger_n_ = 0;
+  std::uint64_t spec_excluded_osds_n_ = 0;
+  std::uint64_t spec_tainted_breaks_n_ = 0;
 };
 
 }  // namespace edm::sim

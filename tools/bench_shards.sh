@@ -32,6 +32,26 @@ esac
 EDM_GIT_COMMIT=$(git rev-parse HEAD 2>/dev/null || echo "")
 export EDM_GIT_COMMIT
 
+# A single-hardware-thread host can only measure the overhead floor --
+# every sharded cell serialises onto the one core, so speedup_vs_serial
+# is structurally <= 1.0 and MUST NOT be mistaken for (or committed as)
+# a speedup reference.  Warn loudly; the JSON itself stamps
+# hardware_threads so a reader can re-check.
+hw_threads=$(nproc 2>/dev/null || echo 1)
+if [ "$hw_threads" -le 1 ]; then
+  cat >&2 <<'EOF'
+============================================================================
+WARNING: this host reports 1 hardware thread.  perf_shards results from
+this run measure the sharded replay's pure barrier/handoff OVERHEAD, not
+its speedup -- every shard worker time-slices one core.  Do NOT treat the
+resulting BENCH_shards.json as a speedup reference; re-run on a host with
+hardware_threads >= the largest shard count (see docs/PERFORMANCE.md
+"Parallel replay").  The JSON stamps "hardware_threads": 1 so downstream
+readers can tell the two kinds of run apart.
+============================================================================
+EOF
+fi
+
 # Give the machine a moment to go quiet after the build: timing right
 # after compilation is one of the noise sources the methodology bans.
 sleep 3

@@ -214,9 +214,12 @@ EOF
 
 # Shards smoke: the sharded-replay determinism contract, end to end
 # through the CLI, under whichever build "$1" points at.  A --shards 4
-# replay must emit byte-identical JSON to --shards 1 (docs/internals/
-# sim.md), and perf_shards --quick must emit schema-valid JSON with the
-# shard cell fields (docs/PERFORMANCE.md "Parallel replay").
+# replay must emit byte-identical JSON to --shards 1 both on a calm
+# replay and on a full monitor-mode run with tracing and time-series on
+# (report, Chrome trace, and CSV bytes all compared —
+# docs/internals/sim.md), and perf_shards --quick must emit schema-valid
+# JSON with the two-grid cell fields, with monitor cells actually
+# speculating (docs/PERFORMANCE.md "Parallel replay").
 shards_smoke() {
   local build_dir="$1"
   echo "== shards smoke (--shards 4 identity + perf_shards --quick, $build_dir) =="
@@ -233,7 +236,33 @@ shards_smoke() {
     rm -f "$serial" "$sharded"
     return 1
   fi
-  echo "shards smoke: --shards 4 byte-identical to --shards 1"
+  echo "shards smoke: calm --shards 4 byte-identical to --shards 1"
+  # Monitor mode used to forfeit speculation wholesale; now it is the
+  # fine-grained calm certificate's proving ground.  Compare all three
+  # output streams byte for byte.
+  local tmpdir
+  tmpdir=$(mktemp -d)
+  local monitor_flags=(--trace=home02 --scale=0.02 --policy=cdf
+                       --trigger=monitor --lambda=0.01 --adaptive
+                       --health --mitigate --json --quiet)
+  "$build_dir/tools/edm_run" "${monitor_flags[@]}" \
+      --trace-out="$tmpdir/t1.json" --timeseries-out="$tmpdir/s1.csv" \
+      >"$tmpdir/r1.json"
+  "$build_dir/tools/edm_run" "${monitor_flags[@]}" --shards=4 \
+      --trace-out="$tmpdir/t4.json" --timeseries-out="$tmpdir/s4.csv" \
+      >"$tmpdir/r4.json"
+  local stream
+  for stream in r t s; do
+    if ! cmp -s "$tmpdir/${stream}1"* "$tmpdir/${stream}4"*; then
+      echo "shards smoke: monitor-mode --shards 4 stream '$stream'" \
+           "differs from --shards 1" >&2
+      diff "$tmpdir/${stream}1"* "$tmpdir/${stream}4"* >&2 || true
+      rm -rf "$tmpdir" "$serial" "$sharded"
+      return 1
+    fi
+  done
+  rm -rf "$tmpdir"
+  echo "shards smoke: monitor --shards 4 report/trace/time-series byte-identical"
   local out
   out=$(mktemp)
   "$build_dir/bench/perf_shards" --quick --out="$out" >/dev/null
@@ -246,22 +275,29 @@ assert d.get("bench") == "perf_shards", d.get("bench")
 assert "provenance" in d, "missing provenance"
 assert "hardware_threads" in d, "missing hardware_threads"
 assert d["cells"], "no cells"
-cell_keys = {"shards", "events_processed", "completed_ops",
-             "spec_batches", "speculated_ios", "replay_wall_s",
+cell_keys = {"mode", "shards", "events_processed", "completed_ops",
+             "spec_batches", "speculated_ios",
+             "spec_forfeit_geometry", "spec_forfeit_faults",
+             "spec_forfeit_failure", "spec_forfeit_rebuild",
+             "spec_forfeit_trigger", "spec_excluded_osds",
+             "spec_tainted_breaks", "replay_wall_s",
              "setup_wall_s", "events_per_sec", "speedup_vs_serial"}
-counts = set()
+counts = {}
 for c in d["cells"]:
     missing = cell_keys - c.keys()
     assert not missing, f"cell missing {missing}"
     assert c["events_processed"] > 0, "empty replay"
-    counts.add((c["events_processed"], c["completed_ops"]))
-assert len(counts) == 1, f"shard counts disagree on the replay: {counts}"
+    counts.setdefault(c["mode"], set()).add(
+        (c["events_processed"], c["completed_ops"]))
+assert set(counts) == {"calm", "monitor"}, f"modes: {set(counts)}"
+for mode, seen in counts.items():
+    assert len(seen) == 1, f"{mode}: shard counts disagree: {seen}"
 sharded = [c for c in d["cells"] if c["shards"] > 1]
 assert sharded and all(c["speculated_ios"] > 0 for c in sharded), (
     "sharded cells speculated nothing -- the shard workers are dead weight")
-print(f"shards smoke: {len(d['cells'])} cells, "
-      f"{d['cells'][0]['events_processed']} events at every shard count, "
-      f"JSON shape ok")
+print(f"shards smoke: {len(d['cells'])} cells across "
+      f"{len(counts)} modes, deterministic per mode, "
+      "monitor cells speculate, JSON shape ok")
 EOF
   rm -f "$serial" "$sharded" "$out"
 }
